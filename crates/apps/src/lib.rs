@@ -1,0 +1,32 @@
+//! Application models and workload generators for the SysProf evaluation.
+//!
+//! Everything the paper's §3 runs against, rebuilt on the simulated
+//! substrate:
+//!
+//! * [`linpack`] — the CPU-bound microbenchmark of §3.1 (monitoring
+//!   overhead on compute-only work),
+//! * [`iperf`] — the bandwidth microbenchmark of §3.1 (monitoring
+//!   overhead on packet-intensive work, at 1 Gbps and 100 Mbps),
+//! * [`storage`] — the shared virtual storage service of §3.2: Iozone-like
+//!   clients, a user-level NFS proxy, and kernel-daemon NFS servers with
+//!   synchronous disk writes (Figures 4 and 5),
+//! * [`rubis`] — the multi-tier auction site of §3.3: two request classes
+//!   (CPU-heavy *bid*, network-heavy *comment*), open-loop Poisson
+//!   clients, a DWCS or RA-DWCS request dispatcher, and a mid-run load
+//!   imbalance (Figures 6 and 7).
+//!
+//! Each module exposes a `run_*` function returning a typed result, used
+//! by the examples, the integration tests, and the `figures` harness in
+//! `sysprof-bench`.
+
+#![warn(missing_docs)]
+
+pub mod iperf;
+pub mod linpack;
+pub mod rubis;
+pub mod storage;
+
+pub use iperf::{run_iperf, IperfResult};
+pub use linpack::{run_linpack, LinpackResult};
+pub use rubis::{run_rubis, RubisConfig, RubisResult};
+pub use storage::{run_storage, StorageConfig, StorageResult};

@@ -1,0 +1,649 @@
+//! The RUBiS multi-tier auction site with DWCS scheduling (§3.3,
+//! Figures 6 and 7).
+//!
+//! Two request classes share a pair of servlet servers:
+//!
+//! * **bidding** — CPU-intensive at the servlet tier, real-time deadlines,
+//!   tight window constraint (high priority);
+//! * **comment** — network-intensive (large responses), loose constraint.
+//!
+//! An open-loop httperf-style generator produces Poisson arrivals for
+//! both classes (λ = 150 req/s each, as in the paper). A DWCS scheduler
+//! on the client machine orders dispatches; requests whose deadlines
+//! expire in the queue are dropped (the throughput loss in Figure 6).
+//! Halfway through the run a background load lands on one server.
+//!
+//! Plain DWCS dispatches round-robin and suffers; **RA-DWCS** subscribes
+//! to SysProf's per-server load reports and routes around the loaded
+//! server, keeping the high-priority bidding class nearly unaffected
+//! (Figure 7) at < 2% monitoring cost.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dwcs::ra::{RaDispatcher, ServerLoad};
+use dwcs::{Scheduler, StreamId, StreamSpec, WindowConstraint};
+use pubsub::ChannelDecoder;
+use serde::Serialize;
+use simcore::stats::RateMeter;
+use simcore::{NodeId, SimDuration, SimTime};
+use simnet::{EndPoint, LinkSpec, Port};
+use simos::programs::ComputeLoop;
+use simos::{KernelOutput, KernelSink, Message, ProcCtx, Program, SocketId, WorldBuilder};
+use sysprof::{LoadRecord, MonitorConfig, SysProf, LOAD_TOPIC};
+
+/// Servlet server port.
+pub const SERVLET_PORT: Port = Port(8009);
+/// Port on the client node receiving load reports for RA-DWCS.
+pub const RA_FEED_PORT: Port = Port(9996);
+
+const KIND_BID: u32 = 1;
+const KIND_COMMENT: u32 = 2;
+const RESP_OFFSET: u32 = 100;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct RubisConfig {
+    /// Use resource-aware dispatch (Figure 7) instead of round-robin
+    /// (Figure 6).
+    pub resource_aware: bool,
+    /// Deploy SysProf on the servlet servers. Forced on when
+    /// `resource_aware` (RA-DWCS needs the measurements).
+    pub monitored: bool,
+    /// Run length.
+    pub duration: SimDuration,
+    /// Offered load per class, requests/second.
+    pub rate_per_class: f64,
+    /// When the background load starts (defaults to half the duration).
+    pub disturbance_at: Option<SimDuration>,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for RubisConfig {
+    fn default() -> Self {
+        RubisConfig {
+            resource_aware: false,
+            monitored: false,
+            duration: SimDuration::from_secs(60),
+            rate_per_class: 150.0,
+            disturbance_at: None,
+            seed: 1,
+        }
+    }
+}
+
+/// Per-class outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassOutcome {
+    /// Mean completed throughput over the whole run, responses/sec.
+    pub mean_rps: f64,
+    /// Mean throughput before the disturbance.
+    pub first_half_rps: f64,
+    /// Mean throughput after the disturbance.
+    pub second_half_rps: f64,
+    /// Completed responses.
+    pub completed: u64,
+    /// Requests dropped by DWCS (deadline expired in queue).
+    pub dropped: u64,
+    /// Window-constraint violations recorded by the scheduler.
+    pub violations: u64,
+    /// Per-second throughput series `(second, responses)`.
+    pub series: Vec<(f64, f64)>,
+}
+
+/// Measured outcome of one RUBiS run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RubisResult {
+    /// The bidding (high-priority) class.
+    pub bid: ClassOutcome,
+    /// The comment (low-priority) class.
+    pub comment: ClassOutcome,
+    /// Aggregate mean throughput, responses/sec.
+    pub total_rps: f64,
+    /// Monitoring overhead fraction on the servlet servers (mean).
+    pub server_overhead_fraction: f64,
+}
+
+// ---------------------------------------------------------------------
+// Programs
+// ---------------------------------------------------------------------
+
+/// A servlet server: per-class service compute and response sizes.
+struct ServletServer;
+
+impl Program for ServletServer {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.listen(SERVLET_PORT);
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId, msg: Message) {
+        match msg.kind {
+            KIND_BID => {
+                // CPU-intensive: consult the database, compute the bid.
+                ctx.compute(SimDuration::from_millis(7));
+                ctx.send_with_id(sock, 2 * 1024, KIND_BID + RESP_OFFSET, msg.msg_id);
+            }
+            KIND_COMMENT => {
+                // Network-intensive: small compute, large page.
+                ctx.compute(SimDuration::from_micros(1500));
+                ctx.send_with_id(sock, 30 * 1024, KIND_COMMENT + RESP_OFFSET, msg.msg_id);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    class: u32,
+    /// Plain DWCS: the statically assigned server (the paper's URL-prefix
+    /// dispatch). RA-DWCS: `None`, chosen at dispatch time from SysProf
+    /// load reports.
+    target: Option<NodeId>,
+}
+
+/// Shared observable state of the client driver.
+#[derive(Default)]
+struct DriverShared {
+    bid_meter: Option<RateMeter>,
+    comment_meter: Option<RateMeter>,
+    bid_completed: u64,
+    comment_completed: u64,
+    bid_dropped: u64,
+    comment_dropped: u64,
+    bid_violations: u64,
+    comment_violations: u64,
+}
+
+/// The httperf + DWCS driver on the client machine.
+struct RubisDriver {
+    servers: Vec<NodeId>,
+    socks: HashMap<NodeId, SocketId>,
+    connected: usize,
+    sched: Scheduler<Req>,
+    bids: StreamId,
+    comments: StreamId,
+    rate: f64,
+    duration: SimDuration,
+    outstanding: HashMap<NodeId, usize>,
+    /// Which server each in-flight request (by socket) went to, FIFO.
+    resource_aware: bool,
+    loads: Rc<RefCell<RaDispatcher>>,
+    shared: Rc<RefCell<DriverShared>>,
+    rr: usize,
+    max_outstanding_per_server: usize,
+    started: bool,
+}
+
+const TOKEN_BID_ARRIVAL: u64 = 1;
+const TOKEN_COMMENT_ARRIVAL: u64 = 2;
+const TOKEN_POLL: u64 = 3;
+
+impl RubisDriver {
+    fn arm_arrival(&mut self, ctx: &mut ProcCtx<'_>, token: u64) {
+        let gap = ctx
+            .rng()
+            .exponential_duration(SimDuration::from_secs_f64(1.0 / self.rate));
+        ctx.sleep(gap, token);
+    }
+
+    fn has_capacity(&self, server: NodeId) -> bool {
+        self.outstanding.get(&server).copied().unwrap_or(0) < self.max_outstanding_per_server
+    }
+
+    /// Where the head-of-line request would go, or `None` if that target
+    /// has no capacity right now.
+    fn choose_target(&self, req: &Req) -> Option<NodeId> {
+        match req.target {
+            // Plain DWCS: statically assigned; if the assigned server has
+            // no connection capacity, the dispatch pipe stalls (head of
+            // line) — the blindness RA-DWCS fixes.
+            Some(server) => self.has_capacity(server).then_some(server),
+            // RA-DWCS: least-loaded server with capacity, per the latest
+            // SysProf reports.
+            None => {
+                let loads = self.loads.borrow();
+                let score = |s: &NodeId| -> f64 {
+                    loads
+                        .load_of(*s)
+                        .map(|l| l.cpu_utilization + l.kernel_time_us / 10_000.0)
+                        .unwrap_or(0.5)
+                };
+                self.servers
+                    .iter()
+                    .copied()
+                    .filter(|s| self.has_capacity(*s))
+                    .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite scores"))
+            }
+        }
+    }
+
+    /// The server a newly arrived request is assigned to in plain mode
+    /// (alternating, like per-request URL prefixes).
+    fn static_target(&mut self) -> Option<NodeId> {
+        if self.resource_aware {
+            None
+        } else {
+            let s = self.servers[self.rr % self.servers.len()];
+            self.rr += 1;
+            Some(s)
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut ProcCtx<'_>) {
+        // Count expirations, then dispatch while capacity exists.
+        let now = ctx.now();
+        let dropped = self.sched.expire(now);
+        {
+            let mut sh = self.shared.borrow_mut();
+            for (stream, _req) in dropped {
+                if stream == self.bids {
+                    sh.bid_dropped += 1;
+                } else {
+                    sh.comment_dropped += 1;
+                }
+            }
+            sh.bid_violations = self.sched.stats(self.bids).violations;
+            sh.comment_violations = self.sched.stats(self.comments).violations;
+        }
+        loop {
+            let head = match self.sched.peek(now) {
+                Some((_stream, head)) => *head,
+                None => break,
+            };
+            let Some(server) = self.choose_target(&head) else {
+                break; // head-of-line: its target (or every server) is full
+            };
+            let (_stream, req) = self.sched.next(now).expect("peeked");
+            let sock = self.socks[&server];
+            let bytes = match req.class {
+                KIND_BID => 512,
+                _ => 1024,
+            };
+            ctx.send(sock, bytes, req.class);
+            *self.outstanding.entry(server).or_insert(0) += 1;
+        }
+    }
+}
+
+impl Program for RubisDriver {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        for &s in &self.servers.clone() {
+            let sock = ctx.connect(s, SERVLET_PORT);
+            self.socks.insert(s, sock);
+        }
+    }
+
+    fn on_connected(&mut self, ctx: &mut ProcCtx<'_>, _sock: SocketId) {
+        self.connected += 1;
+        if self.connected == self.servers.len() && !self.started {
+            self.started = true;
+            {
+                let mut sh = self.shared.borrow_mut();
+                let w = SimDuration::from_secs(1);
+                sh.bid_meter = Some(RateMeter::new(ctx.now(), w));
+                sh.comment_meter = Some(RateMeter::new(ctx.now(), w));
+            }
+            self.arm_arrival(ctx, TOKEN_BID_ARRIVAL);
+            self.arm_arrival(ctx, TOKEN_COMMENT_ARRIVAL);
+            ctx.sleep(SimDuration::from_millis(5), TOKEN_POLL);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProcCtx<'_>, token: u64) {
+        let now = ctx.now();
+        let over = now.saturating_since(SimTime::ZERO) >= self.duration;
+        match token {
+            TOKEN_BID_ARRIVAL
+                if !over => {
+                    let target = self.static_target();
+                    self.sched
+                        .enqueue(self.bids, Req { class: KIND_BID, target }, now);
+                    self.arm_arrival(ctx, TOKEN_BID_ARRIVAL);
+                }
+            TOKEN_COMMENT_ARRIVAL
+                if !over => {
+                    let target = self.static_target();
+                    self.sched
+                        .enqueue(self.comments, Req { class: KIND_COMMENT, target }, now);
+                    self.arm_arrival(ctx, TOKEN_COMMENT_ARRIVAL);
+                }
+            TOKEN_POLL
+                if (!over || self.sched.pending() > 0) => {
+                    ctx.sleep(SimDuration::from_millis(5), TOKEN_POLL);
+                }
+            _ => {}
+        }
+        self.pump(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId, msg: Message) {
+        // A response frees capacity on its server.
+        if let Some((&server, _)) = self.socks.iter().find(|(_, &s)| s == sock) {
+            if let Some(o) = self.outstanding.get_mut(&server) {
+                *o = o.saturating_sub(1);
+            }
+        }
+        {
+            let mut sh = self.shared.borrow_mut();
+            let now = ctx.now();
+            match msg.kind.saturating_sub(RESP_OFFSET) {
+                KIND_BID => {
+                    sh.bid_completed += 1;
+                    if let Some(m) = sh.bid_meter.as_mut() {
+                        m.record(now);
+                    }
+                }
+                KIND_COMMENT => {
+                    sh.comment_completed += 1;
+                    if let Some(m) = sh.comment_meter.as_mut() {
+                        m.record(now);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.pump(ctx);
+    }
+}
+
+/// Kernel sink on the client node that feeds SysProf load reports into
+/// the RA dispatcher's view.
+struct LoadFeed {
+    loads: Rc<RefCell<RaDispatcher>>,
+    decoders: HashMap<EndPoint, ChannelDecoder>,
+}
+
+impl KernelSink for LoadFeed {
+    fn on_message(
+        &mut self,
+        now_wall: SimTime,
+        _node: NodeId,
+        src: EndPoint,
+        _msg: Message,
+        data: Vec<u8>,
+    ) -> KernelOutput {
+        let decoder = self.decoders.entry(src).or_default();
+        for frame in sysprof::split_frames(&data) {
+            if let Ok(Some((_topic, values))) = decoder.decode(frame) {
+                if let Some(load) = LoadRecord::from_values(values.as_slice()) {
+                    self.loads.borrow_mut().update_load(
+                        load.node,
+                        ServerLoad {
+                            cpu_utilization: load.cpu_utilization,
+                            kernel_time_us: load.mean_kernel_us,
+                            reported_at: now_wall,
+                        },
+                    );
+                }
+            }
+        }
+        KernelOutput {
+            cost: SimDuration::from_micros(2),
+            ..Default::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// Runs the RUBiS experiment.
+pub fn run_rubis(config: RubisConfig) -> RubisResult {
+    let monitored = config.monitored || config.resource_aware;
+    let mut world = WorldBuilder::new(config.seed)
+        .node("client")
+        .node("servlet-a")
+        .node("servlet-b")
+        .node("gpa")
+        .full_mesh(LinkSpec::gigabit_lan())
+        .build()
+        .expect("topology");
+    let client = NodeId(0);
+    let servers = vec![NodeId(1), NodeId(2)];
+    let gpa_node = NodeId(3);
+
+    let sysprof = monitored.then(|| {
+        let mut mc = MonitorConfig::default();
+        // Load reports every 50 ms keep RA-DWCS responsive.
+        mc.daemon.flush_interval = SimDuration::from_millis(50);
+        SysProf::deploy(&mut world, &servers, gpa_node, mc)
+    });
+
+    let loads = Rc::new(RefCell::new(RaDispatcher::new(servers.clone())));
+    if config.resource_aware {
+        let sp = sysprof.as_ref().expect("forced on");
+        world.install_sink(
+            client,
+            RA_FEED_PORT,
+            Box::new(LoadFeed {
+                loads: loads.clone(),
+                decoders: HashMap::new(),
+            }),
+        );
+        let reply_to = EndPoint::new(world.network().node_ip(client), RA_FEED_PORT);
+        for &s in &servers {
+            sp.subscribe(&mut world, client, s, LOAD_TOPIC, reply_to, None);
+        }
+    }
+
+    for &s in &servers {
+        world.spawn(s, "servlet", Box::new(ServletServer));
+    }
+
+    // DWCS streams: bidding tight (can lose 1 of 20 deadlines), comments
+    // loose (can lose 3 of 5).
+    let mut sched: Scheduler<Req> = Scheduler::new();
+    let bids = sched.add_stream(StreamSpec {
+        name: "bidding".into(),
+        period: SimDuration::from_millis(150),
+        window: WindowConstraint { x: 1, y: 20 },
+    });
+    let comments = sched.add_stream(StreamSpec {
+        name: "comment".into(),
+        period: SimDuration::from_millis(400),
+        window: WindowConstraint { x: 3, y: 5 },
+    });
+
+    let shared = Rc::new(RefCell::new(DriverShared::default()));
+    world.spawn(
+        client,
+        "httperf+dwcs",
+        Box::new(RubisDriver {
+            servers: servers.clone(),
+            socks: HashMap::new(),
+            connected: 0,
+            sched,
+            bids,
+            comments,
+            rate: config.rate_per_class,
+            duration: config.duration,
+            outstanding: HashMap::new(),
+            resource_aware: config.resource_aware,
+            loads,
+            shared: shared.clone(),
+            rr: 0,
+            max_outstanding_per_server: 8,
+            started: false,
+        }),
+    );
+
+    // The mid-run disturbance: a background job lands on servlet-a.
+    let disturbance_at = config
+        .disturbance_at
+        .unwrap_or(SimDuration::from_nanos(config.duration.as_nanos() / 2));
+    struct DisturbanceSpawner {
+        delay: SimDuration,
+        work: SimDuration,
+    }
+    impl Program for DisturbanceSpawner {
+        fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+            ctx.sleep(self.delay, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut ProcCtx<'_>, _token: u64) {
+            // Three CPU-bound jobs: enough contention that the servlet
+            // can no longer cover its offered load on this server.
+            for i in 0..3 {
+                ctx.spawn(
+                    &format!("background-load-{i}"),
+                    Box::new(ComputeLoop::new(self.work, SimDuration::from_millis(4))),
+                );
+            }
+            ctx.exit();
+        }
+    }
+    world.spawn(
+        servers[0],
+        "disturbance",
+        Box::new(DisturbanceSpawner {
+            delay: disturbance_at,
+            // Enough CPU-bound work to stay saturating past the run's end.
+            work: config.duration,
+        }),
+    );
+
+    world.run_until(SimTime::ZERO + config.duration + SimDuration::from_secs(3));
+
+    let sh = shared.borrow();
+    let half_sec = disturbance_at.as_secs_f64();
+    let outcome = |meter: &Option<RateMeter>, completed, dropped, violations| {
+        let series: Vec<(f64, f64)> = meter
+            .as_ref()
+            .map(|m| {
+                m.rates_per_sec()
+                    .into_iter()
+                    .map(|(t, r)| (t.as_secs_f64(), r))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let duration_s = config.duration.as_secs_f64();
+        let in_run: Vec<&(f64, f64)> = series.iter().filter(|(t, _)| *t < duration_s).collect();
+        let first: Vec<f64> = in_run
+            .iter()
+            .filter(|(t, _)| *t < half_sec)
+            .map(|(_, r)| *r)
+            .collect();
+        let second: Vec<f64> = in_run
+            .iter()
+            .filter(|(t, _)| *t >= half_sec)
+            .map(|(_, r)| *r)
+            .collect();
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        ClassOutcome {
+            mean_rps: completed as f64 / duration_s,
+            first_half_rps: mean(&first),
+            second_half_rps: mean(&second),
+            completed,
+            dropped,
+            violations,
+            series,
+        }
+    };
+
+    let bid = outcome(&sh.bid_meter, sh.bid_completed, sh.bid_dropped, sh.bid_violations);
+    let comment = outcome(
+        &sh.comment_meter,
+        sh.comment_completed,
+        sh.comment_dropped,
+        sh.comment_violations,
+    );
+    let total_rps = bid.mean_rps + comment.mean_rps;
+
+    let server_overhead_fraction = match &sysprof {
+        Some(sp) => {
+            servers
+                .iter()
+                .map(|&s| sp.overhead_fraction(&world, s))
+                .sum::<f64>()
+                / servers.len() as f64
+        }
+        None => 0.0,
+    };
+
+    RubisResult {
+        bid,
+        comment,
+        total_rps,
+        server_overhead_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(ra: bool, seed: u64) -> RubisResult {
+        run_rubis(RubisConfig {
+            resource_aware: ra,
+            monitored: ra,
+            duration: SimDuration::from_secs(20),
+            rate_per_class: 150.0,
+            disturbance_at: None,
+            seed,
+        })
+    }
+
+    #[test]
+    fn throughput_approaches_offered_load_before_disturbance() {
+        let r = quick(false, 3);
+        assert!(
+            r.bid.first_half_rps > 120.0,
+            "bid first half {}",
+            r.bid.first_half_rps
+        );
+        assert!(
+            r.comment.first_half_rps > 120.0,
+            "comment first half {}",
+            r.comment.first_half_rps
+        );
+    }
+
+    #[test]
+    fn plain_dwcs_degrades_after_disturbance() {
+        let r = quick(false, 3);
+        assert!(
+            r.bid.second_half_rps < r.bid.first_half_rps - 5.0,
+            "bid {} -> {}",
+            r.bid.first_half_rps,
+            r.bid.second_half_rps
+        );
+        assert!(r.bid.dropped + r.comment.dropped > 0, "DWCS must drop under overload");
+    }
+
+    #[test]
+    fn ra_dwcs_protects_the_bidding_class() {
+        let plain = quick(false, 3);
+        let ra = quick(true, 3);
+        assert!(
+            ra.bid.second_half_rps > plain.bid.second_half_rps,
+            "ra {} vs plain {}",
+            ra.bid.second_half_rps,
+            plain.bid.second_half_rps
+        );
+        assert!(
+            ra.total_rps > plain.total_rps,
+            "ra total {} vs plain {}",
+            ra.total_rps,
+            plain.total_rps
+        );
+    }
+
+    #[test]
+    fn monitoring_cost_is_small() {
+        let ra = quick(true, 4);
+        assert!(
+            ra.server_overhead_fraction < 0.02,
+            "overhead {}",
+            ra.server_overhead_fraction
+        );
+    }
+}

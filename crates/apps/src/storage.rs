@@ -1,0 +1,439 @@
+//! The shared virtual storage service of §3.2 (Figures 4 and 5).
+//!
+//! Topology: Iozone-like clients → user-level NFS **proxy** → back-end
+//! NFS **servers** (in-kernel daemons doing synchronous disk writes, per
+//! NFSv2 semantics). "The back-end storage servers are hidden from the
+//! client's view by a user-level proxy that interposes every request."
+//!
+//! SysProf monitors the proxy and one back-end; the experiment sweeps the
+//! number of Iozone writer threads and reads, from the GPA:
+//!
+//! * Figure 4 — average time client↔proxy interactions spend at the proxy,
+//!   split user vs kernel: user stays flat (the proxy does constant work
+//!   per request), kernel grows (requests queue in the proxy's socket
+//!   buffers as traffic rises);
+//! * Figure 5 — average time proxy↔server interactions spend in the
+//!   back-end's kernel: an order of magnitude above the proxy (the disk
+//!   is the real bottleneck), also growing with load.
+
+use std::collections::{HashMap, VecDeque};
+
+use kprof::FileId;
+use serde::Serialize;
+use simcore::{NodeId, SimDuration, SimTime};
+use simnet::{LinkSpec, Port};
+use simos::{Message, ProcCtx, Program, SocketId, WorldBuilder};
+use sysprof::{MonitorConfig, SysProf};
+
+/// Client→proxy and proxy→backend request port numbers.
+pub const PROXY_PORT: Port = Port(2049);
+/// Back-end NFS server port.
+pub const BACKEND_PORT: Port = Port(2050);
+
+const KIND_WRITE_REQ: u32 = 1;
+const KIND_WRITE_RESP: u32 = 2;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Iozone writer threads per client node.
+    pub threads_per_client: usize,
+    /// Client nodes (the paper uses two).
+    pub clients: usize,
+    /// Back-end NFS servers.
+    pub backends: usize,
+    /// Iozone record size (bytes written per request).
+    pub record_bytes: u64,
+    /// Measurement duration.
+    pub duration: SimDuration,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            threads_per_client: 4,
+            clients: 2,
+            backends: 2,
+            record_bytes: 8 * 1024,
+            duration: SimDuration::from_secs(20),
+            seed: 1,
+        }
+    }
+}
+
+/// Measured outcome of one storage run.
+#[derive(Debug, Clone, Serialize)]
+pub struct StorageResult {
+    /// Mean user-level time per client↔proxy interaction at the proxy, ms.
+    pub proxy_user_ms: f64,
+    /// Mean kernel-level time per client↔proxy interaction at the proxy,
+    /// ms (in + out paths, dominated by socket-buffer queueing).
+    pub proxy_kernel_ms: f64,
+    /// Mean kernel time per proxy↔backend interaction at the measured
+    /// back-end, ms.
+    pub backend_kernel_ms: f64,
+    /// Interactions measured at the proxy.
+    pub proxy_interactions: u64,
+    /// Interactions measured at the back-end.
+    pub backend_interactions: u64,
+    /// Requests completed by all Iozone threads.
+    pub requests_completed: u64,
+    /// Estimated network round-trip between client and proxy, ms (the
+    /// paper reports < 0.3 ms, "insignificant").
+    pub network_rtt_ms: f64,
+    /// Monitoring overhead fraction on the proxy node.
+    pub proxy_overhead_fraction: f64,
+}
+
+// ---------------------------------------------------------------------
+// Programs
+// ---------------------------------------------------------------------
+
+/// One Iozone writer thread: a closed loop of write requests to the proxy.
+struct IozoneThread {
+    proxy: NodeId,
+    record_bytes: u64,
+    sock: Option<SocketId>,
+    completed: std::rc::Rc<std::cell::Cell<u64>>,
+    deadline: SimTime,
+}
+
+impl Program for IozoneThread {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.connect(self.proxy, PROXY_PORT);
+    }
+
+    fn on_connected(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId) {
+        self.sock = Some(sock);
+        ctx.send(sock, self.record_bytes, KIND_WRITE_REQ);
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId, _msg: Message) {
+        self.completed.set(self.completed.get() + 1);
+        if ctx.now() >= self.deadline {
+            ctx.exit();
+            return;
+        }
+        // Write/re-write: immediately issue the next record.
+        ctx.send(sock, self.record_bytes, KIND_WRITE_REQ);
+    }
+}
+
+/// The user-level NFS proxy: interposes every request. Each client
+/// connection gets its own back-end connection (the proxy interposes the
+/// client's NFS mount 1:1), so flows are never multiplexed — exactly the
+/// structure that lets SysProf's black-box message-pairing work cleanly.
+/// Per-request processing cost is constant, which is why the proxy's
+/// *user* time in Figure 4 stays flat while its kernel time grows.
+struct NfsProxy {
+    backends: Vec<NodeId>,
+    /// client socket -> backend socket (and reverse).
+    to_backend: HashMap<SocketId, SocketId>,
+    to_client: HashMap<SocketId, SocketId>,
+    /// Client requests queued while their backend connection establishes.
+    awaiting_conn: HashMap<SocketId, VecDeque<u64>>,
+    /// backend socket -> client socket, for connections in progress.
+    conn_client: HashMap<SocketId, SocketId>,
+    next_backend: usize,
+    /// Per-request parse/validate compute at user level.
+    parse_cost: SimDuration,
+    /// Per-response relay compute at user level.
+    relay_cost: SimDuration,
+    record_bytes: u64,
+}
+
+impl NfsProxy {
+    fn new(backends: Vec<NodeId>, record_bytes: u64) -> Self {
+        NfsProxy {
+            backends,
+            to_backend: HashMap::new(),
+            to_client: HashMap::new(),
+            awaiting_conn: HashMap::new(),
+            conn_client: HashMap::new(),
+            next_backend: 0,
+            parse_cost: SimDuration::from_micros(300),
+            relay_cost: SimDuration::from_micros(100),
+            record_bytes,
+        }
+    }
+}
+
+impl Program for NfsProxy {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.listen(PROXY_PORT);
+    }
+
+    fn on_connected(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId) {
+        // A backend connection is ready: flush queued client requests.
+        let Some(client) = self.conn_client.remove(&sock) else {
+            return;
+        };
+        self.to_backend.insert(client, sock);
+        self.to_client.insert(sock, client);
+        if let Some(queued) = self.awaiting_conn.remove(&client) {
+            for _req in queued {
+                ctx.compute(self.parse_cost);
+                ctx.send(sock, self.record_bytes, KIND_WRITE_REQ);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId, msg: Message) {
+        if let Some(&client) = self.to_client.get(&sock) {
+            // Response from a back-end: relay to the paired client.
+            ctx.compute(self.relay_cost);
+            ctx.send(client, msg.bytes.max(128), KIND_WRITE_RESP);
+        } else if let Some(&backend) = self.to_backend.get(&sock) {
+            // Known client: parse and forward on its own backend flow.
+            ctx.compute(self.parse_cost);
+            ctx.send(backend, msg.bytes, KIND_WRITE_REQ);
+        } else if let Some(queue) = self.awaiting_conn.get_mut(&sock) {
+            // Backend connection still establishing.
+            queue.push_back(msg.msg_id);
+        } else {
+            // First request from a new client: open its backend flow.
+            let b = self.backends[self.next_backend % self.backends.len()];
+            self.next_backend += 1;
+            let bsock = ctx.connect(b, BACKEND_PORT);
+            self.conn_client.insert(bsock, sock);
+            self.awaiting_conn
+                .entry(sock)
+                .or_default()
+                .push_back(msg.msg_id);
+        }
+    }
+}
+
+/// A back-end NFS server: an in-kernel daemon ("the NFS server ran as
+/// kernel daemon, no time was spent by the request at the user level")
+/// doing a synchronous disk write per request.
+struct NfsServer {
+    next_token: u64,
+    inflight: HashMap<u64, (SocketId, u64)>,
+}
+
+impl NfsServer {
+    fn new() -> Self {
+        NfsServer {
+            next_token: 0,
+            inflight: HashMap::new(),
+        }
+    }
+}
+
+impl Program for NfsServer {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.listen(BACKEND_PORT);
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId, msg: Message) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.inflight.insert(token, (sock, msg.msg_id));
+        // NFSv2 semantics: the write must be stable before the reply.
+        ctx.write_file(FileId(msg.msg_id % 64), msg.bytes, true, token);
+    }
+
+    fn on_io_done(&mut self, ctx: &mut ProcCtx<'_>, token: u64) {
+        if let Some((sock, req_id)) = self.inflight.remove(&token) {
+            ctx.send_with_id(sock, 128, KIND_WRITE_RESP, req_id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// A built storage-service world, before running: lets callers inject
+/// faults, turn controller knobs, or add probes mid-scenario.
+pub struct StorageWorld {
+    /// The simulation.
+    pub world: WorldBuilderOutput,
+    /// The deployed monitor.
+    pub sysprof: SysProf,
+    /// The proxy node.
+    pub proxy_node: NodeId,
+    /// The back-end NFS server nodes.
+    pub backend_nodes: Vec<NodeId>,
+    /// The GPA node.
+    pub gpa_node: NodeId,
+    /// Requests completed by all Iozone threads (shared counter).
+    pub completed: std::rc::Rc<std::cell::Cell<u64>>,
+    /// When the client threads stop issuing requests.
+    pub deadline: SimTime,
+}
+
+/// Alias so the struct field reads naturally.
+pub type WorldBuilderOutput = simos::World;
+
+/// Builds the §3.2 topology with SysProf deployed on the proxy and every
+/// back-end, clients ready to run. Callers drive `world` themselves.
+pub fn build_storage_world(config: &StorageConfig) -> StorageWorld {
+    let mut builder = WorldBuilder::new(config.seed);
+    // Node layout: clients, then proxy, then backends, then GPA.
+    for i in 0..config.clients {
+        builder = builder.node(&format!("client{i}"));
+    }
+    builder = builder.node("proxy");
+    for i in 0..config.backends {
+        builder = builder.node(&format!("nfs{i}"));
+    }
+    builder = builder.node("gpa");
+    let mut world = builder.full_mesh(LinkSpec::gigabit_lan()).build().expect("topology");
+
+    let proxy_node = NodeId(config.clients as u32);
+    let backend_nodes: Vec<NodeId> = (0..config.backends)
+        .map(|i| NodeId((config.clients + 1 + i) as u32))
+        .collect();
+    let gpa_node = NodeId((config.clients + 1 + config.backends) as u32);
+
+    // Monitor the proxy and every back-end.
+    let mut monitored = vec![proxy_node];
+    monitored.extend(backend_nodes.iter().copied());
+    let sysprof = SysProf::deploy(&mut world, &monitored, gpa_node, MonitorConfig::default());
+
+    world.spawn(
+        proxy_node,
+        "nfs-proxy",
+        Box::new(NfsProxy::new(backend_nodes.clone(), config.record_bytes)),
+    );
+    for &b in &backend_nodes {
+        world.spawn_kernel_daemon(b, "nfsd", Box::new(NfsServer::new()));
+    }
+
+    let completed = std::rc::Rc::new(std::cell::Cell::new(0u64));
+    let deadline = SimTime::ZERO + config.duration;
+    for c in 0..config.clients {
+        for t in 0..config.threads_per_client {
+            world.spawn(
+                NodeId(c as u32),
+                &format!("iozone-{c}-{t}"),
+                Box::new(IozoneThread {
+                    proxy: proxy_node,
+                    record_bytes: config.record_bytes,
+                    sock: None,
+                    completed: completed.clone(),
+                    deadline,
+                }),
+            );
+        }
+    }
+
+    StorageWorld {
+        world,
+        sysprof,
+        proxy_node,
+        backend_nodes,
+        gpa_node,
+        completed,
+        deadline,
+    }
+}
+
+/// Runs the virtual-storage experiment and reads the Figure 4/5 metrics
+/// from the GPA.
+pub fn run_storage(config: StorageConfig) -> StorageResult {
+    let sw = build_storage_world(&config);
+    let StorageWorld {
+        mut world,
+        sysprof,
+        proxy_node,
+        backend_nodes,
+        completed,
+        deadline,
+        ..
+    } = sw;
+
+    world.run_until(deadline + SimDuration::from_secs(2));
+
+    let gpa = sysprof.gpa();
+    let gpa = gpa.borrow();
+    let proxy_summary = gpa.class_summary(proxy_node, PROXY_PORT);
+    let backend_summary = gpa.class_summary(backend_nodes[0], BACKEND_PORT);
+
+    let (proxy_user_ms, proxy_kernel_ms, proxy_interactions) = proxy_summary
+        .map(|s| (
+            s.mean_user_us / 1e3,
+            (s.mean_kernel_in_us + s.mean_kernel_out_us) / 1e3,
+            s.count,
+        ))
+        .unwrap_or((0.0, 0.0, 0));
+    let (backend_kernel_ms, backend_interactions) = backend_summary
+        .map(|s| ((s.mean_kernel_in_us + s.mean_kernel_out_us) / 1e3, s.count))
+        .unwrap_or((0.0, 0));
+
+    StorageResult {
+        proxy_user_ms,
+        proxy_kernel_ms,
+        backend_kernel_ms,
+        proxy_interactions,
+        backend_interactions,
+        requests_completed: completed.get(),
+        network_rtt_ms: world
+            .network()
+            .estimated_rtt(NodeId(0), proxy_node)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(0.0),
+        proxy_overhead_fraction: sysprof.overhead_fraction(&world, proxy_node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(threads: usize) -> StorageResult {
+        run_storage(StorageConfig {
+            threads_per_client: threads,
+            duration: SimDuration::from_secs(5),
+            ..StorageConfig::default()
+        })
+    }
+
+    #[test]
+    fn requests_flow_end_to_end() {
+        let r = quick(2);
+        assert!(r.requests_completed > 50, "completed {}", r.requests_completed);
+        assert!(r.proxy_interactions > 10, "proxy saw {}", r.proxy_interactions);
+        assert!(r.backend_interactions > 10, "backend saw {}", r.backend_interactions);
+    }
+
+    #[test]
+    fn backend_dominates_proxy_by_an_order_of_magnitude() {
+        let r = quick(4);
+        assert!(
+            r.backend_kernel_ms > 5.0 * (r.proxy_user_ms + r.proxy_kernel_ms),
+            "backend {} ms vs proxy {} ms",
+            r.backend_kernel_ms,
+            r.proxy_user_ms + r.proxy_kernel_ms
+        );
+    }
+
+    #[test]
+    fn proxy_user_time_is_flat_while_kernel_grows() {
+        let low = quick(1);
+        let high = quick(8);
+        // User time roughly constant (within 3x), kernel time grows.
+        assert!(
+            high.proxy_user_ms < low.proxy_user_ms * 3.0 + 0.05,
+            "user {} -> {}",
+            low.proxy_user_ms,
+            high.proxy_user_ms
+        );
+        assert!(
+            high.proxy_kernel_ms > low.proxy_kernel_ms,
+            "kernel {} -> {}",
+            low.proxy_kernel_ms,
+            high.proxy_kernel_ms
+        );
+    }
+
+    #[test]
+    fn network_rtt_is_insignificant() {
+        let r = quick(1);
+        assert!(r.network_rtt_ms < 0.3, "rtt {} ms", r.network_rtt_ms);
+    }
+}

@@ -1,0 +1,57 @@
+//! End-to-end experiment benchmarks: each paper table/figure as one
+//! Criterion measurement (wall time of the whole reproduced experiment at
+//! reduced duration), so regressions in simulator performance show up in
+//! CI. The experiment *results* are produced by the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::SimDuration;
+use simnet::LinkSpec;
+use sysprof_apps::rubis::{run_rubis, RubisConfig};
+use sysprof_apps::storage::{run_storage, StorageConfig};
+use sysprof_apps::{run_iperf, run_linpack};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+
+    g.bench_function("e1_linpack_monitored", |b| {
+        b.iter(|| std::hint::black_box(run_linpack(true, 1)));
+    });
+
+    g.bench_function("e2_iperf_gigabit_monitored_500ms", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_iperf(
+                LinkSpec::gigabit_lan(),
+                true,
+                SimDuration::from_millis(500),
+                1,
+            ))
+        });
+    });
+
+    g.bench_function("f4_storage_4threads_3s", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_storage(StorageConfig {
+                threads_per_client: 4,
+                duration: SimDuration::from_secs(3),
+                ..StorageConfig::default()
+            }))
+        });
+    });
+
+    g.bench_function("f7_rubis_ra_5s", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_rubis(RubisConfig {
+                resource_aware: true,
+                monitored: true,
+                duration: SimDuration::from_secs(5),
+                ..RubisConfig::default()
+            }))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

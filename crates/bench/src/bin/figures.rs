@@ -1,0 +1,211 @@
+//! Regenerates every table and figure of the SysProf paper's evaluation
+//! (§3) and prints paper-style tables. Results are also written as JSON
+//! under `results/`.
+//!
+//! ```text
+//! figures [--exp e1|e2|t0|f4|f5|f6|f7|cost|all] [--quick] [--seed N]
+//! ```
+//!
+//! `--quick` shortens run durations ~4× (for CI); default durations match
+//! the experiment configs used in EXPERIMENTS.md.
+
+use std::io::Write;
+
+use simcore::SimDuration;
+use sysprof_bench::*;
+
+struct Opts {
+    exp: String,
+    quick: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        exp: "all".to_owned(),
+        quick: false,
+        seed: 42,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--exp" => opts.exp = args.next().unwrap_or_else(|| "all".into()),
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(42)
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: figures [--exp e1|e2|t0|f4|f5|f6|f7|cost|all] [--quick] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn save_json(name: &str, value: &impl serde::Serialize) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(serde_json::to_string_pretty(value).expect("serializes").as_bytes());
+        println!("  -> wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let q = |full_s: u64, quick_s: u64| {
+        SimDuration::from_secs(if opts.quick { quick_s } else { full_s })
+    };
+    let want = |id: &str| opts.exp == "all" || opts.exp == id || (id == "f4" && opts.exp == "f5");
+
+    if want("e1") {
+        println!("== E1: linpack microbenchmark (§3.1) ==");
+        println!("paper: no change in MFLOPS with SysProf enabled");
+        let r = exp_e1_linpack(opts.seed);
+        println!(
+            "  SysProf off: {:>8.1} MFLOPS   (events on node: {})",
+            r.off.mflops, r.off.events_generated
+        );
+        println!(
+            "  SysProf on : {:>8.1} MFLOPS   (events on node: {}, overhead {:.3}%)",
+            r.on.mflops,
+            r.on.events_generated,
+            r.on.overhead_fraction * 100.0
+        );
+        println!(
+            "  change: {:+.3}%",
+            (r.on.mflops / r.off.mflops - 1.0) * 100.0
+        );
+        save_json("e1_linpack", &r);
+        println!();
+    }
+
+    if want("e2") {
+        println!("== E2: Iperf bandwidth microbenchmark (§3.1) ==");
+        println!("paper: 1 Gbps 930 -> 810 Mbps (~13%); 100 Mbps: ~3%");
+        let r = exp_e2_iperf(q(10, 2), opts.seed);
+        println!(
+            "  1 Gbps  : off {:>6.1} Mbps  on {:>6.1} Mbps  overhead {:>5.1}%  (receiver cpu {:.0}%, monitoring traffic {} B)",
+            r.gigabit_off.goodput_mbps,
+            r.gigabit_on.goodput_mbps,
+            r.gigabit_overhead() * 100.0,
+            r.gigabit_off.receiver_cpu_utilization * 100.0,
+            r.gigabit_on.monitor_bytes_sent
+        );
+        println!(
+            "  100 Mbps: off {:>6.1} Mbps  on {:>6.1} Mbps  overhead {:>5.1}%",
+            r.fast_ethernet_off.goodput_mbps,
+            r.fast_ethernet_on.goodput_mbps,
+            r.fast_ethernet_overhead() * 100.0
+        );
+        save_json("e2_iperf", &r);
+        println!();
+    }
+
+    if want("t0") {
+        println!("== T0: monitoring-granularity sweep (§3.1 '<1% … >10%') ==");
+        let rows = exp_t0_granularity(q(5, 2), opts.seed);
+        println!("  {:<18} {:>10} {:>10} {:>12}", "level", "Mbps", "overhead", "events");
+        for row in &rows {
+            println!(
+                "  {:<18} {:>10.1} {:>9.2}% {:>12}",
+                row.level,
+                row.goodput_mbps,
+                row.overhead_fraction * 100.0,
+                row.events
+            );
+        }
+        save_json("t0_granularity", &rows);
+        println!();
+    }
+
+    if want("f4") || want("f5") {
+        println!("== Figures 4 & 5: virtual storage service (§3.2) ==");
+        println!("paper: proxy user flat, proxy kernel grows; back-end kernel >10x proxy; RTT < 0.3 ms");
+        let rows = exp_f4_f5_storage(q(20, 5), opts.seed);
+        println!(
+            "  {:>7} | {:>14} {:>16} | {:>18} | {:>8} {:>9}",
+            "threads", "proxy user ms", "proxy kernel ms", "backend kernel ms", "reqs", "rtt ms"
+        );
+        for row in &rows {
+            let r = &row.result;
+            println!(
+                "  {:>7} | {:>14.3} {:>16.3} | {:>18.2} | {:>8} {:>9.3}",
+                row.threads,
+                r.proxy_user_ms,
+                r.proxy_kernel_ms,
+                r.backend_kernel_ms,
+                r.requests_completed,
+                r.network_rtt_ms
+            );
+        }
+        save_json("f4_f5_storage", &rows);
+        println!();
+    }
+
+    if want("f6") {
+        println!("== Figure 6: plain DWCS on RUBiS (§3.3) ==");
+        println!("paper: bidding avg 145/s, comment avg 134/s of 150/s offered; degradation after mid-run load");
+        let r = exp_f6_dwcs(q(60, 20), opts.seed);
+        print_rubis("plain DWCS", &r);
+        save_json("f6_dwcs", &r);
+        println!();
+    }
+
+    if want("f7") {
+        println!("== Figure 7: RA-DWCS on RUBiS (§3.3) ==");
+        println!("paper: bidding class nearly unaffected; >14% aggregate gain over plain DWCS");
+        let plain = exp_f6_dwcs(q(60, 20), opts.seed);
+        let ra = exp_f7_ra_dwcs(q(60, 20), opts.seed);
+        print_rubis("plain DWCS", &plain);
+        print_rubis("RA-DWCS", &ra);
+        println!(
+            "  aggregate gain: {:+.1}%  (plain {:.1} -> RA {:.1} responses/s)",
+            (ra.total_rps / plain.total_rps - 1.0) * 100.0,
+            plain.total_rps,
+            ra.total_rps
+        );
+        println!(
+            "  SysProf overhead on servlet servers: {:.2}%",
+            ra.server_overhead_fraction * 100.0
+        );
+        save_json("f7_ra_dwcs", &ra);
+        println!();
+    }
+
+    if want("cost") {
+        println!("== Monitoring cost on RUBiS (§3.3 '<2%') ==");
+        let (off, on) = exp_monitoring_cost_on_rubis(q(60, 20), opts.seed);
+        println!(
+            "  unmonitored total: {:.1}/s   monitored total: {:.1}/s   decrease {:.2}%",
+            off.total_rps,
+            on.total_rps,
+            (1.0 - on.total_rps / off.total_rps) * 100.0
+        );
+        println!(
+            "  monitoring CPU on servers: {:.2}%",
+            on.server_overhead_fraction * 100.0
+        );
+        save_json("cost_rubis", &(off, on));
+        println!();
+    }
+}
+
+fn print_rubis(name: &str, r: &sysprof_apps::RubisResult) {
+    println!(
+        "  {:<11} bidding: {:>5.1}/s avg ({:>5.1} before, {:>5.1} after disturbance, {} dropped)",
+        name, r.bid.mean_rps, r.bid.first_half_rps, r.bid.second_half_rps, r.bid.dropped
+    );
+    println!(
+        "  {:<11} comment: {:>5.1}/s avg ({:>5.1} before, {:>5.1} after disturbance, {} dropped)",
+        "", r.comment.mean_rps, r.comment.first_half_rps, r.comment.second_half_rps, r.comment.dropped
+    );
+}

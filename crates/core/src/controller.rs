@@ -1,0 +1,122 @@
+//! The SysProf controller: runtime regulation of monitoring granularity.
+//!
+//! "The SysProf controller regulates the granularity and the amounts of
+//! information monitored and analyzed by SysProf. It can instruct the
+//! LPAs to collect statistics for some client class rather than for
+//! individual interactions. It can change the sizes of internal LPA
+//! buffers. It provides a management interface for SysProf." (§2)
+
+use kprof::{AnalyzerId, EventMask};
+use simcore::NodeId;
+use simos::World;
+
+use crate::lpa::{Lpa, LpaConfig};
+
+/// Monitoring granularity levels, coarse → fine. Each level trades
+/// diagnostic detail against perturbation (the "<1% … >10%" range of
+/// §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorLevel {
+    /// Monitoring disabled: instrumentation points cost only the
+    /// disabled-hook branch.
+    Off,
+    /// Per-class aggregates only; network events, no scheduling
+    /// attribution, nothing staged per interaction.
+    ClassAggregates,
+    /// Per-interaction records with network events only (no user/blocked
+    /// attribution).
+    Interactions,
+    /// Per-interaction records with full scheduling attribution.
+    Full,
+}
+
+/// The management interface. Stateless: every method applies a change to
+/// a node's monitoring configuration through the world.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Controller;
+
+impl Controller {
+    /// Creates a controller.
+    pub fn new() -> Self {
+        Controller
+    }
+
+    /// Applies a monitoring level to a node's LPA. Returns false if the
+    /// analyzer id is not an LPA on that node.
+    pub fn set_level(
+        &self,
+        world: &mut World,
+        node: NodeId,
+        lpa: AnalyzerId,
+        level: MonitorLevel,
+    ) -> bool {
+        let kprof = world.kprof_mut(node);
+        match level {
+            MonitorLevel::Off => kprof.set_active(lpa, false),
+            MonitorLevel::ClassAggregates | MonitorLevel::Interactions | MonitorLevel::Full => {
+                let ok = {
+                    let Some(l) = kprof.analyzer_as_mut::<Lpa>(lpa) else {
+                        return false;
+                    };
+                    let mut cfg = l.config().clone();
+                    cfg.class_only = level == MonitorLevel::ClassAggregates;
+                    cfg.track_scheduling = level == MonitorLevel::Full;
+                    l.reconfigure(cfg);
+                    true
+                };
+                ok && kprof.set_active(lpa, true) && kprof.update_interest(lpa)
+            }
+        }
+    }
+
+    /// Changes the LPA's buffer/window size ("it can change the sizes of
+    /// internal LPA buffers"). Returns false if the analyzer is not an
+    /// LPA.
+    pub fn set_window(
+        &self,
+        world: &mut World,
+        node: NodeId,
+        lpa: AnalyzerId,
+        window: usize,
+    ) -> bool {
+        let Some(l) = world.kprof_mut(node).analyzer_as_mut::<Lpa>(lpa) else {
+            return false;
+        };
+        let mut cfg = l.config().clone();
+        cfg.window = window.max(1);
+        l.reconfigure(cfg);
+        true
+    }
+
+    /// Restricts the LPA to specific service ports (predicate pruning),
+    /// or clears the restriction with `None`.
+    pub fn set_service_ports(
+        &self,
+        world: &mut World,
+        node: NodeId,
+        lpa: AnalyzerId,
+        ports: Option<Vec<simnet::Port>>,
+    ) -> bool {
+        let Some(l) = world.kprof_mut(node).analyzer_as_mut::<Lpa>(lpa) else {
+            return false;
+        };
+        let mut cfg = l.config().clone();
+        cfg.service_ports = ports.map(|p| p.into_iter().collect());
+        l.reconfigure(cfg);
+        true
+    }
+
+    /// Sets the node's global event gate (the big switch above all
+    /// analyzers).
+    pub fn set_global_mask(&self, world: &mut World, node: NodeId, mask: EventMask) {
+        world.kprof_mut(node).set_global_mask(mask);
+    }
+
+    /// The current LPA configuration, if the analyzer is an LPA.
+    pub fn lpa_config(&self, world: &World, node: NodeId, lpa: AnalyzerId) -> Option<LpaConfig> {
+        world
+            .kprof(node)
+            .analyzer_as::<Lpa>(lpa)
+            .map(|l| l.config().clone())
+    }
+}

@@ -1,0 +1,321 @@
+//! Custom Performance Analyzers (CPAs): runtime-installable E-Code
+//! analyzers.
+//!
+//! "In addition to the statically defined LPAs, custom analyzers can be
+//! dynamically created and downloaded into the kernel. CPAs function just
+//! like normal LPAs, including registering of callbacks with Kprof …
+//! CPAs are specified in the form of E-Code (a language subset of C),
+//! compiled through run-time code generation." (§2)
+//!
+//! Every event delivered to a CPA runs its program once over the event's
+//! fields; the VM's fuel consumption converts to CPU time charged as
+//! monitoring overhead. Programs accumulate state in `static` variables,
+//! flag events by returning nonzero, and publish computed metrics with
+//! `out(slot, value)`.
+
+use ecode::{EcodeError, Instance, Program, RunOutcome, Type, Value};
+use kprof::{Analyzer, AnalyzerOutcome, Event, EventMask, EventPayload, Interest, Predicate};
+use simcore::SimDuration;
+
+/// The per-event inputs every CPA program sees, in order:
+///
+/// | name       | meaning                                              |
+/// |------------|------------------------------------------------------|
+/// | `kind`     | [`kprof::EventKind`] discriminant (0–19)             |
+/// | `pid`      | process id, 0 when unknown                           |
+/// | `wall_us`  | node wall-clock timestamp, µs                        |
+/// | `size`     | packet wire bytes (network events), else 0           |
+/// | `aux`      | syscall kernel time µs / file or block I/O bytes     |
+/// | `port_src` | network flow source port, else 0                     |
+/// | `port_dst` | network flow destination port, else 0                |
+pub const EVENT_INPUTS: [(&str, Type); 7] = [
+    ("kind", Type::Int),
+    ("pid", Type::Int),
+    ("wall_us", Type::Int),
+    ("size", Type::Int),
+    ("aux", Type::Int),
+    ("port_src", Type::Int),
+    ("port_dst", Type::Int),
+];
+
+/// Error installing a CPA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpaError(pub EcodeError);
+
+impl std::fmt::Display for CpaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cpa compile error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CpaError {}
+
+/// A custom analyzer: an E-Code program behind the [`Analyzer`] interface.
+pub struct CpaAnalyzer {
+    name: String,
+    instance: Instance,
+    mask: EventMask,
+    predicate: Predicate,
+    fuel_budget: u64,
+    ns_per_instr: f64,
+    /// Events whose program run returned nonzero.
+    flagged: u64,
+    events: u64,
+    aborted: u64,
+    /// Latest value written to each output slot.
+    outputs: std::collections::BTreeMap<i64, f64>,
+}
+
+impl CpaAnalyzer {
+    /// Compiles `source` and wraps it as an analyzer subscribed to `mask`.
+    ///
+    /// # Errors
+    ///
+    /// [`CpaError`] if the source does not compile against
+    /// [`EVENT_INPUTS`].
+    pub fn compile(name: &str, source: &str, mask: EventMask) -> Result<CpaAnalyzer, CpaError> {
+        let program = Program::compile(source, &EVENT_INPUTS).map_err(CpaError)?;
+        Ok(CpaAnalyzer {
+            name: name.to_owned(),
+            instance: Instance::new(&program),
+            mask,
+            predicate: Predicate::new(),
+            fuel_budget: 2_000,
+            ns_per_instr: 2.0,
+            flagged: 0,
+            events: 0,
+            aborted: 0,
+            outputs: Default::default(),
+        })
+    }
+
+    /// Adds a Kprof pruning predicate.
+    #[must_use]
+    pub fn with_predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Overrides the per-event fuel budget (default 2000 instructions).
+    #[must_use]
+    pub fn with_fuel_budget(mut self, fuel: u64) -> Self {
+        self.fuel_budget = fuel;
+        self
+    }
+
+    /// Events processed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Events the program flagged (returned nonzero for).
+    pub fn flagged(&self) -> u64 {
+        self.flagged
+    }
+
+    /// Runs aborted for exceeding the fuel budget.
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+
+    /// Latest value published to an output slot.
+    pub fn output(&self, slot: i64) -> Option<f64> {
+        self.outputs.get(&slot).copied()
+    }
+
+    /// A static variable's current value.
+    pub fn global(&self, name: &str) -> Option<Value> {
+        self.instance.global(name)
+    }
+
+    fn inputs_for(event: &Event) -> [Value; 7] {
+        let kind = event.kind() as u8 as i64;
+        let pid = event.payload.pid().map(|p| p.0 as i64).unwrap_or(0);
+        let wall = event.wall.as_micros() as i64;
+        let (size, ports) = match &event.payload {
+            EventPayload::Net { size, flow, .. } => (
+                *size as i64,
+                (flow.src.port.0 as i64, flow.dst.port.0 as i64),
+            ),
+            _ => (0, (0, 0)),
+        };
+        let aux = match &event.payload {
+            EventPayload::SyscallExit { kernel_time, .. } => kernel_time.as_micros() as i64,
+            EventPayload::FileRead { bytes, .. }
+            | EventPayload::FileWrite { bytes, .. }
+            | EventPayload::BlockIoStart { bytes, .. }
+            | EventPayload::BlockIoComplete { bytes, .. } => *bytes as i64,
+            _ => 0,
+        };
+        [
+            Value::Int(kind),
+            Value::Int(pid),
+            Value::Int(wall),
+            Value::Int(size),
+            Value::Int(aux),
+            Value::Int(ports.0),
+            Value::Int(ports.1),
+        ]
+    }
+}
+
+impl Analyzer for CpaAnalyzer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn interest(&self) -> Interest {
+        Interest {
+            mask: self.mask,
+            predicate: self.predicate.clone(),
+        }
+    }
+
+    fn on_event(&mut self, event: &Event) -> AnalyzerOutcome {
+        self.events += 1;
+        let inputs = Self::inputs_for(event);
+        let (fuel_used, outcome): (u64, Option<RunOutcome>) =
+            match self.instance.run(&inputs, self.fuel_budget) {
+                Ok(out) => (out.fuel_used, Some(out)),
+                Err(_) => {
+                    self.aborted += 1;
+                    (self.fuel_budget, None)
+                }
+            };
+        if let Some(out) = outcome {
+            if out.ret != 0 {
+                self.flagged += 1;
+            }
+            for (slot, value) in out.outputs {
+                self.outputs.insert(slot, value);
+            }
+        }
+        AnalyzerOutcome {
+            cost: SimDuration::from_nanos((fuel_used as f64 * self.ns_per_instr) as u64),
+            buffer_full: false,
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kprof::{EventKind, Pid};
+    use simcore::{NodeId, SimTime};
+    use simnet::{EndPoint, FlowKey, Ip, PacketId, Port};
+
+    fn net_event(size: u32, dst_port: u16) -> Event {
+        Event {
+            seq: 0,
+            node: NodeId(0),
+            cpu: 0,
+            wall: SimTime::from_micros(77),
+            payload: EventPayload::Net {
+                point: kprof::NetPoint::RxNic,
+                flow: FlowKey::new(
+                    EndPoint::new(Ip(1), Port(555)),
+                    EndPoint::new(Ip(2), Port(dst_port)),
+                ),
+                packet: PacketId(1),
+                size,
+                pid: Some(Pid(4)),
+                arm: None,
+            },
+        }
+    }
+
+    #[test]
+    fn counts_large_packets_to_port() {
+        let src = r#"
+            static int big = 0;
+            if (kind == 7 && size > 1000 && port_dst == 2049) {
+                big = big + 1;
+            }
+            return big;
+        "#;
+        let mut cpa = CpaAnalyzer::compile("big-counter", src, EventMask::NETWORK).unwrap();
+        cpa.on_event(&net_event(1500, 2049));
+        cpa.on_event(&net_event(200, 2049)); // too small
+        cpa.on_event(&net_event(1500, 80)); // wrong port
+        let out = cpa.on_event(&net_event(1400, 2049));
+        assert!(out.cost > SimDuration::ZERO);
+        assert_eq!(cpa.global("big"), Some(Value::Int(2)));
+        assert_eq!(cpa.events(), 4);
+        assert_eq!(
+            EventKind::NetRxNic as u8,
+            7,
+            "the documented kind table must stay stable"
+        );
+    }
+
+    #[test]
+    fn outputs_publish_metrics() {
+        let src = r#"
+            static int n = 0;
+            static double total = 0.0;
+            n = n + 1;
+            total = total + size;
+            out(0, total / n);
+            return 0;
+        "#;
+        let mut cpa = CpaAnalyzer::compile("avg-size", src, EventMask::NETWORK).unwrap();
+        cpa.on_event(&net_event(100, 1));
+        cpa.on_event(&net_event(300, 1));
+        assert_eq!(cpa.output(0), Some(200.0));
+        assert_eq!(cpa.output(1), None);
+    }
+
+    #[test]
+    fn flagging_counts_nonzero_returns() {
+        let mut cpa =
+            CpaAnalyzer::compile("flag", "return size > 500;", EventMask::NETWORK).unwrap();
+        cpa.on_event(&net_event(600, 1));
+        cpa.on_event(&net_event(100, 1));
+        assert_eq!(cpa.flagged(), 1);
+    }
+
+    #[test]
+    fn bad_source_reports_error() {
+        assert!(CpaAnalyzer::compile("broken", "return nonsense;", EventMask::ALL).is_err());
+        assert!(CpaAnalyzer::compile("broken", "int x = ;", EventMask::ALL).is_err());
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_counted_not_fatal() {
+        // A program that costs more than 3 instructions.
+        let mut cpa = CpaAnalyzer::compile(
+            "hungry",
+            "int a = 1; int b = 2; int c = a + b; return c;",
+            EventMask::NETWORK,
+        )
+        .unwrap()
+        .with_fuel_budget(3);
+        let out = cpa.on_event(&net_event(1, 1));
+        assert_eq!(cpa.aborted(), 1);
+        // The wasted fuel is still charged.
+        assert_eq!(out.cost, SimDuration::from_nanos(6));
+    }
+
+    #[test]
+    fn cost_scales_with_fuel() {
+        let mut cheap =
+            CpaAnalyzer::compile("cheap", "return 0;", EventMask::NETWORK).unwrap();
+        let mut pricey = CpaAnalyzer::compile(
+            "pricey",
+            "int s = 0; s = s + size; s = s * 2; s = s % 97; return s;",
+            EventMask::NETWORK,
+        )
+        .unwrap();
+        let c1 = cheap.on_event(&net_event(1, 1)).cost;
+        let c2 = pricey.on_event(&net_event(1, 1)).cost;
+        assert!(c2 > c1, "{c2} vs {c1}");
+    }
+}

@@ -1,0 +1,206 @@
+//! One-call deployment of the whole SysProf stack onto a simulated
+//! cluster.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use kprof::AnalyzerId;
+use pubsub::control::ControlMsg;
+use pubsub::Hub;
+use simcore::NodeId;
+use simnet::EndPoint;
+use simos::World;
+
+use crate::daemon::{
+    ControlSink, Daemon, DaemonConfig, DaemonStats, CONTROL_PORT, DATA_PORT, DAEMON_SRC_PORT,
+};
+use crate::gpa::{Gpa, GpaConfig, GpaSink};
+use crate::lpa::{Lpa, LpaConfig};
+use crate::records::INTERACTION_TOPIC;
+
+/// Configuration for a full SysProf deployment.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorConfig {
+    /// LPA configuration applied to every monitored node.
+    pub lpa: LpaConfig,
+    /// Daemon configuration applied to every monitored node.
+    pub daemon: DaemonConfig,
+    /// GPA configuration.
+    pub gpa: GpaConfig,
+    /// Optional E-Code filter for the GPA's interaction subscription
+    /// (e.g. `"return kernel_in_us > 1000;"` to only ship slow ones).
+    pub interaction_filter: Option<String>,
+}
+
+/// Handles to a deployed SysProf instance.
+pub struct SysProf {
+    monitored: Vec<NodeId>,
+    gpa_node: NodeId,
+    lpa_ids: HashMap<NodeId, AnalyzerId>,
+    daemon_stats: HashMap<NodeId, Rc<RefCell<DaemonStats>>>,
+    gpa: Rc<RefCell<Gpa>>,
+}
+
+impl SysProf {
+    /// Deploys SysProf: registers an LPA and dissemination daemon on each
+    /// node in `monitored`, installs the GPA on `gpa_node`, and issues the
+    /// subscription control messages (over the simulated wire) that
+    /// connect daemons to the GPA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node id is out of range for the world.
+    pub fn deploy(
+        world: &mut World,
+        monitored: &[NodeId],
+        gpa_node: NodeId,
+        config: MonitorConfig,
+    ) -> SysProf {
+        let gpa = Rc::new(RefCell::new(Gpa::new(config.gpa)));
+        world.install_sink(gpa_node, DATA_PORT, Box::new(GpaSink::new(gpa.clone())));
+        world.install_sink(
+            gpa_node,
+            crate::query::QUERY_PORT,
+            Box::new(crate::query::GpaQuerySink::new(gpa.clone())),
+        );
+
+        let mut lpa_ids = HashMap::new();
+        let mut daemon_stats = HashMap::new();
+        for &node in monitored {
+            let ip = world.network().node_ip(node);
+            let lpa = Lpa::new(node, ip, config.lpa.clone());
+            let lpa_id = world.kprof_mut(node).register(Box::new(lpa));
+            lpa_ids.insert(node, lpa_id);
+
+            let hub = Rc::new(RefCell::new(Hub::new()));
+            let daemon = Daemon::new(lpa_id, hub.clone(), config.daemon);
+            daemon_stats.insert(node, daemon.stats_handle());
+            world.set_daemon_hook(node, Box::new(daemon));
+            world.install_sink(node, CONTROL_PORT, Box::new(ControlSink::new(hub)));
+            // Kick off the periodic flush cycle.
+            world.schedule_daemon_wake(node, config.daemon.flush_interval);
+        }
+
+        // Subscribe the GPA to every daemon's channels, over the wire.
+        let gpa_ep = EndPoint::new(world.network().node_ip(gpa_node), DATA_PORT);
+        for &node in monitored {
+            let ctl_ep = EndPoint::new(world.network().node_ip(node), CONTROL_PORT);
+            let sub_interactions = ControlMsg::Subscribe {
+                topic: INTERACTION_TOPIC.to_owned(),
+                reply_to: gpa_ep,
+                filter: config.interaction_filter.clone(),
+            };
+            let sub_load = ControlMsg::Subscribe {
+                topic: crate::daemon::LOAD_TOPIC.to_owned(),
+                reply_to: gpa_ep,
+                filter: None,
+            };
+            world.kernel_send(gpa_node, DAEMON_SRC_PORT, ctl_ep, 0, sub_interactions.encode());
+            world.kernel_send(gpa_node, DAEMON_SRC_PORT, ctl_ep, 0, sub_load.encode());
+        }
+
+        SysProf {
+            monitored: monitored.to_vec(),
+            gpa_node,
+            lpa_ids,
+            daemon_stats,
+            gpa,
+        }
+    }
+
+    /// The shared GPA handle (query with `.borrow()`).
+    pub fn gpa(&self) -> Rc<RefCell<Gpa>> {
+        self.gpa.clone()
+    }
+
+    /// The node hosting the GPA.
+    pub fn gpa_node(&self) -> NodeId {
+        self.gpa_node
+    }
+
+    /// The monitored nodes.
+    pub fn monitored(&self) -> &[NodeId] {
+        &self.monitored
+    }
+
+    /// The LPA analyzer id on a node.
+    pub fn lpa_id(&self, node: NodeId) -> Option<AnalyzerId> {
+        self.lpa_ids.get(&node).copied()
+    }
+
+    /// Borrows a node's LPA for inspection.
+    pub fn lpa<'w>(&self, world: &'w World, node: NodeId) -> Option<&'w Lpa> {
+        let id = self.lpa_id(node)?;
+        world.kprof(node).analyzer_as::<Lpa>(id)
+    }
+
+    /// A node's daemon counters.
+    pub fn daemon_stats(&self, node: NodeId) -> Option<DaemonStats> {
+        self.daemon_stats.get(&node).map(|s| *s.borrow())
+    }
+
+    /// The monitoring CPU overhead on a node as a fraction of elapsed
+    /// time (the paper's perturbation metric).
+    pub fn overhead_fraction(&self, world: &World, node: NodeId) -> f64 {
+        let stats = world.node_stats(node);
+        let elapsed = world.now().as_secs_f64();
+        if elapsed == 0.0 {
+            0.0
+        } else {
+            stats.cpu.monitor.as_secs_f64() / elapsed
+        }
+    }
+
+    /// Compiles and installs a Custom Performance Analyzer (E-Code) on a
+    /// node at runtime — §2's "custom analyzers can be dynamically
+    /// created and downloaded into the kernel". Returns the analyzer id
+    /// for later inspection or removal.
+    ///
+    /// # Errors
+    ///
+    /// [`CpaError`](crate::CpaError) if the source does not compile.
+    pub fn install_cpa(
+        &self,
+        world: &mut World,
+        node: NodeId,
+        name: &str,
+        source: &str,
+        mask: kprof::EventMask,
+    ) -> Result<AnalyzerId, crate::CpaError> {
+        let cpa = crate::CpaAnalyzer::compile(name, source, mask)?;
+        Ok(world.kprof_mut(node).register(Box::new(cpa)))
+    }
+
+    /// Writes the GPA's state summary to disk as JSON — the paper's
+    /// "periodically dumps its information onto local disk … for purposes
+    /// of auditing, workload prediction, and system modeling".
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn dump_gpa_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.gpa.borrow().dump_json())
+    }
+
+    /// Subscribes an additional consumer endpoint to a topic on a
+    /// monitored node (e.g. an RA-DWCS dispatcher subscribing to load
+    /// reports), over the simulated wire.
+    pub fn subscribe(
+        &self,
+        world: &mut World,
+        from_node: NodeId,
+        monitored_node: NodeId,
+        topic: &str,
+        reply_to: EndPoint,
+        filter: Option<&str>,
+    ) {
+        let ctl_ep = EndPoint::new(world.network().node_ip(monitored_node), CONTROL_PORT);
+        let msg = ControlMsg::Subscribe {
+            topic: topic.to_owned(),
+            reply_to,
+            filter: filter.map(str::to_owned),
+        };
+        world.kernel_send(from_node, DAEMON_SRC_PORT, ctl_ep, 0, msg.encode());
+    }
+}

@@ -1,0 +1,542 @@
+//! The Global Performance Analyzer.
+//!
+//! "The Global Performance Analyzer aggregates and correlates the data it
+//! receives from different SysProf daemons. Specifically, it correlates
+//! the source and destination IP addresses, port information, and NTP
+//! timestamps in the logs from different nodes. After aggregating the
+//! resource usage of each individual interaction, GPA computes the
+//! overall performance of the associated request-response pair. Other
+//! nodes in the system can query the GPA … The GPA periodically dumps its
+//! information onto local disk." (§2)
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pubsub::ChannelDecoder;
+use serde::{Deserialize, Serialize};
+use simcore::stats::OnlineStats;
+use simcore::{NodeId, SimDuration, SimTime};
+use simnet::{EndPoint, Port};
+use simos::{KernelOutput, KernelSink, Message};
+
+use crate::daemon::split_frames;
+use crate::records::{InteractionRecord, LoadRecord};
+
+/// GPA configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GpaConfig {
+    /// Worst-case cross-node clock error the correlator must absorb
+    /// (choose ≥ the deployed `ClockSpec` bound; the paper's testbed is
+    /// NTP-disciplined).
+    pub clock_error_bound: SimDuration,
+    /// CPU cost per ingested record (charged on the GPA node).
+    pub per_record_cost: SimDuration,
+    /// Cap on retained interaction records (oldest evicted first).
+    pub max_records: usize,
+}
+
+impl Default for GpaConfig {
+    fn default() -> Self {
+        GpaConfig {
+            clock_error_bound: SimDuration::from_millis(1),
+            per_record_cost: SimDuration::from_nanos(600),
+            max_records: 1_000_000,
+        }
+    }
+}
+
+/// Aggregate view of one service class on one node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// Measuring node.
+    pub node: NodeId,
+    /// Responder-side port.
+    pub class_port: Port,
+    /// Interactions observed.
+    pub count: u64,
+    /// Mean inbound kernel time, µs.
+    pub mean_kernel_in_us: f64,
+    /// Mean user time, µs.
+    pub mean_user_us: f64,
+    /// Mean outbound kernel time, µs.
+    pub mean_kernel_out_us: f64,
+    /// Mean blocked time, µs.
+    pub mean_blocked_us: f64,
+    /// Mean total latency, µs.
+    pub mean_total_us: f64,
+    /// Median total latency, µs (log-scale histogram estimate).
+    pub p50_total_us: f64,
+    /// 95th-percentile total latency, µs.
+    pub p95_total_us: f64,
+    /// 99th-percentile total latency, µs.
+    pub p99_total_us: f64,
+}
+
+/// Latest load information about one node, with history statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeLoadView {
+    /// The most recent report.
+    pub latest: LoadRecord,
+    /// Mean CPU utilization across all reports.
+    pub mean_utilization: f64,
+    /// Number of reports received.
+    pub reports: u64,
+}
+
+/// A cross-node correlated request path: a parent interaction (e.g.
+/// client→proxy, measured at the proxy) with the child interactions
+/// (e.g. proxy→server, measured at the server) nested within its time
+/// span.
+#[derive(Debug, Clone, Serialize)]
+pub struct CorrelatedPath {
+    /// The enclosing interaction.
+    pub parent: InteractionRecord,
+    /// Interactions nested inside the parent's span whose initiator is
+    /// the parent's responder.
+    pub children: Vec<InteractionRecord>,
+}
+
+impl CorrelatedPath {
+    /// Total child latency, µs (time the parent spent waiting on
+    /// downstream services, as measured at those services).
+    pub fn downstream_us(&self) -> u64 {
+        self.children
+            .iter()
+            .map(|c| c.end_us.saturating_sub(c.start_us))
+            .sum()
+    }
+}
+
+#[derive(Default)]
+struct ClassAggr {
+    kernel_in: OnlineStats,
+    user: OnlineStats,
+    kernel_out: OnlineStats,
+    blocked: OnlineStats,
+    total: OnlineStats,
+    total_hist: simcore::stats::Histogram,
+}
+
+/// The global analyzer state. Wrap in `Rc<RefCell<…>>` and hand a clone
+/// to [`GpaSink`]; keep a clone for queries.
+pub struct Gpa {
+    config: GpaConfig,
+    records: Vec<InteractionRecord>,
+    by_class: HashMap<(NodeId, Port), ClassAggr>,
+    latest_load: HashMap<NodeId, LoadRecord>,
+    load_stats: HashMap<NodeId, (OnlineStats, u64)>,
+    load_history: Vec<LoadRecord>,
+    decoders: HashMap<EndPoint, ChannelDecoder>,
+    ingested: u64,
+    decode_failures: u64,
+}
+
+impl Gpa {
+    /// An empty GPA.
+    pub fn new(config: GpaConfig) -> Self {
+        Gpa {
+            config,
+            records: Vec::new(),
+            by_class: HashMap::new(),
+            latest_load: HashMap::new(),
+            load_stats: HashMap::new(),
+            load_history: Vec::new(),
+            decoders: HashMap::new(),
+            ingested: 0,
+            decode_failures: 0,
+        }
+    }
+
+    /// Ingests one framed batch from a daemon. Returns records decoded.
+    pub fn ingest_batch(&mut self, src: EndPoint, data: &[u8]) -> usize {
+        let mut count = 0;
+        // Frame split first so the decoder borrow stays local.
+        let frames: Vec<Vec<u8>> = split_frames(data).into_iter().map(|f| f.to_vec()).collect();
+        for frame in frames {
+            let decoder = self.decoders.entry(src).or_default();
+            match decoder.decode(&frame) {
+                Ok(Some((_topic, values))) => {
+                    count += 1;
+                    self.ingest_values(&values);
+                }
+                Ok(None) => {}
+                Err(_) => self.decode_failures += 1,
+            }
+        }
+        count
+    }
+
+    fn ingest_values(&mut self, values: &[pbio::Value]) {
+        if let Some(rec) = InteractionRecord::from_values(values) {
+            self.ingested += 1;
+            let aggr = self.by_class.entry((rec.node, rec.class_port)).or_default();
+            aggr.kernel_in.record(rec.kernel_in_us as f64);
+            aggr.user.record(rec.user_us as f64);
+            aggr.kernel_out.record(rec.kernel_out_us as f64);
+            aggr.blocked.record(rec.blocked_us as f64);
+            aggr.total.record(rec.end_us.saturating_sub(rec.start_us) as f64);
+            aggr.total_hist.record(rec.end_us.saturating_sub(rec.start_us) as f64);
+            if self.records.len() >= self.config.max_records {
+                self.records.remove(0);
+            }
+            self.records.push(rec);
+        } else if let Some(load) = LoadRecord::from_values(values) {
+            self.ingested += 1;
+            let (stats, n) = self.load_stats.entry(load.node).or_default();
+            stats.record(load.cpu_utilization);
+            *n += 1;
+            self.latest_load.insert(load.node, load);
+            self.load_history.push(load);
+        } else {
+            self.decode_failures += 1;
+        }
+    }
+
+    /// Interaction records ingested so far.
+    pub fn interaction_count(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Records that failed to decode or match a known schema.
+    pub fn decode_failures(&self) -> u64 {
+        self.decode_failures
+    }
+
+    /// All retained interaction records (ingest order).
+    pub fn interactions(&self) -> &[InteractionRecord] {
+        &self.records
+    }
+
+    /// Interactions measured on `node` for `class_port`.
+    pub fn interactions_of(&self, node: NodeId, class_port: Port) -> Vec<&InteractionRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.node == node && r.class_port == class_port)
+            .collect()
+    }
+
+    /// Aggregate summary for one (node, class) pair, if any interactions
+    /// were seen.
+    pub fn class_summary(&self, node: NodeId, class_port: Port) -> Option<ClassSummary> {
+        let aggr = self.by_class.get(&(node, class_port))?;
+        Some(ClassSummary {
+            node,
+            class_port,
+            count: aggr.total.count(),
+            mean_kernel_in_us: aggr.kernel_in.mean(),
+            mean_user_us: aggr.user.mean(),
+            mean_kernel_out_us: aggr.kernel_out.mean(),
+            mean_blocked_us: aggr.blocked.mean(),
+            mean_total_us: aggr.total.mean(),
+            p50_total_us: aggr.total_hist.percentile(50.0).unwrap_or(0.0),
+            p95_total_us: aggr.total_hist.percentile(95.0).unwrap_or(0.0),
+            p99_total_us: aggr.total_hist.percentile(99.0).unwrap_or(0.0),
+        })
+    }
+
+    /// Every (node, class) summary, sorted.
+    pub fn all_class_summaries(&self) -> Vec<ClassSummary> {
+        let mut keys: Vec<_> = self.by_class.keys().copied().collect();
+        keys.sort();
+        keys.into_iter()
+            .filter_map(|(n, p)| self.class_summary(n, p))
+            .collect()
+    }
+
+    /// The load view for one node.
+    pub fn node_load(&self, node: NodeId) -> Option<NodeLoadView> {
+        let latest = *self.latest_load.get(&node)?;
+        let (stats, n) = self.load_stats.get(&node)?;
+        Some(NodeLoadView {
+            latest,
+            mean_utilization: stats.mean(),
+            reports: *n,
+        })
+    }
+
+    /// All load reports received, in arrival order.
+    pub fn load_history(&self) -> &[LoadRecord] {
+        &self.load_history
+    }
+
+    /// Nodes whose load reports have gone silent: their last report is
+    /// older than `timeout` as of `now_wall` (GPA-node wall clock). The
+    /// heartbeat-style failure detector the §3.2 motivation asks for —
+    /// a crashed or partitioned server stops publishing.
+    pub fn silent_nodes(&self, now_wall: SimTime, timeout: SimDuration) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .latest_load
+            .iter()
+            .filter(|(_, load)| now_wall.saturating_since(load.wall()) > timeout)
+            .map(|(n, _)| *n)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Correlates interactions across nodes into end-to-end paths: a
+    /// child belongs to a parent when the child's initiator IP equals the
+    /// parent's responder IP, both carry the same conversation direction,
+    /// and the child's span nests inside the parent's span widened by the
+    /// configured clock-error bound.
+    ///
+    /// Only parents measured responder-side (non-zero attribution) on a
+    /// different node than the child are considered.
+    pub fn correlate(&self) -> Vec<CorrelatedPath> {
+        let eps = self.config.clock_error_bound.as_micros();
+        let mut paths = Vec::new();
+        for parent in &self.records {
+            let mut children = Vec::new();
+            for child in &self.records {
+                if child.node == parent.node {
+                    continue;
+                }
+                // Child request initiated by the parent's responder host.
+                if child.flow.src.ip != parent.flow.dst.ip {
+                    continue;
+                }
+                let nests = child.start_us + eps >= parent.start_us
+                    && child.end_us <= parent.end_us + eps;
+                if nests {
+                    children.push(child.clone());
+                }
+            }
+            if !children.is_empty() {
+                paths.push(CorrelatedPath {
+                    parent: parent.clone(),
+                    children,
+                });
+            }
+        }
+        paths
+    }
+
+    /// Serializes the GPA's state summary as JSON — the periodic "dump …
+    /// onto local disk" used for auditing and capacity planning.
+    pub fn dump_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Dump<'a> {
+            interaction_count: u64,
+            class_summaries: Vec<ClassSummary>,
+            load_history: &'a [LoadRecord],
+        }
+        serde_json::to_string_pretty(&Dump {
+            interaction_count: self.interaction_count(),
+            class_summaries: self.all_class_summaries(),
+            load_history: &self.load_history,
+        })
+        .expect("dump serializes")
+    }
+}
+
+/// The kernel sink that feeds a shared [`Gpa`] from daemon publications.
+pub struct GpaSink {
+    gpa: Rc<RefCell<Gpa>>,
+}
+
+impl GpaSink {
+    /// A sink feeding `gpa`.
+    pub fn new(gpa: Rc<RefCell<Gpa>>) -> Self {
+        GpaSink { gpa }
+    }
+}
+
+impl KernelSink for GpaSink {
+    fn on_message(
+        &mut self,
+        _now_wall: SimTime,
+        _node: NodeId,
+        src: EndPoint,
+        _msg: Message,
+        data: Vec<u8>,
+    ) -> KernelOutput {
+        let mut gpa = self.gpa.borrow_mut();
+        let n = gpa.ingest_batch(src, &data);
+        let cost = gpa.config.per_record_cost * (n as u64 + 1);
+        KernelOutput {
+            cost,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{FlowKey, Ip};
+
+    fn rec(
+        node: u32,
+        src_ip: u32,
+        dst_ip: u32,
+        class: u16,
+        start: u64,
+        end: u64,
+    ) -> InteractionRecord {
+        InteractionRecord {
+            node: NodeId(node),
+            flow: FlowKey::new(
+                EndPoint::new(Ip(src_ip), Port(40000)),
+                EndPoint::new(Ip(dst_ip), Port(class)),
+            ),
+            class_port: Port(class),
+            pid: 1,
+            start_us: start,
+            end_us: end,
+            req_packets: 1,
+            req_bytes: 100,
+            resp_packets: 1,
+            resp_bytes: 100,
+            kernel_in_us: 10,
+            user_us: 5,
+            kernel_out_us: 3,
+            blocked_us: 0,
+            blocked_io_us: 0,
+        }
+    }
+
+    fn gpa_with(records: Vec<InteractionRecord>) -> Gpa {
+        let mut g = Gpa::new(GpaConfig::default());
+        for r in records {
+            g.ingest_values(&r.to_values());
+        }
+        g
+    }
+
+    #[test]
+    fn class_summaries_aggregate() {
+        let g = gpa_with(vec![
+            rec(1, 10, 20, 80, 0, 100),
+            rec(1, 10, 20, 80, 200, 400),
+        ]);
+        let s = g.class_summary(NodeId(1), Port(80)).unwrap();
+        assert_eq!(s.count, 2);
+        assert!((s.mean_total_us - 150.0).abs() < 1e-9);
+        assert!(g.class_summary(NodeId(2), Port(80)).is_none());
+    }
+
+    #[test]
+    fn correlation_nests_by_ip_and_time() {
+        // Parent: client(10)→proxy(20), measured at proxy (node 1),
+        // span [1000, 9000].
+        // Child: proxy(20)→server(30), measured at server (node 2),
+        // span [2000, 8000] — nests, initiator ip matches.
+        let parent = rec(1, 10, 20, 2049, 1_000, 9_000);
+        let child = rec(2, 20, 30, 2049, 2_000, 8_000);
+        let stranger = rec(2, 99, 30, 2049, 2_000, 8_000); // wrong initiator
+        let late = rec(2, 20, 30, 2049, 2_000, 20_000); // doesn't nest
+        let g = gpa_with(vec![parent.clone(), child.clone(), stranger, late]);
+        let paths = g.correlate();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].parent, parent);
+        assert_eq!(paths[0].children, vec![child]);
+        assert_eq!(paths[0].downstream_us(), 6_000);
+    }
+
+    #[test]
+    fn correlation_absorbs_clock_error() {
+        // Child starts 500 µs "before" the parent by its skewed clock;
+        // the 1 ms default bound forgives it.
+        let parent = rec(1, 10, 20, 80, 1_000, 9_000);
+        let child = rec(2, 20, 30, 80, 600, 8_900);
+        let g = gpa_with(vec![parent, child]);
+        assert_eq!(g.correlate().len(), 1);
+
+        // Beyond the bound, correlation refuses.
+        let parent = rec(1, 10, 20, 80, 10_000, 19_000);
+        let child = rec(2, 20, 30, 80, 8_000, 18_000);
+        let mut g2 = Gpa::new(GpaConfig::default());
+        for r in [parent, child] {
+            g2.ingest_values(&r.to_values());
+        }
+        assert_eq!(g2.correlate().len(), 0);
+    }
+
+    #[test]
+    fn load_views_track_latest_and_mean() {
+        let mut g = Gpa::new(GpaConfig::default());
+        for (i, util) in [0.2, 0.4, 0.9].iter().enumerate() {
+            let load = LoadRecord {
+                node: NodeId(5),
+                wall_us: i as u64 * 1000,
+                cpu_utilization: *util,
+                mean_kernel_us: 10.0,
+                interactions: 3,
+                monitor_us: 1,
+            };
+            g.ingest_values(&load.to_values());
+        }
+        let view = g.node_load(NodeId(5)).unwrap();
+        assert_eq!(view.reports, 3);
+        assert_eq!(view.latest.cpu_utilization, 0.9);
+        assert!((view.mean_utilization - 0.5).abs() < 1e-9);
+        assert_eq!(g.load_history().len(), 3);
+        assert!(g.node_load(NodeId(6)).is_none());
+    }
+
+    #[test]
+    fn record_cap_evicts_oldest() {
+        let mut g = Gpa::new(GpaConfig {
+            max_records: 2,
+            ..GpaConfig::default()
+        });
+        for i in 0..4 {
+            g.ingest_values(&rec(1, 10, 20, 80, i * 100, i * 100 + 50).to_values());
+        }
+        assert_eq!(g.interaction_count(), 2);
+        assert_eq!(g.interactions()[0].start_us, 200);
+    }
+
+    #[test]
+    fn garbage_counts_as_decode_failure() {
+        let mut g = Gpa::new(GpaConfig::default());
+        g.ingest_values(&[pbio::Value::U64(1)]);
+        assert_eq!(g.decode_failures(), 1);
+        assert_eq!(g.interaction_count(), 0);
+    }
+
+    #[test]
+    fn silent_nodes_flags_stale_reporters() {
+        let mut g = Gpa::new(GpaConfig::default());
+        for (node, at_ms) in [(1u32, 1_000u64), (2, 5_000)] {
+            let load = LoadRecord {
+                node: NodeId(node),
+                wall_us: at_ms * 1_000,
+                cpu_utilization: 0.5,
+                mean_kernel_us: 1.0,
+                interactions: 1,
+                monitor_us: 0,
+            };
+            g.ingest_values(&load.to_values());
+        }
+        let now = SimTime::from_secs(6);
+        let silent = g.silent_nodes(now, SimDuration::from_secs(3));
+        assert_eq!(silent, vec![NodeId(1)], "node 1's reports are stale");
+        assert!(g
+            .silent_nodes(now, SimDuration::from_secs(10))
+            .is_empty());
+    }
+
+    #[test]
+    fn percentiles_order_and_bracket_mean() {
+        let mut g = Gpa::new(GpaConfig::default());
+        for i in 1..=100u64 {
+            g.ingest_values(&rec(1, 10, 20, 80, 0, i * 100).to_values());
+        }
+        let s = g.class_summary(NodeId(1), Port(80)).unwrap();
+        assert!(s.p50_total_us <= s.p95_total_us);
+        assert!(s.p95_total_us <= s.p99_total_us);
+        // For this uniform ramp the median sits near the mean.
+        let rel = (s.p50_total_us - s.mean_total_us).abs() / s.mean_total_us;
+        assert!(rel < 0.3, "p50 {} vs mean {}", s.p50_total_us, s.mean_total_us);
+    }
+
+    #[test]
+    fn dump_json_is_valid() {
+        let g = gpa_with(vec![rec(1, 10, 20, 80, 0, 100)]);
+        let dump = g.dump_json();
+        let parsed: serde_json::Value = serde_json::from_str(&dump).unwrap();
+        assert_eq!(parsed["interaction_count"], 1);
+    }
+}

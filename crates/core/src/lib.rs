@@ -1,0 +1,79 @@
+//! SysProf: online distributed behavior diagnosis through fine-grain
+//! system monitoring.
+//!
+//! This crate is the paper's primary contribution, assembled from the
+//! substrate crates:
+//!
+//! * [`Lpa`] — the **Local Performance Analyzer**: registered with each
+//!   node's Kprof, it extracts *messages* (runs of same-direction packets)
+//!   and *interactions* (request/response message pairs) from raw network
+//!   events, attributes per-interaction kernel time, user time, and
+//!   blocked time from scheduling events, and stages finished
+//!   [`InteractionRecord`]s in per-CPU double buffers,
+//! * [`CpaAnalyzer`] — **Custom Performance Analyzers**: E-Code programs
+//!   installed at runtime, fuel-metered, run against every matching event,
+//! * [`Daemon`] — the **dissemination daemon**: woken on buffer-full
+//!   notifications, it drains LPA buffers, applies dynamic filters,
+//!   PBIO-encodes records and publishes them over kernel-level
+//!   pub/sub channels (consuming real simulated bandwidth and CPU),
+//! * [`Gpa`] — the **Global Performance Analyzer**: subscribes to the
+//!   daemons' channels, correlates interaction records across nodes by
+//!   endpoints and (imperfect, NTP-disciplined) wall-clock timestamps into
+//!   end-to-end request paths, and answers queries,
+//! * [`Controller`] — the knob panel: monitoring level (off / per-class /
+//!   per-interaction / full), buffer and window sizes, event masks,
+//! * [`procfs`] — `/proc`-style textual views of the collected data,
+//! * [`SysProf`] — the facade that deploys all of the above onto a
+//!   [`simos::World`] in one call.
+//!
+//! # Example
+//!
+//! ```
+//! use simcore::{NodeId, SimTime};
+//! use simnet::LinkSpec;
+//! use simos::{WorldBuilder, programs::{EchoServer, OneShotSender}};
+//! use sysprof::{MonitorConfig, SysProf};
+//!
+//! let mut world = WorldBuilder::new(1)
+//!     .node("client")
+//!     .node("server")
+//!     .node("monitor")
+//!     .full_mesh(LinkSpec::gigabit_lan())
+//!     .build()?;
+//! world.spawn(NodeId(1), "echo", Box::new(EchoServer::new(
+//!     simnet::Port(80), 512, simcore::SimDuration::from_micros(100))));
+//! world.spawn(NodeId(0), "client", Box::new(OneShotSender::new(
+//!     NodeId(1), simnet::Port(80), 2_000)));
+//!
+//! let sysprof = SysProf::deploy(&mut world, &[NodeId(1)], NodeId(2),
+//!                               MonitorConfig::default());
+//! world.run_until(SimTime::from_secs(2));
+//!
+//! let gpa = sysprof.gpa();
+//! assert!(gpa.borrow().interaction_count() >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod controller;
+mod cpa;
+mod daemon;
+mod deploy;
+mod gpa;
+mod lpa;
+pub mod procfs;
+mod query;
+mod records;
+
+pub use controller::{Controller, MonitorLevel};
+pub use cpa::{CpaAnalyzer, CpaError, EVENT_INPUTS};
+pub use daemon::{
+    split_frames, ControlSink, Daemon, DaemonConfig, DaemonStats, CONTROL_PORT, DAEMON_SRC_PORT,
+    DATA_PORT, LOAD_TOPIC,
+};
+pub use deploy::{MonitorConfig, SysProf};
+pub use gpa::{ClassSummary, CorrelatedPath, Gpa, GpaConfig, GpaSink, NodeLoadView};
+pub use lpa::{Lpa, LpaConfig};
+pub use query::{GpaAnswer, GpaQuery, GpaQuerySink, QueryClient, QUERY_PORT, QUERY_REPLY_PORT};
+pub use records::{InteractionRecord, LoadRecord, INTERACTION_TOPIC};

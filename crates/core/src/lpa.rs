@@ -1,0 +1,1579 @@
+//! The Local Performance Analyzer: message/interaction extraction and
+//! resource attribution from raw Kprof events.
+//!
+//! §2 of the paper defines the black-box abstraction this module
+//! implements: "A series of packets from node_A to node_B without any
+//! intervening packets in the opposite direction constitute one
+//! *message*. An *interaction* consists of a message pair in the opposite
+//! direction." The LPA watches network events for message boundaries and
+//! scheduling events for CPU attribution — it never reads application
+//! payloads or ids (SysProf is a black-box monitor).
+//!
+//! Known, deliberate limitation (also the paper's): multiple interleaved
+//! requests on one flow collapse into a single message, so their
+//! interactions cannot be separated without domain knowledge.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use kprof::{
+    Analyzer, AnalyzerOutcome, BlockReason, Event, EventMask, EventPayload, Interest, NetPoint,
+    PerCpuBuffers, Pid, Predicate,
+};
+use simcore::stats::OnlineStats;
+use simcore::{NodeId, SimDuration, SimTime};
+use simnet::{FlowKey, Ip, Port};
+
+use crate::records::InteractionRecord;
+
+/// LPA configuration — the knobs the SysProf controller turns.
+#[derive(Debug, Clone)]
+pub struct LpaConfig {
+    /// Per-CPU double-buffer side capacity, in records ("window size" —
+    /// changeable dynamically via the controller).
+    pub window: usize,
+    /// CPUs on the node (one double buffer each).
+    pub cpus: usize,
+    /// Base analysis cost reported per delivered event.
+    pub per_event_cost: SimDuration,
+    /// Additional cost when an interaction record is completed.
+    pub per_record_cost: SimDuration,
+    /// Track scheduling events for user/blocked attribution. Turning this
+    /// off halves event volume but zeroes `user_us`/`blocked_us`.
+    pub track_scheduling: bool,
+    /// Aggregate per service class instead of staging every interaction
+    /// (the controller's "statistics for some client class rather than
+    /// for individual interactions" mode).
+    pub class_only: bool,
+    /// Only diagnose flows whose responder port is in this set (None =
+    /// all). Maps to a Kprof predicate.
+    pub service_ports: Option<HashSet<Port>>,
+    /// Flows touching these ports are ignored entirely (SysProf's own
+    /// dissemination traffic must not be diagnosed as interactions).
+    pub exclude_ports: HashSet<Port>,
+    /// A message with no packets for this long is considered closed (the
+    /// eviction that lets the *last* interaction of a conversation
+    /// complete without waiting for a next request). Applied by
+    /// [`Lpa::flush_idle`], which the dissemination daemon calls on its
+    /// periodic wake.
+    pub idle_close: SimDuration,
+    /// Use ARM-style application correlators when events carry them
+    /// (processes opted in via `World::enable_arm`). Separates interleaved
+    /// requests on one flow — the paper's §2 caveat: "Multiple requests
+    /// may interleave, in which case domain-specific knowledge and/or ARM
+    /// support would be necessary." Flows without correlators fall back
+    /// to black-box message pairing.
+    pub use_arm_hints: bool,
+}
+
+impl Default for LpaConfig {
+    fn default() -> Self {
+        LpaConfig {
+            window: 256,
+            cpus: 1,
+            per_event_cost: SimDuration::from_nanos(350),
+            per_record_cost: SimDuration::from_nanos(500),
+            track_scheduling: true,
+            class_only: false,
+            service_ports: None,
+            exclude_ports: [crate::daemon::DATA_PORT, crate::daemon::CONTROL_PORT]
+                .into_iter()
+                .collect(),
+            idle_close: SimDuration::from_millis(50),
+            use_arm_hints: false,
+        }
+    }
+}
+
+/// Message direction relative to the observing node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    In,
+    Out,
+}
+
+/// Accumulator for the message currently growing on a flow.
+#[derive(Debug, Clone)]
+struct MsgAcc {
+    dir: Dir,
+    /// The directed flow of this message's packets.
+    flow: FlowKey,
+    first_wall: SimTime,
+    last_wall: SimTime,
+    packets: u32,
+    bytes: u64,
+    /// Inbound: wall time of the last user-space delivery seen.
+    deliver_last: Option<SimTime>,
+    /// Outbound: wall time of the last NIC-transmit-complete seen.
+    tx_last_nic: Option<SimTime>,
+    /// Serving/initiating process, when the stack knew it.
+    pid: Option<Pid>,
+}
+
+/// A closed message, kept as the candidate first half of an interaction.
+#[derive(Debug, Clone)]
+struct ClosedMsg {
+    acc: MsgAcc,
+    /// Pid-clock snapshot at the message's "request delivered" moment
+    /// (run, blocked, blocked_io) — basis for user/blocked attribution.
+    snap: Option<(SimDuration, SimDuration, SimDuration)>,
+    /// How many interaction windows of the serving process were open when
+    /// this message's window closed — the fair-share divisor for run-time
+    /// attribution across interleaved requests.
+    share: u32,
+}
+
+#[derive(Debug, Default)]
+struct FlowState {
+    cur: Option<MsgAcc>,
+    prev: Option<ClosedMsg>,
+    /// Latest snapshot taken at a delivery (or socket-buffer for kernel
+    /// daemons) event of the current inbound message.
+    deliver_snap: Option<(SimDuration, SimDuration, SimDuration)>,
+    /// The pid whose open-window count this flow's current inbound
+    /// message incremented (cleared when the window closes).
+    window_pid: Option<Pid>,
+}
+
+/// Per-correlator tracking state used when ARM hints are active: the
+/// request and response accumulate independently per application message
+/// id, so interleaved requests on one flow stay separate.
+#[derive(Debug)]
+struct ArmState {
+    req: Option<MsgAcc>,
+    resp: Option<MsgAcc>,
+    snap: Option<(SimDuration, SimDuration, SimDuration)>,
+    window_pid: Option<Pid>,
+    share: u32,
+    last_wall: SimTime,
+}
+
+impl ArmState {
+    fn new(now: SimTime) -> Self {
+        ArmState {
+            req: None,
+            resp: None,
+            snap: None,
+            window_pid: None,
+            share: 1,
+            last_wall: now,
+        }
+    }
+}
+
+/// Per-process run/block clocks, maintained from scheduling events.
+#[derive(Debug, Default, Clone)]
+struct PidClock {
+    running_since: Option<SimTime>,
+    blocked_since: Option<(SimTime, BlockReason)>,
+    cum_run: SimDuration,
+    cum_blocked: SimDuration,
+    cum_blocked_io: SimDuration,
+}
+
+impl PidClock {
+    /// (run, blocked, blocked_io) as of `now`, interpolating open spans.
+    fn snapshot(&self, now: SimTime) -> (SimDuration, SimDuration, SimDuration) {
+        let mut run = self.cum_run;
+        let mut blocked = self.cum_blocked;
+        let mut blocked_io = self.cum_blocked_io;
+        if let Some(since) = self.running_since {
+            run += now.saturating_since(since);
+        }
+        if let Some((since, reason)) = self.blocked_since {
+            let d = now.saturating_since(since);
+            blocked += d;
+            if reason == BlockReason::DiskIo {
+                blocked_io += d;
+            }
+        }
+        (run, blocked, blocked_io)
+    }
+}
+
+/// Per-class aggregation (the reduced-granularity mode).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ClassAggr {
+    pub count: u64,
+    pub kernel_in_us: OnlineStats,
+    pub user_us: OnlineStats,
+    pub kernel_out_us: OnlineStats,
+    pub total_us: OnlineStats,
+    pub bytes: u64,
+}
+
+/// The Local Performance Analyzer. One per monitored node; registered
+/// with the node's [`kprof::Kprof`].
+pub struct Lpa {
+    node: NodeId,
+    node_ip: Ip,
+    config: LpaConfig,
+    flows: HashMap<FlowKey, FlowState>,
+    /// ARM-correlated tracking, keyed by (canonical flow, correlator).
+    arm_flows: HashMap<(FlowKey, u64), ArmState>,
+    pids: HashMap<Pid, PidClock>,
+    /// Interaction windows currently open per pid (request delivered,
+    /// response not yet started). Used to fair-share run-time attribution
+    /// across concurrently served requests.
+    open_windows: HashMap<Pid, u32>,
+    buffers: PerCpuBuffers<InteractionRecord>,
+    /// "a window containing the past several interactions" — queryable
+    /// recent history for procfs and the controller.
+    window: VecDeque<InteractionRecord>,
+    /// Cumulative per-class aggregates (never reset; procfs reads these).
+    class_aggr: HashMap<Port, ClassAggr>,
+    /// Per-class aggregates since the daemon last flushed.
+    class_window: HashMap<Port, ClassAggr>,
+    records_completed: u64,
+    events_seen: u64,
+    /// Set when a buffer switch happened while handling the current event
+    /// (surfaced as `buffer_full` in the analyzer outcome).
+    pending_switch: bool,
+}
+
+impl Lpa {
+    /// Creates an LPA for `node` (whose interfaces carry `node_ip`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window size or CPU count is zero.
+    pub fn new(node: NodeId, node_ip: Ip, config: LpaConfig) -> Self {
+        let buffers = PerCpuBuffers::new(config.cpus, config.window);
+        Lpa {
+            node,
+            node_ip,
+            config,
+            flows: HashMap::new(),
+            arm_flows: HashMap::new(),
+            pids: HashMap::new(),
+            open_windows: HashMap::new(),
+            buffers,
+            window: VecDeque::new(),
+            class_aggr: HashMap::new(),
+            class_window: HashMap::new(),
+            records_completed: 0,
+            events_seen: 0,
+            pending_switch: false,
+        }
+    }
+
+    /// Reconfigures at runtime (controller action). Buffer sizes apply to
+    /// newly created buffers; staged records are preserved.
+    pub fn reconfigure(&mut self, config: LpaConfig) {
+        if config.window != self.config.window || config.cpus != self.config.cpus {
+            let staged = self.buffers.drain_all();
+            let mut fresh = PerCpuBuffers::new(config.cpus, config.window);
+            for r in staged {
+                fresh.cpu_mut(0).push(r);
+            }
+            self.buffers = fresh;
+        }
+        self.config = config;
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &LpaConfig {
+        &self.config
+    }
+
+    /// Drains every staged record (what the dissemination daemon copies
+    /// out on a wake).
+    pub fn drain(&mut self) -> Vec<InteractionRecord> {
+        self.buffers.drain_all()
+    }
+
+    /// Closes messages that have been idle for at least the configured
+    /// [`LpaConfig::idle_close`], completing any interactions they end.
+    /// Returns how many messages were closed. Called by the dissemination
+    /// daemon's periodic wake (the "window contents are evicted … after
+    /// some time" behavior of §2).
+    pub fn flush_idle(&mut self, now: SimTime) -> usize {
+        let stale: Vec<FlowKey> = self
+            .flows
+            .iter()
+            .filter(|(_, st)| {
+                st.cur
+                    .as_ref()
+                    .map(|c| now.saturating_since(c.last_wall) >= self.config.idle_close)
+                    .unwrap_or(false)
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        let mut closed = 0;
+        for canon in stale {
+            let Some(state) = self.flows.get_mut(&canon) else {
+                continue;
+            };
+            let Some(acc) = state.cur.take() else {
+                continue;
+            };
+            let snap = state.deliver_snap.take();
+            let share = Self::close_window(&mut self.open_windows, self.flows.get_mut(&canon).expect("state exists"));
+            closed += 1;
+            self.close_message(canon, ClosedMsg { acc, snap, share }, now, 0);
+        }
+        closed += self.flush_idle_arm(now);
+        closed
+    }
+
+    /// Records lost because the daemon was too slow ("if the data is not
+    /// picked up in a timely fashion, it may be overwritten").
+    pub fn overwritten(&self) -> u64 {
+        self.buffers.overwritten()
+    }
+
+    /// Total interaction records completed.
+    pub fn records_completed(&self) -> u64 {
+        self.records_completed
+    }
+
+    /// Total events this analyzer processed.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// The recent-interaction window (most recent last).
+    pub fn window_snapshot(&self) -> impl Iterator<Item = &InteractionRecord> {
+        self.window.iter()
+    }
+
+    /// Per-class aggregates (populated in `class_only` mode; also usable
+    /// as cheap summaries in full mode). Returns (count, mean kernel-in
+    /// µs, mean user µs, mean total µs) per class port.
+    pub fn class_summaries(&self) -> Vec<(Port, u64, f64, f64, f64)> {
+        let mut out: Vec<_> = self
+            .class_aggr
+            .iter()
+            .map(|(port, a)| {
+                (
+                    *port,
+                    a.count,
+                    a.kernel_in_us.mean(),
+                    a.user_us.mean(),
+                    a.total_us.mean(),
+                )
+            })
+            .collect();
+        out.sort_by_key(|(p, ..)| *p);
+        out
+    }
+
+    /// Takes and resets the per-flush-window class aggregates (daemon
+    /// flush). The cumulative aggregates behind
+    /// [`class_summaries`](Lpa::class_summaries) are unaffected.
+    pub fn take_class_aggregates(&mut self) -> HashMap<Port, (u64, f64, f64, f64)> {
+        let out = self
+            .class_window
+            .iter()
+            .map(|(p, a)| {
+                (
+                    *p,
+                    (a.count, a.kernel_in_us.mean(), a.user_us.mean(), a.total_us.mean()),
+                )
+            })
+            .collect();
+        self.class_window.clear();
+        out
+    }
+
+    // ------------------------------------------------------------------
+
+    fn dir_of(&self, flow: &FlowKey) -> Dir {
+        if flow.dst.ip == self.node_ip {
+            Dir::In
+        } else {
+            Dir::Out
+        }
+    }
+
+    fn excluded(&self, flow: &FlowKey) -> bool {
+        self.config.exclude_ports.contains(&flow.src.port)
+            || self.config.exclude_ports.contains(&flow.dst.port)
+    }
+
+    fn matches_service(&self, class_port: Port) -> bool {
+        match &self.config.service_ports {
+            Some(ports) => ports.contains(&class_port),
+            None => true,
+        }
+    }
+
+    /// Closes the current inbound window on a flow state, returning the
+    /// fair-share divisor observed at close.
+    fn close_window(
+        open_windows: &mut HashMap<Pid, u32>,
+        state: &mut FlowState,
+    ) -> u32 {
+        match state.window_pid.take() {
+            Some(p) => {
+                let n = open_windows.entry(p).or_insert(1);
+                let share = (*n).max(1);
+                *n = n.saturating_sub(1);
+                share
+            }
+            None => 1,
+        }
+    }
+
+    fn pid_snapshot(&self, pid: Option<Pid>, now: SimTime) -> Option<(SimDuration, SimDuration, SimDuration)> {
+        let pid = pid?;
+        // A process with no scheduling history yet has a zero clock (it
+        // simply has not run since monitoring started) — that is a valid
+        // snapshot, not an unknown one.
+        Some(
+            self.pids
+                .get(&pid)
+                .map(|c| c.snapshot(now))
+                .unwrap_or((SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO)),
+        )
+    }
+
+    /// Handles a packet observation that can open/extend/close messages.
+    fn observe_packet(
+        &mut self,
+        flow: FlowKey,
+        wall: SimTime,
+        size: u32,
+        pid: Option<Pid>,
+        cpu: u16,
+    ) -> bool {
+        let dir = self.dir_of(&flow);
+        let canon = flow.canonical();
+        let state = self.flows.entry(canon).or_default();
+
+        match &mut state.cur {
+            Some(cur) if cur.dir == dir => {
+                cur.last_wall = wall;
+                cur.packets += 1;
+                cur.bytes += size as u64;
+                if cur.pid.is_none() {
+                    cur.pid = pid;
+                }
+                false
+            }
+            cur_slot => {
+                // Direction change (or first packet): close current, start new.
+                let closed = cur_slot.take();
+                *cur_slot = Some(MsgAcc {
+                    dir,
+                    flow,
+                    first_wall: wall,
+                    last_wall: wall,
+                    packets: 1,
+                    bytes: size as u64,
+                    deliver_last: None,
+                    tx_last_nic: None,
+                    pid,
+                });
+                if let Some(closed) = closed {
+                    let snap = state.deliver_snap.take();
+                    let share = Self::close_window(&mut self.open_windows, self.flows.get_mut(&canon).expect("state exists"));
+                    let closed = ClosedMsg { acc: closed, snap, share };
+                    return self.close_message(canon, closed, wall, cpu);
+                }
+                false
+            }
+        }
+    }
+
+    /// A message just closed; pair it with the previous opposite message
+    /// into an interaction, or hold it as the next candidate. Returns
+    /// whether a record was completed.
+    fn close_message(&mut self, canon: FlowKey, closed: ClosedMsg, now: SimTime, cpu: u16) -> bool {
+        let state = self.flows.get_mut(&canon).expect("state exists");
+        match state.prev.take() {
+            None => {
+                state.prev = Some(closed);
+                false
+            }
+            Some(first) if first.acc.dir == closed.acc.dir => {
+                // Two same-direction messages in a row (idle flush closed a
+                // request whose response never arrived, then another
+                // request). The stale candidate had no partner: drop it and
+                // keep the fresh message as the new candidate.
+                state.prev = Some(closed);
+                false
+            }
+            Some(first) => {
+                self.complete_interaction(first, closed, now, cpu);
+                true
+            }
+        }
+    }
+
+    /// Builds and stages the interaction record for a (first, second)
+    /// message pair.
+    fn complete_interaction(&mut self, first: ClosedMsg, second: ClosedMsg, now: SimTime, cpu: u16) {
+        let responder_side = first.acc.dir == Dir::In;
+        let request = &first.acc;
+        let response = &second.acc;
+
+        let class_port = request.flow.dst.port;
+        if !self.matches_service(class_port) {
+            return;
+        }
+
+        let start = request.first_wall;
+        let mut resp_end = response
+            .tx_last_nic
+            .unwrap_or(response.last_wall)
+            .max(response.last_wall)
+            // Adversarially reordered streams can present a "response" that
+            // predates its request; clamp so spans never run backwards.
+            .max(start);
+        // Initiator-side observations: the interaction truly ends when the
+        // response is delivered to the local application, which can be
+        // after its last packet hits the wire/NIC.
+        if let Some(d) = response.deliver_last {
+            resp_end = resp_end.max(d);
+        }
+
+        let (kernel_in, user_us, kernel_out, blocked, blocked_io, pid) = if responder_side {
+            // Full attribution: we are where the server runs.
+            let deliver = request.deliver_last;
+            let kernel_in = deliver
+                .unwrap_or(response.first_wall)
+                .saturating_since(request.first_wall);
+            let kernel_out = resp_end.saturating_since(response.first_wall);
+            let pid = request.pid.or(response.pid);
+            // User/blocked: pid-clock delta between request delivery and
+            // response submission.
+            // Fair-share attribution: the pid clock's run time inside the
+            // window includes work for every concurrently open interaction
+            // of this process; divide by the number of windows open when
+            // this one closed. (The paper acknowledges interleaved
+            // requests cannot be separated without domain knowledge; this
+            // is the even-split heuristic.)
+            let share = (first.share as u64).max(1);
+            let (user, blocked, blocked_io) = match (first.snap, self.pid_snapshot(pid, response.first_wall)) {
+                (Some((run0, blk0, io0)), Some((run1, blk1, io1))) => (
+                    run1.saturating_sub(run0) / share,
+                    blk1.saturating_sub(blk0) / share,
+                    io1.saturating_sub(io0) / share,
+                ),
+                _ => (SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO),
+            };
+            (kernel_in, user, kernel_out, blocked, blocked_io, pid)
+        } else {
+            // Initiator side: we see the round trip; response delivery
+            // time is the local kernel share.
+            let kernel_in = second
+                .acc
+                .deliver_last
+                .map(|d| d.saturating_since(response.first_wall))
+                .unwrap_or(SimDuration::ZERO);
+            (
+                kernel_in,
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                request.pid.or(response.pid),
+            )
+        };
+
+        let record = InteractionRecord {
+            node: self.node,
+            flow: request.flow,
+            class_port,
+            pid: pid.map(|p| p.0).unwrap_or(0),
+            start_us: start.as_micros(),
+            end_us: resp_end.as_micros(),
+            req_packets: request.packets,
+            req_bytes: request.bytes,
+            resp_packets: response.packets,
+            resp_bytes: response.bytes,
+            kernel_in_us: kernel_in.as_micros(),
+            user_us: user_us.as_micros(),
+            kernel_out_us: kernel_out.as_micros(),
+            blocked_us: blocked.as_micros(),
+            blocked_io_us: blocked_io.as_micros(),
+        };
+
+        self.records_completed += 1;
+        let _ = now;
+
+        // Recent-history window.
+        self.window.push_back(record.clone());
+        while self.window.len() > self.config.window {
+            self.window.pop_front();
+        }
+
+        // Class aggregates are always cheap to keep: one cumulative copy
+        // (procfs) and one flush-window copy (daemon load reports).
+        for aggr in [
+            self.class_aggr.entry(class_port).or_default(),
+            self.class_window.entry(class_port).or_default(),
+        ] {
+            aggr.count += 1;
+            aggr.kernel_in_us.record(record.kernel_in_us as f64);
+            aggr.user_us.record(record.user_us as f64);
+            aggr.kernel_out_us.record(record.kernel_out_us as f64);
+            aggr.total_us.record(record.end_us.saturating_sub(record.start_us) as f64);
+            aggr.bytes += record.req_bytes + record.resp_bytes;
+        }
+
+        if !self.config.class_only {
+            self.staged_push(cpu, record);
+        }
+    }
+
+    fn staged_push(&mut self, cpu: u16, record: InteractionRecord) {
+        let cpu = (cpu as usize % self.buffers.cpus()) as u16;
+        // The buffer-full switch cost is folded into the analyzer cost
+        // reported for this event (see on_event).
+        self.pending_switch |= self.buffers.cpu_mut(cpu).push(record).is_some();
+    }
+}
+
+// pending_switch is transient state between helpers within one on_event
+// call; declared here to keep the struct definition readable above.
+impl Lpa {
+    fn sched_event(&mut self, ev: &Event) {
+        match ev.payload {
+            EventPayload::ContextSwitch { from, to } => {
+                let now = ev.wall;
+                if let Some(pid) = from {
+                    let clock = self.pids.entry(pid).or_default();
+                    if let Some(since) = clock.running_since.take() {
+                        clock.cum_run += now.saturating_since(since);
+                    }
+                }
+                if let Some(pid) = to {
+                    let clock = self.pids.entry(pid).or_default();
+                    clock.running_since = Some(now);
+                    // Switching in ends any blocked span (wake may have
+                    // been missed if masks changed at runtime).
+                    if let Some((since, reason)) = clock.blocked_since.take() {
+                        let d = now.saturating_since(since);
+                        clock.cum_blocked += d;
+                        if reason == BlockReason::DiskIo {
+                            clock.cum_blocked_io += d;
+                        }
+                    }
+                }
+            }
+            EventPayload::ProcessBlock { pid, reason } => {
+                let now = ev.wall;
+                let clock = self.pids.entry(pid).or_default();
+                if let Some(since) = clock.running_since.take() {
+                    clock.cum_run += now.saturating_since(since);
+                }
+                clock.blocked_since = Some((now, reason));
+            }
+            EventPayload::ProcessWake { pid } => {
+                let now = ev.wall;
+                let clock = self.pids.entry(pid).or_default();
+                if let Some((since, reason)) = clock.blocked_since.take() {
+                    let d = now.saturating_since(since);
+                    clock.cum_blocked += d;
+                    if reason == BlockReason::DiskIo {
+                        clock.cum_blocked_io += d;
+                    }
+                }
+            }
+            EventPayload::ProcessExit { pid } => {
+                self.pids.remove(&pid);
+            }
+            _ => {}
+        }
+    }
+
+    fn net_event(&mut self, ev: &Event) -> bool {
+        let EventPayload::Net {
+            point,
+            flow,
+            size,
+            pid,
+            arm,
+            ..
+        } = ev.payload
+        else {
+            return false;
+        };
+        if self.excluded(&flow) {
+            return false;
+        }
+        if self.config.use_arm_hints {
+            if let Some(arm) = arm {
+                return self.arm_event(point, flow, ev.wall, size, pid, arm, ev.cpu);
+            }
+        }
+        match point {
+            NetPoint::RxNic => self.observe_packet(flow, ev.wall, size, pid, ev.cpu),
+            NetPoint::TxFromUser => self.observe_packet(flow, ev.wall, size, pid, ev.cpu),
+            NetPoint::RxSocketBuffer => {
+                // For kernel daemons there is no user delivery; keep the
+                // snapshot fresh from the socket-buffer point instead.
+                let canon = flow.canonical();
+                let snap = self.pid_snapshot(pid, ev.wall);
+                if let Some(state) = self.flows.get_mut(&canon) {
+                    if let Some(cur) = &mut state.cur {
+                        if cur.dir == Dir::In {
+                            if cur.pid.is_none() {
+                                cur.pid = pid;
+                            }
+                            if cur.deliver_last.is_none() {
+                                // Only a fallback: real deliveries override.
+                                if state.deliver_snap.is_none() && state.window_pid.is_none() {
+                                    if let Some(p) = pid.or(cur.pid) {
+                                        state.window_pid = Some(p);
+                                        *self.open_windows.entry(p).or_insert(0) += 1;
+                                    }
+                                }
+                                state.deliver_snap = snap.or(state.deliver_snap);
+                            }
+                        }
+                    }
+                }
+                false
+            }
+            NetPoint::RxDeliverUser => {
+                let canon = flow.canonical();
+                let snap = self.pid_snapshot(pid, ev.wall);
+                let mut opened = None;
+                if let Some(state) = self.flows.get_mut(&canon) {
+                    if let Some(cur) = &mut state.cur {
+                        if cur.dir == Dir::In {
+                            cur.deliver_last = Some(ev.wall);
+                            if cur.pid.is_none() {
+                                cur.pid = pid;
+                            }
+                            if state.window_pid.is_none() {
+                                opened = pid.or(cur.pid);
+                                state.window_pid = opened;
+                            }
+                            state.deliver_snap = snap.or(state.deliver_snap);
+                        }
+                    }
+                }
+                if let Some(p) = opened {
+                    *self.open_windows.entry(p).or_insert(0) += 1;
+                }
+                false
+            }
+            NetPoint::TxNicDone => {
+                let canon = flow.canonical();
+                if let Some(state) = self.flows.get_mut(&canon) {
+                    if let Some(cur) = &mut state.cur {
+                        if cur.dir == Dir::Out {
+                            cur.tx_last_nic = Some(ev.wall);
+                        }
+                    }
+                }
+                false
+            }
+            NetPoint::TxDeviceQueue | NetPoint::Drop => false,
+        }
+    }
+}
+
+impl Lpa {
+    /// Handles a network event that carries an ARM correlator. Returns
+    /// whether an interaction record completed.
+    fn arm_event(
+        &mut self,
+        point: NetPoint,
+        flow: FlowKey,
+        wall: SimTime,
+        size: u32,
+        pid: Option<Pid>,
+        arm: u64,
+        cpu: u16,
+    ) -> bool {
+        let dir = self.dir_of(&flow);
+        let canon = flow.canonical();
+        let key = (canon, arm);
+
+        match point {
+            NetPoint::RxNic | NetPoint::TxFromUser => {
+                // A packet observation: extend this correlator's request
+                // or response run, then see whether it finishes any other
+                // correlator on the same flow (responses are contiguous
+                // per send, so a packet of a different id ends them).
+                let completed = self.arm_complete_others(canon, arm, cpu);
+                let st = self
+                    .arm_flows
+                    .entry(key)
+                    .or_insert_with(|| ArmState::new(wall));
+                st.last_wall = wall;
+                let slot = if dir == Dir::In { &mut st.req } else { &mut st.resp };
+                match slot {
+                    Some(acc) => {
+                        acc.last_wall = wall;
+                        acc.packets += 1;
+                        acc.bytes += size as u64;
+                        if acc.pid.is_none() {
+                            acc.pid = pid;
+                        }
+                    }
+                    None => {
+                        *slot = Some(MsgAcc {
+                            dir,
+                            flow,
+                            first_wall: wall,
+                            last_wall: wall,
+                            packets: 1,
+                            bytes: size as u64,
+                            deliver_last: None,
+                            tx_last_nic: None,
+                            pid,
+                        });
+                        // The response starting closes this correlator's
+                        // attribution window.
+                        if dir == Dir::Out {
+                            let st = self.arm_flows.get_mut(&key).expect("just touched");
+                            if let Some(p) = st.window_pid.take() {
+                                let n = self.open_windows.entry(p).or_insert(1);
+                                st.share = (*n).max(1);
+                                *n = n.saturating_sub(1);
+                            }
+                        }
+                    }
+                }
+                completed
+            }
+            NetPoint::RxSocketBuffer => {
+                let snap = self.pid_snapshot(pid, wall);
+                if let Some(st) = self.arm_flows.get_mut(&key) {
+                    st.last_wall = wall;
+                    if let Some(req) = &mut st.req {
+                        if req.pid.is_none() {
+                            req.pid = pid;
+                        }
+                        if req.deliver_last.is_none() && st.snap.is_none() {
+                            if let Some(p) = pid.or(req.pid) {
+                                if st.window_pid.is_none() {
+                                    st.window_pid = Some(p);
+                                    *self.open_windows.entry(p).or_insert(0) += 1;
+                                }
+                            }
+                            st.snap = snap;
+                        }
+                    }
+                }
+                false
+            }
+            NetPoint::RxDeliverUser => {
+                let snap = self.pid_snapshot(pid, wall);
+                let mut opened = None;
+                if let Some(st) = self.arm_flows.get_mut(&key) {
+                    st.last_wall = wall;
+                    let resp_started = st.resp.is_some();
+                    // The inbound message is the request at the responder
+                    // and the response at the initiator; update whichever
+                    // slot holds the inbound run.
+                    let inbound_is_req =
+                        st.req.as_ref().map(|m| m.dir == Dir::In).unwrap_or(false);
+                    if inbound_is_req {
+                        // A request delivery after its response started can
+                        // only come from a reordered stream; it must not
+                        // stretch the attribution window.
+                        if !resp_started {
+                            if let Some(req) = &mut st.req {
+                                req.deliver_last = Some(wall);
+                                if req.pid.is_none() {
+                                    req.pid = pid;
+                                }
+                                if st.window_pid.is_none() {
+                                    opened = pid.or(req.pid);
+                                    st.window_pid = opened;
+                                }
+                                st.snap = snap.or(st.snap);
+                            }
+                        }
+                    } else if let Some(resp) = &mut st.resp {
+                        if resp.dir == Dir::In {
+                            resp.deliver_last = Some(wall);
+                            if resp.pid.is_none() {
+                                resp.pid = pid;
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = opened {
+                    *self.open_windows.entry(p).or_insert(0) += 1;
+                }
+                false
+            }
+            NetPoint::TxNicDone => {
+                if let Some(st) = self.arm_flows.get_mut(&key) {
+                    st.last_wall = wall;
+                    if let Some(resp) = &mut st.resp {
+                        resp.tx_last_nic = Some(wall);
+                    }
+                }
+                false
+            }
+            NetPoint::TxDeviceQueue | NetPoint::Drop => false,
+        }
+    }
+
+    /// Completes every *other* correlator on `canon` that already has a
+    /// response (a packet of a different id means their response run is
+    /// over). Returns whether any record completed.
+    fn arm_complete_others(&mut self, canon: FlowKey, current: u64, cpu: u16) -> bool {
+        let ready: Vec<(FlowKey, u64)> = self
+            .arm_flows
+            .iter()
+            .filter(|((f, id), st)| *f == canon && *id != current && st.req.is_some() && st.resp.is_some())
+            .map(|(k, _)| *k)
+            .collect();
+        let mut any = false;
+        for key in ready {
+            any |= self.arm_finish(key, cpu);
+        }
+        any
+    }
+
+    /// Emits the interaction record for a finished correlator state.
+    fn arm_finish(&mut self, key: (FlowKey, u64), cpu: u16) -> bool {
+        let Some(st) = self.arm_flows.remove(&key) else {
+            return false;
+        };
+        // Release an unclosed window (response never started).
+        if let Some(p) = st.window_pid {
+            if let Some(n) = self.open_windows.get_mut(&p) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        let (Some(req), Some(resp)) = (st.req, st.resp) else {
+            return false;
+        };
+        let first = ClosedMsg {
+            acc: req,
+            snap: st.snap,
+            share: st.share,
+        };
+        let second = ClosedMsg {
+            acc: resp,
+            snap: None,
+            share: 1,
+        };
+        self.complete_interaction(first, second, st.last_wall, cpu);
+        true
+    }
+
+    /// Flushes idle ARM states: completed pairs emit records; stale
+    /// request-only states are evicted. Returns completions.
+    fn flush_idle_arm(&mut self, now: SimTime) -> usize {
+        let stale: Vec<((FlowKey, u64), bool)> = self
+            .arm_flows
+            .iter()
+            .filter(|(_, st)| now.saturating_since(st.last_wall) >= self.config.idle_close)
+            .map(|(k, st)| (*k, st.req.is_some() && st.resp.is_some()))
+            .collect();
+        let mut completed = 0;
+        for (key, finishable) in stale {
+            if finishable {
+                if self.arm_finish(key, 0) {
+                    completed += 1;
+                }
+            } else if let Some(st) = self.arm_flows.remove(&key) {
+                if let Some(p) = st.window_pid {
+                    if let Some(n) = self.open_windows.get_mut(&p) {
+                        *n = n.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        completed
+    }
+}
+
+impl Analyzer for Lpa {
+    fn name(&self) -> &str {
+        "lpa"
+    }
+
+    fn interest(&self) -> Interest {
+        let mut mask = EventMask::NETWORK;
+        if self.config.track_scheduling {
+            mask |= EventMask::SCHEDULING;
+        }
+        Interest {
+            mask,
+            predicate: Predicate::new(),
+        }
+    }
+
+    fn on_event(&mut self, event: &Event) -> AnalyzerOutcome {
+        self.events_seen += 1;
+        self.pending_switch = false;
+        let mut cost = self.config.per_event_cost;
+        match event.class() {
+            kprof::EventClass::Scheduling => self.sched_event(event),
+            kprof::EventClass::Network
+                if self.net_event(event) => {
+                    cost += self.config.per_record_cost;
+                }
+            _ => {}
+        }
+        AnalyzerOutcome {
+            cost,
+            buffer_full: self.pending_switch,
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{EndPoint, PacketId};
+
+    const ME: Ip = Ip(0x0A000002);
+    const CLIENT: Ip = Ip(0x0A000001);
+
+    fn lpa() -> Lpa {
+        Lpa::new(NodeId(1), ME, LpaConfig::default())
+    }
+
+    fn req_flow() -> FlowKey {
+        FlowKey::new(
+            EndPoint::new(CLIENT, Port(40000)),
+            EndPoint::new(ME, Port(2049)),
+        )
+    }
+
+    fn ev(wall_us: u64, payload: EventPayload) -> Event {
+        Event {
+            seq: 0,
+            node: NodeId(1),
+            cpu: 0,
+            wall: SimTime::from_micros(wall_us),
+            payload,
+        }
+    }
+
+    fn net(wall_us: u64, point: NetPoint, flow: FlowKey, size: u32, pid: Option<Pid>) -> Event {
+        ev(
+            wall_us,
+            EventPayload::Net {
+                point,
+                flow,
+                packet: PacketId(wall_us),
+                size,
+                pid,
+                arm: None,
+            },
+        )
+    }
+
+    /// Feeds one full request/response exchange; returns completion state.
+    fn one_exchange(l: &mut Lpa, base_us: u64) {
+        let rf = req_flow();
+        let tf = rf.reversed();
+        let pid = Some(Pid(7));
+        // Request: two packets arrive, get buffered, get delivered.
+        l.on_event(&net(base_us, NetPoint::RxNic, rf, 1500, None));
+        l.on_event(&net(base_us + 12, NetPoint::RxNic, rf, 600, None));
+        l.on_event(&net(base_us + 20, NetPoint::RxSocketBuffer, rf, 1500, pid));
+        l.on_event(&net(base_us + 25, NetPoint::RxSocketBuffer, rf, 600, pid));
+        l.on_event(&net(base_us + 300, NetPoint::RxDeliverUser, rf, 1500, pid));
+        l.on_event(&net(base_us + 305, NetPoint::RxDeliverUser, rf, 600, pid));
+        // Server computes 100 µs (scheduling events drive the pid clock).
+        l.on_event(&ev(
+            base_us + 310,
+            EventPayload::ContextSwitch {
+                from: None,
+                to: pid,
+            },
+        ));
+        l.on_event(&ev(
+            base_us + 410,
+            EventPayload::ContextSwitch {
+                from: pid,
+                to: None,
+            },
+        ));
+        // Response: one packet out.
+        l.on_event(&net(base_us + 420, NetPoint::TxFromUser, tf, 200, pid));
+        l.on_event(&net(base_us + 440, NetPoint::TxNicDone, tf, 200, None));
+    }
+
+    #[test]
+    fn interaction_completes_on_next_request() {
+        let mut l = lpa();
+        one_exchange(&mut l, 1_000);
+        assert_eq!(l.records_completed(), 0, "pair still open");
+        // Next request closes the response message.
+        l.on_event(&net(5_000, NetPoint::RxNic, req_flow(), 800, None));
+        assert_eq!(l.records_completed(), 1);
+        let rec = l.window_snapshot().next().unwrap().clone();
+        assert_eq!(rec.class_port, Port(2049));
+        assert_eq!(rec.pid, 7);
+        assert_eq!(rec.req_packets, 2);
+        assert_eq!(rec.req_bytes, 2100);
+        assert_eq!(rec.resp_packets, 1);
+        assert_eq!(rec.start_us, 1_000);
+        assert_eq!(rec.end_us, 1_440, "ends at NIC tx done");
+        // kernel_in: first RxNic (1000) -> last deliver (1305).
+        assert_eq!(rec.kernel_in_us, 305);
+        // user: pid ran 100 µs between delivery and send.
+        assert_eq!(rec.user_us, 100);
+        // kernel_out: TxFromUser (1420) -> TxNicDone (1440).
+        assert_eq!(rec.kernel_out_us, 20);
+    }
+
+    #[test]
+    fn idle_flush_completes_trailing_interaction() {
+        let mut l = lpa();
+        one_exchange(&mut l, 1_000);
+        assert_eq!(l.records_completed(), 0);
+        // Too early: nothing is idle long enough.
+        assert_eq!(l.flush_idle(SimTime::from_micros(2_000)), 0);
+        // 50 ms later the response message is stale and closes.
+        assert_eq!(l.flush_idle(SimTime::from_millis(60)), 1);
+        assert_eq!(l.records_completed(), 1);
+    }
+
+    #[test]
+    fn back_to_back_interactions_all_complete() {
+        let mut l = lpa();
+        for i in 0..10 {
+            one_exchange(&mut l, 1_000 + i * 10_000);
+        }
+        l.flush_idle(SimTime::from_secs(1));
+        assert_eq!(l.records_completed(), 10);
+        let drained = l.drain();
+        assert_eq!(drained.len(), 10);
+    }
+
+    #[test]
+    fn kernel_buffer_queueing_grows_kernel_in() {
+        // Delay delivery (proxy busy): kernel_in grows, user stays.
+        let mut l = lpa();
+        let rf = req_flow();
+        let tf = rf.reversed();
+        let pid = Some(Pid(9));
+        l.on_event(&net(1_000, NetPoint::RxNic, rf, 500, None));
+        // Sits in the socket buffer for 5 ms before delivery.
+        l.on_event(&net(6_000, NetPoint::RxDeliverUser, rf, 500, pid));
+        l.on_event(&net(6_100, NetPoint::TxFromUser, tf, 100, pid));
+        l.on_event(&net(6_120, NetPoint::TxNicDone, tf, 100, None));
+        l.flush_idle(SimTime::from_secs(1));
+        let rec = l.window_snapshot().next().unwrap();
+        assert_eq!(rec.kernel_in_us, 5_000, "queueing shows up in kernel time");
+    }
+
+    #[test]
+    fn kernel_daemon_has_zero_user_time() {
+        // No RxDeliverUser events (in-kernel NFS server): everything
+        // becomes kernel time.
+        let mut l = lpa();
+        let rf = req_flow();
+        let tf = rf.reversed();
+        let pid = Some(Pid(3));
+        l.on_event(&net(1_000, NetPoint::RxNic, rf, 800, None));
+        l.on_event(&net(1_010, NetPoint::RxSocketBuffer, rf, 800, pid));
+        // 8 ms later (disk I/O) the reply goes out.
+        l.on_event(&net(9_000, NetPoint::TxFromUser, tf, 100, pid));
+        l.on_event(&net(9_020, NetPoint::TxNicDone, tf, 100, None));
+        l.flush_idle(SimTime::from_secs(1));
+        let rec = l.window_snapshot().next().unwrap();
+        assert_eq!(rec.user_us, 0);
+        assert_eq!(rec.kernel_in_us, 8_000, "rx -> response start");
+        assert_eq!(rec.pid, 3);
+    }
+
+    #[test]
+    fn blocked_time_attributed_from_sched_events() {
+        let mut l = lpa();
+        let rf = req_flow();
+        let tf = rf.reversed();
+        let pid = Pid(4);
+        l.on_event(&net(1_000, NetPoint::RxNic, rf, 500, None));
+        l.on_event(&net(1_100, NetPoint::RxDeliverUser, rf, 500, Some(pid)));
+        // Process blocks on disk for 3 ms inside the window.
+        l.on_event(&ev(1_200, EventPayload::ProcessBlock {
+            pid,
+            reason: BlockReason::DiskIo,
+        }));
+        l.on_event(&ev(4_200, EventPayload::ProcessWake { pid }));
+        l.on_event(&net(4_300, NetPoint::TxFromUser, tf, 100, Some(pid)));
+        l.on_event(&net(4_320, NetPoint::TxNicDone, tf, 100, None));
+        l.flush_idle(SimTime::from_secs(1));
+        let rec = l.window_snapshot().next().unwrap();
+        assert_eq!(rec.blocked_us, 3_000);
+        assert_eq!(rec.blocked_io_us, 3_000);
+    }
+
+    #[test]
+    fn monitoring_ports_are_excluded() {
+        let mut l = lpa();
+        let daemon_flow = FlowKey::new(
+            EndPoint::new(CLIENT, Port(9997)),
+            EndPoint::new(ME, Port(9999)),
+        );
+        l.on_event(&net(1_000, NetPoint::RxNic, daemon_flow, 500, None));
+        l.on_event(&net(2_000, NetPoint::TxFromUser, daemon_flow.reversed(), 500, None));
+        l.on_event(&net(3_000, NetPoint::RxNic, daemon_flow, 500, None));
+        l.flush_idle(SimTime::from_secs(1));
+        assert_eq!(l.records_completed(), 0, "own traffic never diagnosed");
+    }
+
+    #[test]
+    fn service_port_predicate_filters_classes() {
+        let mut cfg = LpaConfig::default();
+        cfg.service_ports = Some([Port(80)].into_iter().collect());
+        let mut l = Lpa::new(NodeId(1), ME, cfg);
+        one_exchange(&mut l, 1_000); // class 2049: filtered out
+        l.on_event(&net(5_000, NetPoint::RxNic, req_flow(), 800, None));
+        assert_eq!(l.records_completed(), 0);
+    }
+
+    #[test]
+    fn class_only_mode_aggregates_without_staging() {
+        let mut cfg = LpaConfig::default();
+        cfg.class_only = true;
+        let mut l = Lpa::new(NodeId(1), ME, cfg);
+        for i in 0..5 {
+            one_exchange(&mut l, 1_000 + i * 10_000);
+        }
+        l.flush_idle(SimTime::from_secs(1));
+        assert_eq!(l.records_completed(), 5);
+        assert!(l.drain().is_empty(), "nothing staged per interaction");
+        let classes = l.class_summaries();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].0, Port(2049));
+        assert_eq!(classes[0].1, 5);
+        // take drains the flush window but leaves the cumulative view.
+        assert_eq!(l.take_class_aggregates().len(), 1);
+        assert!(l.take_class_aggregates().is_empty(), "window drained");
+        assert_eq!(l.class_summaries().len(), 1, "cumulative view persists");
+    }
+
+    #[test]
+    fn interleaved_requests_collapse_into_one_message() {
+        // The paper's documented limitation: two requests back to back
+        // with no intervening response form ONE message.
+        let mut l = lpa();
+        let rf = req_flow();
+        let tf = rf.reversed();
+        l.on_event(&net(1_000, NetPoint::RxNic, rf, 500, None)); // req A
+        l.on_event(&net(1_050, NetPoint::RxNic, rf, 500, None)); // req B (interleaved)
+        l.on_event(&net(2_000, NetPoint::TxFromUser, tf, 100, Some(Pid(1)))); // resp A
+        l.on_event(&net(2_050, NetPoint::TxFromUser, tf, 100, Some(Pid(1)))); // resp B
+        l.flush_idle(SimTime::from_secs(1));
+        assert_eq!(
+            l.records_completed(),
+            1,
+            "two interleaved exchanges look like one interaction"
+        );
+        let rec = l.window_snapshot().next().unwrap();
+        assert_eq!(rec.req_packets, 2);
+        assert_eq!(rec.resp_packets, 2);
+    }
+
+    #[test]
+    fn initiator_side_records_round_trip() {
+        // Observing from the client node: Out(req) then In(resp).
+        let mut l = Lpa::new(NodeId(0), CLIENT, LpaConfig::default());
+        let rf = req_flow(); // CLIENT -> ME: outbound from CLIENT's view
+        let back = rf.reversed();
+        l.on_event(&net(1_000, NetPoint::TxFromUser, rf, 300, Some(Pid(2))));
+        l.on_event(&net(1_020, NetPoint::TxNicDone, rf, 300, None));
+        l.on_event(&net(3_000, NetPoint::RxNic, back, 150, None));
+        l.on_event(&net(3_200, NetPoint::RxDeliverUser, back, 150, Some(Pid(2))));
+        l.flush_idle(SimTime::from_secs(1));
+        assert_eq!(l.records_completed(), 1);
+        let rec = l.window_snapshot().next().unwrap();
+        // Request flow oriented from the initiator.
+        assert_eq!(rec.flow.src.ip, CLIENT);
+        assert_eq!(rec.class_port, Port(2049));
+        assert_eq!(rec.user_us, 0, "initiator cannot attribute server time");
+        assert!(rec.end_us > rec.start_us);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut cfg = LpaConfig::default();
+        cfg.window = 3;
+        let mut l = Lpa::new(NodeId(1), ME, cfg);
+        for i in 0..10 {
+            one_exchange(&mut l, 1_000 + i * 10_000);
+        }
+        l.flush_idle(SimTime::from_secs(1));
+        assert_eq!(l.window_snapshot().count(), 3, "window keeps the last N");
+    }
+
+    #[test]
+    fn buffer_full_notification_fires() {
+        let mut cfg = LpaConfig::default();
+        cfg.window = 2; // tiny buffers
+        let mut l = Lpa::new(NodeId(1), ME, cfg);
+        let mut notified = false;
+        for i in 0..6 {
+            one_exchange(&mut l, 1_000 + i * 10_000);
+            let boundary = net(1_000 + (i + 1) * 10_000 - 100, NetPoint::RxNic, req_flow(), 1, None);
+            let out = l.on_event(&boundary);
+            notified |= out.buffer_full;
+        }
+        assert!(notified, "small buffers must fill and notify");
+    }
+
+    fn net_arm(wall_us: u64, point: NetPoint, flow: FlowKey, size: u32, pid: Option<Pid>, arm: u64) -> Event {
+        ev(
+            wall_us,
+            EventPayload::Net {
+                point,
+                flow,
+                packet: PacketId(wall_us),
+                size,
+                pid,
+                arm: Some(arm),
+            },
+        )
+    }
+
+    fn arm_lpa() -> Lpa {
+        let mut cfg = LpaConfig::default();
+        cfg.use_arm_hints = true;
+        Lpa::new(NodeId(1), ME, cfg)
+    }
+
+    #[test]
+    fn arm_hints_separate_interleaved_requests() {
+        // The exact scenario the black-box tracker collapses (see
+        // interleaved_requests_collapse_into_one_message): two pipelined
+        // requests on one flow. With ARM correlators they separate.
+        let mut l = arm_lpa();
+        let rf = req_flow();
+        let tf = rf.reversed();
+        let pid = Some(Pid(1));
+        l.on_event(&net_arm(1_000, NetPoint::RxNic, rf, 500, None, 11)); // req A
+        l.on_event(&net_arm(1_050, NetPoint::RxNic, rf, 500, None, 22)); // req B (interleaved)
+        l.on_event(&net_arm(1_100, NetPoint::RxDeliverUser, rf, 500, pid, 11));
+        l.on_event(&net_arm(1_150, NetPoint::RxDeliverUser, rf, 500, pid, 22));
+        l.on_event(&net_arm(2_000, NetPoint::TxFromUser, tf, 100, pid, 11)); // resp A
+        l.on_event(&net_arm(2_400, NetPoint::TxFromUser, tf, 100, pid, 22)); // resp B
+        l.flush_idle(SimTime::from_secs(1));
+        assert_eq!(
+            l.records_completed(),
+            2,
+            "ARM hints split the interleaved exchanges into two interactions"
+        );
+        let recs: Vec<_> = l.window_snapshot().collect();
+        assert_eq!(recs[0].req_packets, 1);
+        assert_eq!(recs[1].req_packets, 1);
+        // Each interaction got its own timing, not a merged span.
+        assert_eq!(recs[0].start_us, 1_000);
+        assert_eq!(recs[1].start_us, 1_050);
+    }
+
+    #[test]
+    fn arm_completion_triggers_on_next_correlator() {
+        let mut l = arm_lpa();
+        let rf = req_flow();
+        let tf = rf.reversed();
+        // Full exchange for id 1…
+        l.on_event(&net_arm(1_000, NetPoint::RxNic, rf, 500, None, 1));
+        l.on_event(&net_arm(2_000, NetPoint::TxFromUser, tf, 100, Some(Pid(1)), 1));
+        assert_eq!(l.records_completed(), 0, "still open");
+        // …a packet of id 2 finishes it eagerly (no idle flush needed).
+        l.on_event(&net_arm(3_000, NetPoint::RxNic, rf, 500, None, 2));
+        assert_eq!(l.records_completed(), 1);
+    }
+
+    #[test]
+    fn arm_kernel_and_user_attribution() {
+        let mut l = arm_lpa();
+        let rf = req_flow();
+        let tf = rf.reversed();
+        let pid = Pid(5);
+        l.on_event(&net_arm(1_000, NetPoint::RxNic, rf, 500, None, 9));
+        l.on_event(&net_arm(1_400, NetPoint::RxDeliverUser, rf, 500, Some(pid), 9));
+        l.on_event(&ev(1_500, EventPayload::ContextSwitch { from: None, to: Some(pid) }));
+        l.on_event(&ev(1_700, EventPayload::ContextSwitch { from: Some(pid), to: None }));
+        l.on_event(&net_arm(1_800, NetPoint::TxFromUser, tf, 100, Some(pid), 9));
+        l.on_event(&net_arm(1_820, NetPoint::TxNicDone, tf, 100, None, 9));
+        l.flush_idle(SimTime::from_secs(1));
+        let rec = l.window_snapshot().next().unwrap();
+        assert_eq!(rec.kernel_in_us, 400, "rx -> deliver");
+        assert_eq!(rec.user_us, 200, "pid ran 200us inside the window");
+        assert_eq!(rec.kernel_out_us, 20);
+    }
+
+    #[test]
+    fn arm_request_without_response_is_evicted_silently() {
+        let mut l = arm_lpa();
+        l.on_event(&net_arm(1_000, NetPoint::RxNic, req_flow(), 500, None, 7));
+        l.flush_idle(SimTime::from_secs(1));
+        assert_eq!(l.records_completed(), 0);
+        // The state is gone: a later response for the same id cannot pair.
+        l.on_event(&net_arm(
+            2_000_000,
+            NetPoint::TxFromUser,
+            req_flow().reversed(),
+            100,
+            Some(Pid(1)),
+            7,
+        ));
+        l.flush_idle(SimTime::from_secs(10));
+        assert_eq!(l.records_completed(), 0, "orphan response never pairs");
+    }
+
+    #[test]
+    fn untagged_flows_fall_back_to_blackbox_pairing() {
+        let mut l = arm_lpa();
+        // No arm on these events even though hints are enabled.
+        one_exchange(&mut l, 1_000);
+        l.on_event(&net(50_000, NetPoint::RxNic, req_flow(), 1, None));
+        assert_eq!(l.records_completed(), 1, "black-box path still works");
+    }
+
+    #[test]
+    fn reconfigure_preserves_staged_records() {
+        let mut l = lpa();
+        one_exchange(&mut l, 1_000);
+        l.flush_idle(SimTime::from_secs(1));
+        assert_eq!(l.records_completed(), 1);
+        let mut cfg = l.config().clone();
+        cfg.window = 16;
+        l.reconfigure(cfg);
+        assert_eq!(l.drain().len(), 1, "record survives reconfiguration");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use simnet::{EndPoint, PacketId};
+
+    const ME: Ip = Ip(0x0A000002);
+
+    /// Generates an arbitrary (but plausible) kernel event.
+    fn arb_event() -> impl Strategy<Value = Event> {
+        let ep = |ip: u32, port: u16| EndPoint::new(Ip(ip), Port(port));
+        (
+            0u64..2_000_000,              // wall µs
+            0u8..10,                      // payload selector
+            1u32..4,                      // pid
+            0u32..3,                      // peer ip selector
+            prop::option::of(0u64..4),    // arm id
+            64u32..1500,                  // size
+        )
+            .prop_map(move |(wall, sel, pid, peer, arm, size)| {
+                let pid = Pid(pid);
+                let inbound = FlowKey::new(ep(peer + 1, 40_000), ep(0x0A00_0002, 2049));
+                let outbound = inbound.reversed();
+                let payload = match sel {
+                    0 => EventPayload::Net {
+                        point: NetPoint::RxNic,
+                        flow: inbound,
+                        packet: PacketId(wall),
+                        size,
+                        pid: None,
+                        arm,
+                    },
+                    1 => EventPayload::Net {
+                        point: NetPoint::RxSocketBuffer,
+                        flow: inbound,
+                        packet: PacketId(wall),
+                        size,
+                        pid: Some(pid),
+                        arm,
+                    },
+                    2 => EventPayload::Net {
+                        point: NetPoint::RxDeliverUser,
+                        flow: inbound,
+                        packet: PacketId(wall),
+                        size,
+                        pid: Some(pid),
+                        arm,
+                    },
+                    3 => EventPayload::Net {
+                        point: NetPoint::TxFromUser,
+                        flow: outbound,
+                        packet: PacketId(wall),
+                        size,
+                        pid: Some(pid),
+                        arm,
+                    },
+                    4 => EventPayload::Net {
+                        point: NetPoint::TxNicDone,
+                        flow: outbound,
+                        packet: PacketId(wall),
+                        size,
+                        pid: None,
+                        arm,
+                    },
+                    5 => EventPayload::ContextSwitch {
+                        from: None,
+                        to: Some(pid),
+                    },
+                    6 => EventPayload::ContextSwitch {
+                        from: Some(pid),
+                        to: None,
+                    },
+                    7 => EventPayload::ProcessBlock {
+                        pid,
+                        reason: BlockReason::DiskIo,
+                    },
+                    8 => EventPayload::ProcessWake { pid },
+                    _ => EventPayload::Net {
+                        point: NetPoint::Drop,
+                        flow: inbound,
+                        packet: PacketId(wall),
+                        size,
+                        pid: None,
+                        arm,
+                    },
+                };
+                Event {
+                    seq: wall,
+                    node: NodeId(1),
+                    cpu: 0,
+                    wall: SimTime::from_micros(wall),
+                    payload,
+                }
+            })
+    }
+
+    proptest! {
+        /// The LPA is total: any event sequence (in any order, including
+        /// time going backwards between flows) processes without panics,
+        /// and every produced record satisfies basic invariants.
+        #[test]
+        fn prop_lpa_total_and_records_sane(
+            mut events in proptest::collection::vec(arb_event(), 0..300),
+            use_arm in any::<bool>(),
+        ) {
+            // Deliver in wall order (the kernel emits in order).
+            events.sort_by_key(|e| e.wall);
+            let mut cfg = LpaConfig::default();
+            cfg.use_arm_hints = use_arm;
+            let mut lpa = Lpa::new(NodeId(1), ME, cfg);
+            for (i, ev) in events.iter().enumerate() {
+                let out = lpa.on_event(ev);
+                prop_assert!(out.cost > SimDuration::ZERO);
+                // Occasionally flush mid-stream, as the daemon would.
+                if i % 37 == 36 {
+                    lpa.flush_idle(ev.wall + SimDuration::from_secs(1));
+                    lpa.drain();
+                }
+            }
+            lpa.flush_idle(SimTime::from_secs(10));
+            for rec in lpa.drain() {
+                prop_assert!(rec.end_us >= rec.start_us, "span sane");
+                prop_assert!(rec.req_packets >= 1);
+                prop_assert!(rec.resp_packets >= 1);
+                prop_assert!(
+                    rec.kernel_in_us <= rec.end_us - rec.start_us + 1,
+                    "kernel-in {} inside span {}",
+                    rec.kernel_in_us,
+                    rec.end_us - rec.start_us
+                );
+                prop_assert_eq!(rec.node, NodeId(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! `/proc`-style textual views of monitoring state.
+//!
+//! The dissemination daemon "makes [the data] available to the user-level
+//! through the standard `/proc` virtual filesystem interface" (§2, as
+//! with Dproc). These renderers produce the file contents an
+//! administrator would `cat`.
+
+use kprof::Kprof;
+use simcore::NodeId;
+
+use crate::gpa::Gpa;
+use crate::lpa::Lpa;
+
+/// Renders `/proc/sysprof/interactions`: the LPA's recent-interaction
+/// window, one line per interaction.
+pub fn render_interactions(lpa: &Lpa) -> String {
+    let mut out = String::from(
+        "# flow                                  class  pid    start_us     total_us  kern_in  user  kern_out  blocked\n",
+    );
+    for r in lpa.window_snapshot() {
+        out.push_str(&format!(
+            "{:<40} {:<6} {:<6} {:<12} {:<9} {:<8} {:<5} {:<9} {}\n",
+            r.flow.to_string(),
+            r.class_port,
+            r.pid,
+            r.start_us,
+            r.end_us.saturating_sub(r.start_us),
+            r.kernel_in_us,
+            r.user_us,
+            r.kernel_out_us,
+            r.blocked_us,
+        ));
+    }
+    out
+}
+
+/// Renders `/proc/sysprof/classes`: per-service-class aggregates.
+pub fn render_classes(lpa: &Lpa) -> String {
+    let mut out =
+        String::from("# class_port  count   mean_kernel_in_us  mean_user_us  mean_total_us\n");
+    for (port, count, kin, user, total) in lpa.class_summaries() {
+        out.push_str(&format!(
+            "{:<12} {:<7} {:<18.1} {:<13.1} {:.1}\n",
+            port, count, kin, user, total
+        ));
+    }
+    out
+}
+
+/// Renders `/proc/sysprof/status`: monitoring-layer health for one node.
+pub fn render_status(node: NodeId, kprof: &Kprof, lpa: &Lpa) -> String {
+    let s = kprof.stats();
+    format!(
+        "node: {node}\n\
+         effective_mask_kinds: {}\n\
+         events_generated: {}\n\
+         events_delivered: {}\n\
+         events_suppressed: {}\n\
+         predicate_rejections: {}\n\
+         monitoring_overhead: {}\n\
+         lpa_events: {}\n\
+         lpa_records: {}\n\
+         lpa_overwritten: {}\n",
+        kprof.effective_mask().len(),
+        s.events_generated,
+        s.events_delivered,
+        s.events_suppressed,
+        s.predicate_rejections,
+        s.total_overhead,
+        lpa.events_seen(),
+        lpa.records_completed(),
+        lpa.overwritten(),
+    )
+}
+
+/// Renders the GPA's cluster-wide summary table.
+pub fn render_gpa_summary(gpa: &Gpa) -> String {
+    let mut out = String::from(
+        "# node   class   count   kern_in_us  user_us  kern_out_us  blocked_us  total_us  p50_us   p95_us   p99_us\n",
+    );
+    for s in gpa.all_class_summaries() {
+        out.push_str(&format!(
+            "{:<8} {:<7} {:<7} {:<11.1} {:<8.1} {:<12.1} {:<11.1} {:<9.1} {:<8.0} {:<8.0} {:.0}\n",
+            s.node.to_string(),
+            s.class_port,
+            s.count,
+            s.mean_kernel_in_us,
+            s.mean_user_us,
+            s.mean_kernel_out_us,
+            s.mean_blocked_us,
+            s.mean_total_us,
+            s.p50_total_us,
+            s.p95_total_us,
+            s.p99_total_us,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lpa::LpaConfig;
+    use simnet::Ip;
+
+    #[test]
+    fn renders_are_nonempty_and_have_headers() {
+        let lpa = Lpa::new(NodeId(0), Ip::for_node_index(0), LpaConfig::default());
+        let kprof = Kprof::new(NodeId(0));
+        let gpa = Gpa::new(crate::GpaConfig::default());
+        assert!(render_interactions(&lpa).starts_with("# flow"));
+        assert!(render_classes(&lpa).starts_with("# class_port"));
+        assert!(render_status(NodeId(0), &kprof, &lpa).contains("events_generated: 0"));
+        assert!(render_gpa_summary(&gpa).starts_with("# node"));
+    }
+}

@@ -1,0 +1,581 @@
+//! The fuel-metered stack VM.
+
+use crate::compile::{GlobalInit, Program, Type};
+use crate::EcodeError;
+
+/// Bytecode instructions. Typed variants keep the stack representation a
+/// plain 64-bit word (floats stored via `to_bits`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Op {
+    ConstI(i64),
+    ConstF(f64),
+    LoadInput(u16),
+    LoadGlobal(u16),
+    LoadLocal(u16),
+    StoreGlobal(u16),
+    StoreLocal(u16),
+    AddI,
+    SubI,
+    MulI,
+    DivI,
+    ModI,
+    NegI,
+    AddF,
+    SubF,
+    MulF,
+    DivF,
+    NegF,
+    /// Convert top of stack int → double.
+    I2F,
+    /// Convert second-of-stack int → double (for promoting a left operand
+    /// after the right operand is already pushed).
+    I2FUnder,
+    EqI,
+    NeI,
+    LtI,
+    LeI,
+    GtI,
+    GeI,
+    EqF,
+    NeF,
+    LtF,
+    LeF,
+    GtF,
+    GeF,
+    NotB,
+    AbsI,
+    AbsF,
+    MinI,
+    MinF,
+    MaxI,
+    MaxF,
+    /// Pops value (f64) then slot (i64); appends to the run's outputs.
+    Out,
+    Jmp(u32),
+    JmpIfFalse(u32),
+    Pop,
+    Ret,
+    RetVoid,
+}
+
+/// A host-supplied input value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer input.
+    Int(i64),
+    /// Double input.
+    Double(f64),
+    /// Boolean input.
+    Bool(bool),
+}
+
+impl Value {
+    fn ty(&self) -> Type {
+        match self {
+            Value::Int(_) => Type::Int,
+            Value::Double(_) => Type::Double,
+            Value::Bool(_) => Type::Bool,
+        }
+    }
+
+    fn raw(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Double(v) => v.to_bits() as i64,
+            Value::Bool(v) => *v as i64,
+        }
+    }
+}
+
+/// The result of one program run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Value of the executed `return` (0 if the program fell off the end).
+    pub ret: i64,
+    /// Instructions executed — the host converts this to CPU time and
+    /// charges it as monitoring overhead.
+    pub fuel_used: u64,
+    /// Values published via `out(slot, value)` during this run.
+    pub outputs: Vec<(i64, f64)>,
+}
+
+/// Per-analyzer program state: the persistent `static` variables.
+/// Create one instance per installed CPA; run it once per event.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    program: Program,
+    globals: Vec<i64>,
+}
+
+impl Instance {
+    /// Creates an instance with statics at their declared initial values.
+    /// The program is cheap to clone (bytecode + layout tables).
+    pub fn new(program: &Program) -> Self {
+        let globals = program
+            .globals
+            .iter()
+            .map(|(_, _, init)| match init {
+                GlobalInit::Int(v) => *v,
+                GlobalInit::Double(v) => v.to_bits() as i64,
+                GlobalInit::Bool(v) => *v as i64,
+            })
+            .collect();
+        Instance {
+            program: program.clone(),
+            globals,
+        }
+    }
+
+    /// Reads a static variable's current value by name (for host-side
+    /// inspection of accumulated state).
+    pub fn global(&self, name: &str) -> Option<Value> {
+        let idx = self
+            .program
+            .globals
+            .iter()
+            .position(|(n, _, _)| n == name)?;
+        let (_, ty, _) = &self.program.globals[idx];
+        let raw = self.globals[idx];
+        Some(match ty {
+            Type::Int => Value::Int(raw),
+            Type::Double => Value::Double(f64::from_bits(raw as u64)),
+            Type::Bool => Value::Bool(raw != 0),
+        })
+    }
+
+    /// Runs the program once over `inputs` with the given fuel budget.
+    ///
+    /// # Errors
+    ///
+    /// * [`EcodeError::BadInputs`] if inputs don't match the declaration.
+    /// * [`EcodeError::OutOfFuel`] if the budget is exhausted (statics may
+    ///   have been partially updated — the analyzer is expected to be
+    ///   deactivated by the controller when this happens).
+    /// * [`EcodeError::DivideByZero`] on integer division/modulo by zero.
+    pub fn run(&mut self, inputs: &[Value], fuel: u64) -> Result<RunOutcome, EcodeError> {
+        if inputs.len() != self.program.inputs.len() {
+            return Err(EcodeError::BadInputs(format!(
+                "expected {} inputs, got {}",
+                self.program.inputs.len(),
+                inputs.len()
+            )));
+        }
+        for (v, (name, ty)) in inputs.iter().zip(self.program.inputs.iter()) {
+            if v.ty() != *ty {
+                return Err(EcodeError::BadInputs(format!(
+                    "input {name:?} expects {ty:?}, got {:?}",
+                    v.ty()
+                )));
+            }
+        }
+        let raw_inputs: Vec<i64> = inputs.iter().map(Value::raw).collect();
+        let mut locals = vec![0i64; self.program.n_locals as usize];
+        let mut stack: Vec<i64> = Vec::with_capacity(16);
+        let mut outputs = Vec::new();
+        let mut pc = 0usize;
+        let mut fuel_used = 0u64;
+        let code = &self.program.code;
+
+        macro_rules! popi {
+            () => {
+                stack.pop().expect("compiler guarantees stack discipline")
+            };
+        }
+        macro_rules! popf {
+            () => {
+                f64::from_bits(popi!() as u64)
+            };
+        }
+        macro_rules! pushf {
+            ($v:expr) => {
+                stack.push(($v).to_bits() as i64)
+            };
+        }
+        macro_rules! binf {
+            ($op:tt) => {{ let r = popf!(); let l = popf!(); pushf!(l $op r); }};
+        }
+        macro_rules! cmpi {
+            ($op:tt) => {{ let r = popi!(); let l = popi!(); stack.push((l $op r) as i64); }};
+        }
+        macro_rules! cmpf {
+            ($op:tt) => {{ let r = popf!(); let l = popf!(); stack.push((l $op r) as i64); }};
+        }
+
+        loop {
+            fuel_used += 1;
+            if fuel_used > fuel {
+                return Err(EcodeError::OutOfFuel);
+            }
+            let op = code[pc];
+            pc += 1;
+            match op {
+                Op::ConstI(v) => stack.push(v),
+                Op::ConstF(v) => pushf!(v),
+                Op::LoadInput(i) => stack.push(raw_inputs[i as usize]),
+                Op::LoadGlobal(i) => stack.push(self.globals[i as usize]),
+                Op::LoadLocal(i) => stack.push(locals[i as usize]),
+                Op::StoreGlobal(i) => self.globals[i as usize] = popi!(),
+                Op::StoreLocal(i) => locals[i as usize] = popi!(),
+                Op::AddI => {
+                    let r = popi!();
+                    let l = popi!();
+                    stack.push(l.wrapping_add(r));
+                }
+                Op::SubI => {
+                    let r = popi!();
+                    let l = popi!();
+                    stack.push(l.wrapping_sub(r));
+                }
+                Op::MulI => {
+                    let r = popi!();
+                    let l = popi!();
+                    stack.push(l.wrapping_mul(r));
+                }
+                Op::DivI => {
+                    let r = popi!();
+                    let l = popi!();
+                    if r == 0 {
+                        return Err(EcodeError::DivideByZero);
+                    }
+                    stack.push(l.wrapping_div(r));
+                }
+                Op::ModI => {
+                    let r = popi!();
+                    let l = popi!();
+                    if r == 0 {
+                        return Err(EcodeError::DivideByZero);
+                    }
+                    stack.push(l.wrapping_rem(r));
+                }
+                Op::NegI => {
+                    let v = popi!();
+                    stack.push(v.wrapping_neg());
+                }
+                Op::AddF => binf!(+),
+                Op::SubF => binf!(-),
+                Op::MulF => binf!(*),
+                Op::DivF => binf!(/),
+                Op::NegF => {
+                    let v = popf!();
+                    pushf!(-v);
+                }
+                Op::I2F => {
+                    let v = popi!();
+                    pushf!(v as f64);
+                }
+                Op::I2FUnder => {
+                    let top = popi!();
+                    let under = popi!();
+                    pushf!(under as f64);
+                    stack.push(top);
+                }
+                Op::EqI => cmpi!(==),
+                Op::NeI => cmpi!(!=),
+                Op::LtI => cmpi!(<),
+                Op::LeI => cmpi!(<=),
+                Op::GtI => cmpi!(>),
+                Op::GeI => cmpi!(>=),
+                Op::EqF => cmpf!(==),
+                Op::NeF => cmpf!(!=),
+                Op::LtF => cmpf!(<),
+                Op::LeF => cmpf!(<=),
+                Op::GtF => cmpf!(>),
+                Op::GeF => cmpf!(>=),
+                Op::NotB => {
+                    let v = popi!();
+                    stack.push((v == 0) as i64);
+                }
+                Op::AbsI => {
+                    let v = popi!();
+                    stack.push(v.wrapping_abs());
+                }
+                Op::AbsF => {
+                    let v = popf!();
+                    pushf!(v.abs());
+                }
+                Op::MinI => {
+                    let r = popi!();
+                    let l = popi!();
+                    stack.push(l.min(r));
+                }
+                Op::MinF => {
+                    let r = popf!();
+                    let l = popf!();
+                    pushf!(l.min(r));
+                }
+                Op::MaxI => {
+                    let r = popi!();
+                    let l = popi!();
+                    stack.push(l.max(r));
+                }
+                Op::MaxF => {
+                    let r = popf!();
+                    let l = popf!();
+                    pushf!(l.max(r));
+                }
+                Op::Out => {
+                    let value = popf!();
+                    let slot = popi!();
+                    outputs.push((slot, value));
+                }
+                Op::Jmp(t) => pc = t as usize,
+                Op::JmpIfFalse(t) => {
+                    if popi!() == 0 {
+                        pc = t as usize;
+                    }
+                }
+                Op::Pop => {
+                    popi!();
+                }
+                Op::Ret => {
+                    let ret = popi!();
+                    return Ok(RunOutcome {
+                        ret,
+                        fuel_used,
+                        outputs,
+                    });
+                }
+                Op::RetVoid => {
+                    return Ok(RunOutcome {
+                        ret: 0,
+                        fuel_used,
+                        outputs,
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn run_once(src: &str, inputs: &[(&str, Type)], vals: &[Value]) -> RunOutcome {
+        let p = Program::compile(src, inputs).expect("compiles");
+        Instance::new(&p).run(vals, 100_000).expect("runs")
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        assert_eq!(run_once("return 2 + 3 * 4;", &[], &[]).ret, 14);
+        assert_eq!(run_once("return (2 + 3) * 4;", &[], &[]).ret, 20);
+        assert_eq!(run_once("return 7 / 2;", &[], &[]).ret, 3);
+        assert_eq!(run_once("return 7 % 3;", &[], &[]).ret, 1);
+        assert_eq!(run_once("return -5;", &[], &[]).ret, -5);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(run_once("return 1 < 2 && 3 > 2;", &[], &[]).ret, 1);
+        assert_eq!(run_once("return 1 > 2 || 2 >= 2;", &[], &[]).ret, 1);
+        assert_eq!(run_once("return !(1 == 1);", &[], &[]).ret, 0);
+        assert_eq!(run_once("return 1.5 < 2.0;", &[], &[]).ret, 1);
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs() {
+        // RHS would divide by zero; short-circuit must skip it.
+        let out = run_once("int z = 0; return false && 1 / z == 0;", &[], &[]);
+        assert_eq!(out.ret, 0);
+        let out = run_once("int z = 0; return true || 1 / z == 0;", &[], &[]);
+        assert_eq!(out.ret, 1);
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes() {
+        assert_eq!(run_once("return 1 + 1.5 > 2.4;", &[], &[]).ret, 1);
+        assert_eq!(run_once("return 1.5 + 1 > 2.4;", &[], &[]).ret, 1);
+        // double return is rejected:
+        assert!(matches!(
+            Program::compile("return 1.5;", &[]),
+            Err(EcodeError::Types { .. })
+        ));
+    }
+
+    #[test]
+    fn locals_and_if_else() {
+        let src = r#"
+            int x = 10;
+            int y = 0;
+            if (x > 5) { y = 1; } else { y = 2; }
+            return y;
+        "#;
+        assert_eq!(run_once(src, &[], &[]).ret, 1);
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let src = r#"
+            int grade = 0;
+            if (score > 90) { grade = 1; }
+            else if (score > 50) { grade = 2; }
+            else { grade = 3; }
+            return grade;
+        "#;
+        let p = Program::compile(src, &[("score", Type::Int)]).unwrap();
+        let mut i = Instance::new(&p);
+        assert_eq!(i.run(&[Value::Int(95)], 1000).unwrap().ret, 1);
+        assert_eq!(i.run(&[Value::Int(70)], 1000).unwrap().ret, 2);
+        assert_eq!(i.run(&[Value::Int(10)], 1000).unwrap().ret, 3);
+    }
+
+    #[test]
+    fn statics_persist_across_runs() {
+        let src = "static int n = 0; n = n + 1; return n;";
+        let p = Program::compile(src, &[]).unwrap();
+        let mut i = Instance::new(&p);
+        for expect in 1..=5 {
+            assert_eq!(i.run(&[], 1000).unwrap().ret, expect);
+        }
+        assert_eq!(i.global("n"), Some(Value::Int(5)));
+        // A fresh instance starts over.
+        let mut j = Instance::new(&p);
+        assert_eq!(j.run(&[], 1000).unwrap().ret, 1);
+    }
+
+    #[test]
+    fn inputs_are_read_only() {
+        assert!(matches!(
+            Program::compile("x = 1;", &[("x", Type::Int)]),
+            Err(EcodeError::Types { .. })
+        ));
+    }
+
+    #[test]
+    fn out_collects_values() {
+        let src = "out(0, 1.5); out(3, 2 + 2); return 0;";
+        let outcome = run_once(src, &[], &[]);
+        assert_eq!(outcome.outputs, vec![(0, 1.5), (3, 4.0)]);
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(run_once("return abs(-4);", &[], &[]).ret, 4);
+        assert_eq!(run_once("return min(3, 7);", &[], &[]).ret, 3);
+        assert_eq!(run_once("return max(3, 7);", &[], &[]).ret, 7);
+        assert_eq!(run_once("return min(2.5, 2) < 2.1;", &[], &[]).ret, 1);
+    }
+
+    #[test]
+    fn fuel_exhaustion_aborts() {
+        let p = Program::compile("static int n = 0; n = n + 1; return n;", &[]).unwrap();
+        let mut i = Instance::new(&p);
+        assert_eq!(i.run(&[], 2), Err(EcodeError::OutOfFuel));
+        // A generous budget succeeds and reports usage.
+        let outcome = i.run(&[], 1000).unwrap();
+        assert!(outcome.fuel_used > 2 && outcome.fuel_used < 20);
+    }
+
+    #[test]
+    fn divide_by_zero_is_caught() {
+        let p = Program::compile("return 1 / x;", &[("x", Type::Int)]).unwrap();
+        let mut i = Instance::new(&p);
+        assert_eq!(i.run(&[Value::Int(0)], 1000), Err(EcodeError::DivideByZero));
+        assert_eq!(i.run(&[Value::Int(2)], 1000).unwrap().ret, 0);
+        let p = Program::compile("return 5 % x;", &[("x", Type::Int)]).unwrap();
+        assert_eq!(
+            Instance::new(&p).run(&[Value::Int(0)], 1000),
+            Err(EcodeError::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let p = Program::compile("return x;", &[("x", Type::Int)]).unwrap();
+        let mut i = Instance::new(&p);
+        assert!(matches!(i.run(&[], 100), Err(EcodeError::BadInputs(_))));
+        assert!(matches!(
+            i.run(&[Value::Double(1.0)], 100),
+            Err(EcodeError::BadInputs(_))
+        ));
+    }
+
+    #[test]
+    fn undeclared_variable_is_type_error() {
+        assert!(matches!(
+            Program::compile("return nope;", &[]),
+            Err(EcodeError::Types { .. })
+        ));
+    }
+
+    #[test]
+    fn redeclaration_rejected() {
+        assert!(matches!(
+            Program::compile("int x = 1; int x = 2;", &[]),
+            Err(EcodeError::Types { .. })
+        ));
+    }
+
+    #[test]
+    fn static_initializer_must_be_constant() {
+        assert!(matches!(
+            Program::compile("static int n = 1 + 2;", &[]),
+            Err(EcodeError::Types { .. })
+        ));
+        // Negated literals are fine.
+        let p = Program::compile("static int n = -5; return n;", &[]).unwrap();
+        assert_eq!(Instance::new(&p).run(&[], 100).unwrap().ret, -5);
+        // Int literal initializing a double is fine.
+        let p = Program::compile("static double d = 2; return d > 1.5;", &[]).unwrap();
+        assert_eq!(Instance::new(&p).run(&[], 100).unwrap().ret, 1);
+    }
+
+    #[test]
+    fn running_average_analyzer_shape() {
+        // The canonical CPA: per-class running average latency.
+        let src = r#"
+            static int count = 0;
+            static double total = 0.0;
+            if (kind == 8) {
+                count = count + 1;
+                total = total + latency_us;
+                out(0, total / count);
+            }
+            return count;
+        "#;
+        let p = Program::compile(
+            src,
+            &[("kind", Type::Int), ("latency_us", Type::Double)],
+        )
+        .unwrap();
+        let mut i = Instance::new(&p);
+        i.run(&[Value::Int(8), Value::Double(100.0)], 1000).unwrap();
+        i.run(&[Value::Int(3), Value::Double(999.0)], 1000).unwrap(); // filtered
+        let r = i
+            .run(&[Value::Int(8), Value::Double(200.0)], 1000)
+            .unwrap();
+        assert_eq!(r.ret, 2);
+        assert_eq!(r.outputs, vec![(0, 150.0)]);
+    }
+
+    proptest! {
+        /// The VM never panics on arbitrary integer inputs; it returns a
+        /// result or a well-typed error, and fuel accounting is exact for
+        /// straight-line code.
+        #[test]
+        fn prop_vm_total_on_inputs(a in any::<i64>(), b in any::<i64>()) {
+            let p = Program::compile(
+                "return (a + b) * 2 - a % max(1, b);",
+                &[("a", Type::Int), ("b", Type::Int)],
+            ).unwrap();
+            let mut i = Instance::new(&p);
+            let r = i.run(&[Value::Int(a), Value::Int(b)], 10_000);
+            prop_assert!(r.is_ok() || r == Err(EcodeError::DivideByZero));
+        }
+
+        /// Fuel used is deterministic: same program, same inputs, same fuel.
+        #[test]
+        fn prop_fuel_deterministic(x in -1000i64..1000) {
+            let p = Program::compile(
+                "int y = 0; if (x > 0) { y = x * 2; } else { y = -x; } return y;",
+                &[("x", Type::Int)],
+            ).unwrap();
+            let r1 = Instance::new(&p).run(&[Value::Int(x)], 10_000).unwrap();
+            let r2 = Instance::new(&p).run(&[Value::Int(x)], 10_000).unwrap();
+            prop_assert_eq!(r1.fuel_used, r2.fuel_used);
+            prop_assert_eq!(r1.ret, r2.ret);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Per-CPU double buffering.
+//!
+//! "Each LPA maintains two per-CPU buffers to store captured data, and when
+//! one of them has been filled, the dissemination daemon is notified, and
+//! the LPA switches to the next buffer. Each such buffer switch requires
+//! interrupts to be disabled locally to avoid data corruption." (§2)
+//!
+//! The simulation models the interrupt-disable window as a fixed cost the
+//! caller charges when [`DoubleBuffer::push`] reports a switch.
+
+use simcore::SimDuration;
+
+/// Which of the two buffers is currently active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferSide {
+    /// Buffer A is active.
+    A,
+    /// Buffer B is active.
+    B,
+}
+
+impl BufferSide {
+    fn other(self) -> BufferSide {
+        match self {
+            BufferSide::A => BufferSide::B,
+            BufferSide::B => BufferSide::A,
+        }
+    }
+}
+
+/// A two-sided record buffer: writers append to the active side; the
+/// dissemination daemon drains the inactive side.
+///
+/// If the daemon has not drained the inactive side by the time the active
+/// side fills, the inactive side's contents are **overwritten** — "if the
+/// data is not picked up in a timely fashion, it may be overwritten" — and
+/// the loss is counted in [`overwritten`](DoubleBuffer::overwritten).
+#[derive(Debug, Clone)]
+pub struct DoubleBuffer<T> {
+    a: Vec<T>,
+    b: Vec<T>,
+    active: BufferSide,
+    capacity: usize,
+    overwritten: u64,
+    switches: u64,
+    /// Modeled cost of the interrupt-disable window around a switch.
+    switch_cost: SimDuration,
+}
+
+impl<T> DoubleBuffer<T> {
+    /// Creates a double buffer whose sides hold `capacity` records each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        DoubleBuffer {
+            a: Vec::with_capacity(capacity),
+            b: Vec::with_capacity(capacity),
+            active: BufferSide::A,
+            capacity,
+            overwritten: 0,
+            switches: 0,
+            switch_cost: SimDuration::from_nanos(400),
+        }
+    }
+
+    /// Overrides the modeled interrupt-disable cost per switch.
+    #[must_use]
+    pub fn with_switch_cost(mut self, cost: SimDuration) -> Self {
+        self.switch_cost = cost;
+        self
+    }
+
+    fn side(&self, side: BufferSide) -> &Vec<T> {
+        match side {
+            BufferSide::A => &self.a,
+            BufferSide::B => &self.b,
+        }
+    }
+
+    fn side_mut(&mut self, side: BufferSide) -> &mut Vec<T> {
+        match side {
+            BufferSide::A => &mut self.a,
+            BufferSide::B => &mut self.b,
+        }
+    }
+
+    /// Appends a record to the active side. Returns `Some(cost)` when this
+    /// push filled the active buffer and triggered a switch (the caller
+    /// should notify the daemon and charge the cost); `None` otherwise.
+    pub fn push(&mut self, record: T) -> Option<SimDuration> {
+        let active = self.active;
+        self.side_mut(active).push(record);
+        if self.side(active).len() >= self.capacity {
+            let inactive = active.other();
+            let lost = self.side(inactive).len();
+            if lost > 0 {
+                self.overwritten += lost as u64;
+                self.side_mut(inactive).clear();
+            }
+            self.active = inactive;
+            self.switches += 1;
+            Some(self.switch_cost)
+        } else {
+            None
+        }
+    }
+
+    /// Drains the **inactive** (full) side — what the daemon copies out on a
+    /// buffer-full notification.
+    pub fn drain_inactive(&mut self) -> Vec<T> {
+        let inactive = self.active.other();
+        std::mem::take(self.side_mut(inactive))
+    }
+
+    /// Drains both sides (used at shutdown / end of experiment so the tail
+    /// of the data is not lost).
+    pub fn drain_all(&mut self) -> Vec<T> {
+        let mut out = std::mem::take(self.side_mut(self.active.other()));
+        out.append(self.side_mut(self.active));
+        out
+    }
+
+    /// Records in the active side.
+    pub fn active_len(&self) -> usize {
+        self.side(self.active).len()
+    }
+
+    /// Records waiting in the inactive side.
+    pub fn inactive_len(&self) -> usize {
+        self.side(self.active.other()).len()
+    }
+
+    /// Per-side capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records lost to overwrites (daemon too slow).
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Number of buffer switches so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Currently active side.
+    pub fn active_side(&self) -> BufferSide {
+        self.active
+    }
+}
+
+/// One [`DoubleBuffer`] per CPU, as the paper prescribes for LPAs on
+/// multiprocessor nodes.
+#[derive(Debug, Clone)]
+pub struct PerCpuBuffers<T> {
+    buffers: Vec<DoubleBuffer<T>>,
+}
+
+impl<T> PerCpuBuffers<T> {
+    /// Creates buffers for `cpus` CPUs, each side holding `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` or `capacity` is zero.
+    pub fn new(cpus: usize, capacity: usize) -> Self {
+        assert!(cpus > 0, "need at least one CPU");
+        PerCpuBuffers {
+            buffers: (0..cpus).map(|_| DoubleBuffer::new(capacity)).collect(),
+        }
+    }
+
+    /// The buffer for a CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn cpu(&self, cpu: u16) -> &DoubleBuffer<T> {
+        &self.buffers[cpu as usize]
+    }
+
+    /// The mutable buffer for a CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn cpu_mut(&mut self, cpu: u16) -> &mut DoubleBuffer<T> {
+        &mut self.buffers[cpu as usize]
+    }
+
+    /// Number of CPUs covered.
+    pub fn cpus(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Drains every side of every CPU buffer.
+    pub fn drain_all(&mut self) -> Vec<T> {
+        self.buffers.iter_mut().flat_map(|b| b.drain_all()).collect()
+    }
+
+    /// Total records lost to overwrites across CPUs.
+    pub fn overwritten(&self) -> u64 {
+        self.buffers.iter().map(|b| b.overwritten()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_until_switch() {
+        let mut db = DoubleBuffer::new(3);
+        assert!(db.push(1).is_none());
+        assert!(db.push(2).is_none());
+        let cost = db.push(3);
+        assert!(cost.is_some(), "third push fills and switches");
+        assert_eq!(db.switches(), 1);
+        assert_eq!(db.active_side(), BufferSide::B);
+        assert_eq!(db.inactive_len(), 3);
+        assert_eq!(db.drain_inactive(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn overwrite_when_daemon_slow() {
+        let mut db = DoubleBuffer::new(2);
+        db.push(1);
+        db.push(2); // switch #1, A full (1,2)
+        db.push(3);
+        db.push(4); // switch #2: A not drained -> overwritten
+        assert_eq!(db.overwritten(), 2);
+        assert_eq!(db.drain_inactive(), vec![3, 4]);
+    }
+
+    #[test]
+    fn drain_all_preserves_order_and_tail() {
+        let mut db = DoubleBuffer::new(3);
+        for i in 0..5 {
+            db.push(i);
+        }
+        // Side A filled with 0,1,2 (switched), active B holds 3,4.
+        assert_eq!(db.drain_all(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(db.active_len(), 0);
+        assert_eq!(db.inactive_len(), 0);
+    }
+
+    #[test]
+    fn switch_cost_is_configurable() {
+        let mut db = DoubleBuffer::new(1).with_switch_cost(SimDuration::from_micros(1));
+        assert_eq!(db.push(0), Some(SimDuration::from_micros(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = DoubleBuffer::<u8>::new(0);
+    }
+
+    #[test]
+    fn per_cpu_buffers_are_independent() {
+        let mut pc = PerCpuBuffers::new(2, 2);
+        pc.cpu_mut(0).push(10);
+        pc.cpu_mut(1).push(20);
+        assert_eq!(pc.cpu(0).active_len(), 1);
+        assert_eq!(pc.cpu(1).active_len(), 1);
+        assert_eq!(pc.cpus(), 2);
+        let mut all = pc.drain_all();
+        all.sort_unstable();
+        assert_eq!(all, vec![10, 20]);
+    }
+
+    proptest! {
+        /// No record is ever silently lost: pushed = drained + overwritten.
+        #[test]
+        fn prop_conservation(cap in 1usize..16, n in 0usize..200) {
+            let mut db = DoubleBuffer::new(cap);
+            let mut drained = 0u64;
+            for i in 0..n {
+                if db.push(i).is_some() && i % 3 == 0 {
+                    // Daemon keeps up only sometimes.
+                    drained += db.drain_inactive().len() as u64;
+                }
+            }
+            drained += db.drain_all().len() as u64;
+            prop_assert_eq!(drained + db.overwritten(), n as u64);
+        }
+    }
+}

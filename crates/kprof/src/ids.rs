@@ -1,0 +1,144 @@
+//! Identifier vocabulary shared between the instrumented kernel and the
+//! analyzers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// A process group identifier ("group IDs" in the paper's predicate list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gid{}", self.0)
+    }
+}
+
+/// A per-process file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fd(pub u32);
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// A filesystem object (inode-like) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u64);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file{}", self.0)
+    }
+}
+
+/// A block device identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DiskId(pub u16);
+
+impl fmt::Display for DiskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disk{}", self.0)
+    }
+}
+
+/// System call kinds instrumented by Kprof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyscallKind {
+    /// `open(2)`
+    Open,
+    /// `close(2)`
+    Close,
+    /// `read(2)` on a file
+    Read,
+    /// `write(2)` on a file
+    Write,
+    /// `fsync(2)`
+    Fsync,
+    /// `send(2)`-family on a socket
+    Send,
+    /// `recv(2)`-family on a socket
+    Recv,
+    /// `fork(2)`
+    Fork,
+    /// `exit(2)`
+    Exit,
+    /// `nanosleep(2)`
+    Sleep,
+}
+
+impl fmt::Display for SyscallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SyscallKind::Open => "open",
+            SyscallKind::Close => "close",
+            SyscallKind::Read => "read",
+            SyscallKind::Write => "write",
+            SyscallKind::Fsync => "fsync",
+            SyscallKind::Send => "send",
+            SyscallKind::Recv => "recv",
+            SyscallKind::Fork => "fork",
+            SyscallKind::Exit => "exit",
+            SyscallKind::Sleep => "nanosleep",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a process stopped running (carried by `ProcessBlock` events; the LPA
+/// uses it to attribute blocked time, e.g. "was it blocked for I/O?").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockReason {
+    /// Waiting for a block-device transfer.
+    DiskIo,
+    /// Waiting for data on a socket.
+    SocketRecv,
+    /// Waiting for socket send-buffer space.
+    SocketSend,
+    /// Voluntary sleep.
+    Sleep,
+    /// Waiting on a child process.
+    WaitChild,
+}
+
+impl fmt::Display for BlockReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BlockReason::DiskIo => "disk-io",
+            BlockReason::SocketRecv => "socket-recv",
+            BlockReason::SocketSend => "socket-send",
+            BlockReason::Sleep => "sleep",
+            BlockReason::WaitChild => "wait-child",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_compact_and_nonempty() {
+        assert_eq!(Pid(3).to_string(), "pid3");
+        assert_eq!(GroupId(1).to_string(), "gid1");
+        assert_eq!(Fd(0).to_string(), "fd0");
+        assert_eq!(FileId(9).to_string(), "file9");
+        assert_eq!(DiskId(2).to_string(), "disk2");
+        assert_eq!(SyscallKind::Recv.to_string(), "recv");
+        assert_eq!(BlockReason::DiskIo.to_string(), "disk-io");
+    }
+}

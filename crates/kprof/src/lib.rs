@@ -1,0 +1,61 @@
+//! Kprof: SysProf's kernel-level monitoring interface.
+//!
+//! Kprof is the layer the paper describes in §2: a set of statically
+//! instrumented points in the (here: simulated) kernel that produce
+//! efficient binary events in four classes — Scheduling, System Call,
+//! Network, and File System — plus the machinery around them:
+//!
+//! * [`Event`] / [`EventPayload`] / [`EventKind`] — the binary event
+//!   vocabulary emitted at each instrumentation point,
+//! * [`EventMask`] — selective enabling: "events can be selectively
+//!   switched on and off",
+//! * [`Predicate`] — pruning "on the basis of process IDs, group IDs, or
+//!   other such predicates",
+//! * [`Analyzer`] — the callback interface local performance analyzers
+//!   register; callbacks run in the kernel fast path, must never block, and
+//!   report their own cost,
+//! * [`Kprof`] — the per-node registry that dispatches events to
+//!   subscribed analyzers and accounts for every nanosecond of monitoring
+//!   overhead (the [`CostModel`]),
+//! * [`DoubleBuffer`] / [`PerCpuBuffers`] — the per-CPU double-buffering
+//!   scheme LPAs use to hand data to the dissemination daemon.
+//!
+//! When no analyzer subscribes to an event kind, the instrumentation point
+//! costs only [`CostModel::disabled_hook`] — "almost negligible
+//! perturbation for Kprof-instrumented operating system kernels".
+//!
+//! # Example
+//!
+//! ```
+//! use kprof::{CountingAnalyzer, EventMask, Kprof, Pid};
+//! use simcore::NodeId;
+//!
+//! let mut kprof = Kprof::new(NodeId(0));
+//! let id = kprof.register(Box::new(CountingAnalyzer::new(EventMask::SCHEDULING)));
+//! let ev = kprof.make_event(
+//!     simcore::SimTime::from_micros(1),
+//!     0,
+//!     kprof::EventPayload::ProcessWake { pid: Pid(7) },
+//! );
+//! let result = kprof.emit(&ev);
+//! assert!(result.cost > simcore::SimDuration::ZERO);
+//! assert_eq!(kprof.counting_analyzer(id).unwrap().events_seen(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod analyzer;
+mod buffer;
+mod event;
+mod ids;
+mod predicate;
+mod registry;
+mod trace;
+
+pub use analyzer::{Analyzer, AnalyzerId, AnalyzerOutcome, CountingAnalyzer, Interest};
+pub use buffer::{BufferSide, DoubleBuffer, PerCpuBuffers};
+pub use event::{Event, EventClass, EventKind, EventMask, EventPayload, NetPoint};
+pub use ids::{BlockReason, DiskId, Fd, FileId, GroupId, Pid, SyscallKind};
+pub use predicate::Predicate;
+pub use registry::{CostModel, EmitResult, Kprof, KprofStats};
+pub use trace::TraceAnalyzer;

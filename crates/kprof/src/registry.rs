@@ -1,0 +1,508 @@
+//! The per-node Kprof registry: event generation, selective dispatch, and
+//! overhead accounting.
+
+use std::collections::HashMap;
+
+use simcore::{NodeId, SimDuration, SimTime};
+
+use crate::{
+    Analyzer, AnalyzerId, CountingAnalyzer, Event, EventMask, EventPayload, GroupId, Pid,
+};
+
+/// How much CPU time each piece of the monitoring path costs. All overhead
+/// in the simulation flows through this model, so experiments can quantify
+/// perturbation (the paper's "<1% … >10%" configurability claim).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of an instrumentation point whose kind no analyzer subscribes
+    /// to (a branch on a mask word — "almost negligible perturbation").
+    pub disabled_hook: SimDuration,
+    /// Cost of assembling a binary event at an enabled point.
+    pub enabled_hook: SimDuration,
+    /// Dispatch cost per analyzer delivery (predicate check + call).
+    pub per_delivery: SimDuration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            disabled_hook: SimDuration::from_nanos(5),
+            enabled_hook: SimDuration::from_nanos(150),
+            per_delivery: SimDuration::from_nanos(100),
+        }
+    }
+}
+
+/// Counters describing what the monitoring layer did on this node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KprofStats {
+    /// Events whose kind was enabled and that were built and dispatched.
+    pub events_generated: u64,
+    /// Total analyzer deliveries (one event may go to several analyzers).
+    pub events_delivered: u64,
+    /// Instrumentation-point hits whose kind no analyzer wanted.
+    pub events_suppressed: u64,
+    /// Deliveries suppressed by a predicate mismatch.
+    pub predicate_rejections: u64,
+    /// Total monitoring CPU time charged to this node.
+    pub total_overhead: SimDuration,
+}
+
+struct Slot {
+    id: AnalyzerId,
+    active: bool,
+    mask: EventMask,
+    analyzer: Box<dyn Analyzer>,
+}
+
+/// Result of emitting one event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EmitResult {
+    /// CPU time the emission consumed (hook + deliveries + analyzer work);
+    /// the kernel charges this to the current CPU.
+    pub cost: SimDuration,
+    /// Analyzers whose active buffer filled during this emission; the
+    /// kernel should wake the dissemination daemon for each.
+    pub buffer_full: Vec<AnalyzerId>,
+}
+
+/// The per-node monitoring registry.
+///
+/// Owns the registered analyzers, knows which event kinds are wanted
+/// (union of analyzer interests, gated by the controller's global mask),
+/// maintains the pid→group table predicates need, and accounts every
+/// nanosecond of monitoring overhead.
+pub struct Kprof {
+    node: NodeId,
+    /// Controller-set global gate; intersected with analyzer interest.
+    global_mask: EventMask,
+    slots: Vec<Slot>,
+    effective_mask: EventMask,
+    next_analyzer: u32,
+    next_seq: u64,
+    cost_model: CostModel,
+    stats: KprofStats,
+    pid_groups: HashMap<Pid, GroupId>,
+}
+
+impl Kprof {
+    /// Creates a registry for `node` with the default cost model and all
+    /// event kinds globally enabled (but nothing subscribed).
+    pub fn new(node: NodeId) -> Self {
+        Kprof {
+            node,
+            global_mask: EventMask::ALL,
+            slots: Vec::new(),
+            effective_mask: EventMask::NONE,
+            next_analyzer: 0,
+            next_seq: 0,
+            cost_model: CostModel::default(),
+            stats: KprofStats::default(),
+            pid_groups: HashMap::new(),
+        }
+    }
+
+    /// Replaces the cost model (experiment configuration).
+    pub fn set_cost_model(&mut self, model: CostModel) {
+        self.cost_model = model;
+    }
+
+    /// The active cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// The node this registry instruments.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Registers an analyzer; its [`Interest`](crate::Interest) is read
+    /// immediately. Returns the id used for later updates or removal.
+    pub fn register(&mut self, analyzer: Box<dyn Analyzer>) -> AnalyzerId {
+        let id = AnalyzerId(self.next_analyzer);
+        self.next_analyzer += 1;
+        let mask = analyzer.interest().mask;
+        self.slots.push(Slot {
+            id,
+            active: true,
+            mask,
+            analyzer,
+        });
+        self.recompute_mask();
+        id
+    }
+
+    /// Unregisters an analyzer, returning it if present.
+    pub fn unregister(&mut self, id: AnalyzerId) -> Option<Box<dyn Analyzer>> {
+        let pos = self.slots.iter().position(|s| s.id == id)?;
+        let slot = self.slots.remove(pos);
+        self.recompute_mask();
+        Some(slot.analyzer)
+    }
+
+    /// Enables or disables an analyzer without unregistering it (the
+    /// controller's on/off switch). Returns false if the id is unknown.
+    pub fn set_active(&mut self, id: AnalyzerId, active: bool) -> bool {
+        let Some(slot) = self.slots.iter_mut().find(|s| s.id == id) else {
+            return false;
+        };
+        slot.active = active;
+        self.recompute_mask();
+        true
+    }
+
+    /// Re-reads an analyzer's interest after a runtime reconfiguration.
+    /// Returns false if the id is unknown.
+    pub fn update_interest(&mut self, id: AnalyzerId) -> bool {
+        let Some(slot) = self.slots.iter_mut().find(|s| s.id == id) else {
+            return false;
+        };
+        slot.mask = slot.analyzer.interest().mask;
+        self.recompute_mask();
+        true
+    }
+
+    /// Sets the controller's global gate mask. Events outside it are
+    /// suppressed regardless of analyzer interest.
+    pub fn set_global_mask(&mut self, mask: EventMask) {
+        self.global_mask = mask;
+        self.recompute_mask();
+    }
+
+    /// The union of active analyzer interests, gated by the global mask —
+    /// the set of kinds that will actually generate events.
+    pub fn effective_mask(&self) -> EventMask {
+        self.effective_mask
+    }
+
+    fn recompute_mask(&mut self) {
+        let mut m = EventMask::NONE;
+        for slot in self.slots.iter().filter(|s| s.active) {
+            m |= slot.mask;
+        }
+        self.effective_mask = m.intersect(self.global_mask);
+    }
+
+    /// Builds an event stamped with this node's identity and the given
+    /// wall-clock time. (The caller — the simulated kernel — converts true
+    /// time to wall time via the node clock before calling.)
+    pub fn make_event(&mut self, wall: SimTime, cpu: u16, payload: EventPayload) -> Event {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Event {
+            seq,
+            node: self.node,
+            cpu,
+            wall,
+            payload,
+        }
+    }
+
+    /// Emits an event through the instrumentation point: dispatches it to
+    /// every active, interested analyzer and returns the total CPU cost
+    /// plus any buffer-full notifications.
+    ///
+    /// Also maintains the pid→group table from `ProcessCreate` /
+    /// `ProcessExit` events (needed by group-id predicates).
+    pub fn emit(&mut self, event: &Event) -> EmitResult {
+        // Bookkeeping reads are free: they model state the kernel already
+        // maintains.
+        match event.payload {
+            EventPayload::ProcessCreate { pid, gid, .. } => {
+                self.pid_groups.insert(pid, gid);
+            }
+            EventPayload::ProcessExit { pid } => {
+                self.pid_groups.remove(&pid);
+            }
+            _ => {}
+        }
+
+        let kind = event.kind();
+        if !self.effective_mask.contains(kind) {
+            self.stats.events_suppressed += 1;
+            self.stats.total_overhead += self.cost_model.disabled_hook;
+            return EmitResult {
+                cost: self.cost_model.disabled_hook,
+                buffer_full: Vec::new(),
+            };
+        }
+
+        let mut cost = self.cost_model.enabled_hook;
+        let mut buffer_full = Vec::new();
+        self.stats.events_generated += 1;
+
+        // Split borrows: the pid table is read by predicates while slots
+        // are iterated mutably.
+        let pid_groups = &self.pid_groups;
+        for slot in self.slots.iter_mut().filter(|s| s.active) {
+            if !slot.mask.contains(kind) {
+                continue;
+            }
+            cost += self.cost_model.per_delivery;
+            let interest = slot.analyzer.interest();
+            if !interest
+                .predicate
+                .matches(event, |pid| pid_groups.get(&pid).copied())
+            {
+                self.stats.predicate_rejections += 1;
+                continue;
+            }
+            let outcome = slot.analyzer.on_event(event);
+            cost += outcome.cost;
+            self.stats.events_delivered += 1;
+            if outcome.buffer_full {
+                buffer_full.push(slot.id);
+            }
+        }
+
+        self.stats.total_overhead += cost;
+        EmitResult { cost, buffer_full }
+    }
+
+    /// Monitoring counters for this node.
+    pub fn stats(&self) -> &KprofStats {
+        &self.stats
+    }
+
+    /// The group a live process belongs to, if known.
+    pub fn group_of(&self, pid: Pid) -> Option<GroupId> {
+        self.pid_groups.get(&pid).copied()
+    }
+
+    /// Borrows a registered analyzer for inspection.
+    pub fn analyzer_ref(&self, id: AnalyzerId) -> Option<&dyn Analyzer> {
+        self.slots
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.analyzer.as_ref())
+    }
+
+    /// Mutably borrows a registered analyzer (e.g. for the daemon to drain
+    /// its buffers).
+    pub fn analyzer_mut(&mut self, id: AnalyzerId) -> Option<&mut (dyn Analyzer + 'static)> {
+        self.slots
+            .iter_mut()
+            .find(|s| s.id == id)
+            .map(|s| s.analyzer.as_mut())
+    }
+
+    /// Borrows a registered analyzer downcast to its concrete type.
+    pub fn analyzer_as<T: 'static>(&self, id: AnalyzerId) -> Option<&T> {
+        self.analyzer_ref(id)?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutably borrows a registered analyzer downcast to its concrete type.
+    pub fn analyzer_as_mut<T: 'static>(&mut self, id: AnalyzerId) -> Option<&mut T> {
+        self.analyzer_mut(id)?.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Convenience downcast: borrows a [`CountingAnalyzer`].
+    pub fn counting_analyzer(&self, id: AnalyzerId) -> Option<&CountingAnalyzer> {
+        self.analyzer_as::<CountingAnalyzer>(id)
+    }
+}
+
+impl std::fmt::Debug for Kprof {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kprof")
+            .field("node", &self.node)
+            .field("analyzers", &self.slots.len())
+            .field("effective_mask", &self.effective_mask)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalyzerOutcome, BlockReason, Interest, Predicate};
+    use simcore::SimTime;
+
+    fn wake(kprof: &mut Kprof, pid: u32) -> EmitResult {
+        let ev = kprof.make_event(
+            SimTime::from_micros(1),
+            0,
+            EventPayload::ProcessWake { pid: Pid(pid) },
+        );
+        kprof.emit(&ev)
+    }
+
+    #[test]
+    fn no_subscribers_means_disabled_hook_cost() {
+        let mut kprof = Kprof::new(NodeId(0));
+        let r = wake(&mut kprof, 1);
+        assert_eq!(r.cost, kprof.cost_model().disabled_hook);
+        assert_eq!(kprof.stats().events_suppressed, 1);
+        assert_eq!(kprof.stats().events_generated, 0);
+    }
+
+    #[test]
+    fn subscriber_receives_and_costs_accrue() {
+        let mut kprof = Kprof::new(NodeId(0));
+        kprof.register(Box::new(CountingAnalyzer::new(EventMask::SCHEDULING)));
+        let r = wake(&mut kprof, 1);
+        let m = kprof.cost_model();
+        assert_eq!(
+            r.cost,
+            m.enabled_hook + m.per_delivery + SimDuration::from_nanos(60)
+        );
+        assert_eq!(kprof.stats().events_delivered, 1);
+    }
+
+    #[test]
+    fn mask_mismatch_suppresses_event() {
+        let mut kprof = Kprof::new(NodeId(0));
+        kprof.register(Box::new(CountingAnalyzer::new(EventMask::FILESYSTEM)));
+        let r = wake(&mut kprof, 1);
+        assert_eq!(r.cost, kprof.cost_model().disabled_hook);
+        assert_eq!(kprof.stats().events_suppressed, 1);
+    }
+
+    #[test]
+    fn global_mask_gates_everything() {
+        let mut kprof = Kprof::new(NodeId(0));
+        kprof.register(Box::new(CountingAnalyzer::new(EventMask::ALL)));
+        kprof.set_global_mask(EventMask::NONE);
+        assert!(kprof.effective_mask().is_empty());
+        let r = wake(&mut kprof, 1);
+        assert_eq!(r.cost, kprof.cost_model().disabled_hook);
+    }
+
+    #[test]
+    fn deactivate_and_reactivate() {
+        let mut kprof = Kprof::new(NodeId(0));
+        let id = kprof.register(Box::new(CountingAnalyzer::new(EventMask::SCHEDULING)));
+        assert!(kprof.set_active(id, false));
+        wake(&mut kprof, 1);
+        assert_eq!(kprof.stats().events_delivered, 0);
+        assert!(kprof.set_active(id, true));
+        wake(&mut kprof, 1);
+        assert_eq!(kprof.stats().events_delivered, 1);
+        assert!(!kprof.set_active(AnalyzerId(99), true));
+    }
+
+    #[test]
+    fn unregister_removes_subscription() {
+        let mut kprof = Kprof::new(NodeId(0));
+        let id = kprof.register(Box::new(CountingAnalyzer::new(EventMask::SCHEDULING)));
+        assert!(kprof.unregister(id).is_some());
+        assert!(kprof.unregister(id).is_none());
+        assert!(kprof.effective_mask().is_empty());
+    }
+
+    /// Analyzer with a predicate, for registry-level predicate tests.
+    struct PidFiltered {
+        seen: u64,
+        pid: Pid,
+    }
+
+    impl Analyzer for PidFiltered {
+        fn name(&self) -> &str {
+            "pid-filtered"
+        }
+        fn interest(&self) -> Interest {
+            Interest {
+                mask: EventMask::SCHEDULING,
+                predicate: Predicate::new().pids([self.pid]),
+            }
+        }
+        fn on_event(&mut self, _e: &Event) -> AnalyzerOutcome {
+            self.seen += 1;
+            AnalyzerOutcome::cost(SimDuration::from_nanos(50))
+        }
+        fn as_any(&self) -> &dyn std::any::Any { self }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+    }
+
+    #[test]
+    fn predicate_rejections_counted() {
+        let mut kprof = Kprof::new(NodeId(0));
+        kprof.register(Box::new(PidFiltered { seen: 0, pid: Pid(42) }));
+        wake(&mut kprof, 1); // rejected by predicate
+        wake(&mut kprof, 42); // delivered
+        assert_eq!(kprof.stats().predicate_rejections, 1);
+        assert_eq!(kprof.stats().events_delivered, 1);
+    }
+
+    #[test]
+    fn pid_group_table_tracks_create_and_exit() {
+        let mut kprof = Kprof::new(NodeId(0));
+        let create = kprof.make_event(
+            SimTime::ZERO,
+            0,
+            EventPayload::ProcessCreate {
+                pid: Pid(9),
+                parent: None,
+                gid: GroupId(4),
+            },
+        );
+        kprof.emit(&create);
+        assert_eq!(kprof.group_of(Pid(9)), Some(GroupId(4)));
+        let exit = kprof.make_event(SimTime::ZERO, 0, EventPayload::ProcessExit { pid: Pid(9) });
+        kprof.emit(&exit);
+        assert_eq!(kprof.group_of(Pid(9)), None);
+    }
+
+    #[test]
+    fn gid_predicate_uses_registry_table() {
+        struct GidFiltered {
+            seen: u64,
+        }
+        impl Analyzer for GidFiltered {
+            fn name(&self) -> &str {
+                "gid-filtered"
+            }
+            fn interest(&self) -> Interest {
+                Interest {
+                    mask: EventMask::SCHEDULING,
+                    predicate: Predicate::new().gids([GroupId(7)]),
+                }
+            }
+            fn on_event(&mut self, _e: &Event) -> AnalyzerOutcome {
+                self.seen += 1;
+                AnalyzerOutcome::default()
+            }
+            fn as_any(&self) -> &dyn std::any::Any { self }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+        }
+        let mut kprof = Kprof::new(NodeId(0));
+        kprof.register(Box::new(GidFiltered { seen: 0 }));
+        let create = kprof.make_event(
+            SimTime::ZERO,
+            0,
+            EventPayload::ProcessCreate {
+                pid: Pid(1),
+                parent: None,
+                gid: GroupId(7),
+            },
+        );
+        kprof.emit(&create);
+        // ProcessCreate itself matched (pid 1 is in gid 7 by then).
+        wake(&mut kprof, 1);
+        assert_eq!(kprof.stats().events_delivered, 2);
+        wake(&mut kprof, 2); // unknown pid -> rejected
+        assert_eq!(kprof.stats().predicate_rejections, 1);
+    }
+
+    #[test]
+    fn seq_numbers_are_monotone() {
+        let mut kprof = Kprof::new(NodeId(0));
+        let a = kprof.make_event(SimTime::ZERO, 0, EventPayload::ProcessWake { pid: Pid(1) });
+        let b = kprof.make_event(SimTime::ZERO, 0, EventPayload::ProcessBlock {
+            pid: Pid(1),
+            reason: BlockReason::Sleep,
+        });
+        assert!(b.seq > a.seq);
+    }
+
+    #[test]
+    fn overhead_accumulates_in_stats() {
+        let mut kprof = Kprof::new(NodeId(0));
+        kprof.register(Box::new(CountingAnalyzer::new(EventMask::SCHEDULING)));
+        let before = kprof.stats().total_overhead;
+        let r = wake(&mut kprof, 1);
+        assert_eq!(kprof.stats().total_overhead, before + r.cost);
+    }
+}

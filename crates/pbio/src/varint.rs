@@ -1,0 +1,120 @@
+//! LEB128 varints and zigzag mapping for signed integers.
+
+use bytes::{Buf, BufMut};
+
+use crate::PbioError;
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+pub fn write_u64(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint.
+///
+/// # Errors
+///
+/// [`PbioError::UnexpectedEof`] if the buffer ends mid-varint;
+/// [`PbioError::BadVarint`] if the encoding exceeds 10 bytes.
+pub fn read_u64(buf: &mut impl Buf) -> Result<u64, PbioError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(PbioError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(PbioError::BadVarint);
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed integer onto an unsigned one so small magnitudes encode
+/// small (…-2,-1,0,1,2… → …3,1,0,2,4…).
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_encode_in_one_byte() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(read_u64(&mut &buf[..]).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn max_value_round_trips() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+        assert_eq!(read_u64(&mut &buf[..]).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let buf = [0x80u8, 0x80];
+        assert_eq!(read_u64(&mut &buf[..]), Err(PbioError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overlong_varint_errors() {
+        let buf = [0xFFu8; 11];
+        assert_eq!(read_u64(&mut &buf[..]), Err(PbioError::BadVarint));
+    }
+
+    #[test]
+    fn zigzag_examples() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_decode(4294967294), 2147483647);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_varint_round_trip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            prop_assert_eq!(read_u64(&mut &buf[..]).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_zigzag_round_trip(v in any::<i64>()) {
+            prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+
+        #[test]
+        fn prop_zigzag_small_magnitude_small_encoding(v in -64i64..64) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, zigzag_encode(v));
+            prop_assert_eq!(buf.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,623 @@
+//! Kernel-level publish/subscribe channels for monitoring data.
+//!
+//! "After local, in-kernel analysis, monitoring data may then be
+//! aggregated and sent to remote analyzers (or to any remote data
+//! consumer) through kernel-level publish-subscribe channels." (§1)
+//!
+//! This crate is the channel bookkeeping and wire format; the actual
+//! transport is `simos::World::kernel_send` / `KernelSink` (real simulated
+//! packets consuming real bandwidth and CPU). Pieces:
+//!
+//! * [`Hub`] — the publisher side: topics, per-topic subscriber lists,
+//!   per-subscription **dynamic data filters** written in E-Code (the
+//!   paper's "dynamic data filters"), and PBIO encoding of records,
+//! * [`ChannelDecoder`] — the subscriber side: learns schemas from the
+//!   stream (self-describing) and decodes records,
+//! * [`control`] — SUBSCRIBE/UNSUBSCRIBE control-message codecs.
+//!
+//! # Example
+//!
+//! ```
+//! use pbio::{FieldType, Schema, Value};
+//! use pubsub::{ChannelDecoder, Hub};
+//! use simnet::{EndPoint, Ip, Port};
+//!
+//! let schema = Schema::build("metric")
+//!     .field("latency_us", FieldType::U64)
+//!     .finish()?;
+//! let mut hub = Hub::new();
+//! let topic = hub.topic("interactions");
+//! let sub = EndPoint::new(Ip(2), Port(9999));
+//! // Only deliver latencies over 1 ms:
+//! hub.subscribe(topic, sub, Some("return latency_us > 1000;"))?;
+//!
+//! let sends = hub.publish(topic, &schema, &[Value::U64(5_000)])?;
+//! assert_eq!(sends.len(), 1);
+//! let mut dec = ChannelDecoder::new();
+//! let (t, values) = dec.decode(&sends[0].1)?.expect("a record");
+//! assert_eq!(t, topic);
+//! assert_eq!(values, vec![Value::U64(5_000)]);
+//!
+//! let dropped = hub.publish(topic, &schema, &[Value::U64(10)])?;
+//! assert!(dropped.is_empty(), "filter suppressed the record");
+//! # Ok::<(), pubsub::PubSubError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod control;
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ecode::{Instance, Program, Type, Value as EValue};
+use pbio::{
+    read_u64, write_u64, FieldType, PbioError, RecordReader, RecordWriter, Schema, SchemaId,
+    SchemaRegistry, Value,
+};
+use simnet::EndPoint;
+
+/// A channel topic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicId(pub u32);
+
+/// Errors from channel operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PubSubError {
+    /// The referenced topic does not exist.
+    UnknownTopic(TopicId),
+    /// A subscription filter failed to compile.
+    BadFilter(ecode::EcodeError),
+    /// Record encoding/decoding failed.
+    Codec(PbioError),
+    /// A record's fields did not match its schema.
+    SchemaMismatch,
+}
+
+impl fmt::Display for PubSubError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PubSubError::UnknownTopic(t) => write!(f, "unknown topic {}", t.0),
+            PubSubError::BadFilter(e) => write!(f, "filter error: {e}"),
+            PubSubError::Codec(e) => write!(f, "codec error: {e}"),
+            PubSubError::SchemaMismatch => f.write_str("record does not match schema"),
+        }
+    }
+}
+
+impl std::error::Error for PubSubError {}
+
+impl From<PbioError> for PubSubError {
+    fn from(e: PbioError) -> Self {
+        PubSubError::Codec(e)
+    }
+}
+
+/// A compiled per-subscription filter. Filters see the record's numeric
+/// and boolean fields as E-Code inputs by field name; string/bytes fields
+/// are not visible to filters.
+struct Filter {
+    program: Program,
+    /// Indices of the record fields that are filter inputs, in input order.
+    field_indices: Vec<usize>,
+}
+
+impl Filter {
+    fn compile(src: &str, schema: &Schema) -> Result<Filter, PubSubError> {
+        let mut inputs: Vec<(&str, Type)> = Vec::new();
+        let mut field_indices = Vec::new();
+        for (i, f) in schema.fields().iter().enumerate() {
+            let ty = match f.ty {
+                FieldType::U64 | FieldType::I64 => Type::Int,
+                FieldType::F64 => Type::Double,
+                FieldType::Bool => Type::Bool,
+                FieldType::Str | FieldType::Bytes => continue,
+            };
+            inputs.push((f.name.as_str(), ty));
+            field_indices.push(i);
+        }
+        let program = Program::compile(src, &inputs).map_err(PubSubError::BadFilter)?;
+        Ok(Filter {
+            program,
+            field_indices,
+        })
+    }
+
+    /// Returns whether the record passes, plus the fuel spent deciding.
+    fn passes(&self, values: &[Value]) -> (bool, u64) {
+        let inputs: Vec<EValue> = self
+            .field_indices
+            .iter()
+            .map(|&i| match &values[i] {
+                Value::U64(v) => EValue::Int(*v as i64),
+                Value::I64(v) => EValue::Int(*v),
+                Value::F64(v) => EValue::Double(*v),
+                Value::Bool(v) => EValue::Bool(*v),
+                Value::Str(_) | Value::Bytes(_) => unreachable!("filtered out at compile"),
+            })
+            .collect();
+        let mut inst = Instance::new(&self.program);
+        match inst.run(&inputs, 10_000) {
+            Ok(out) => (out.ret != 0, out.fuel_used),
+            // A broken or over-budget filter fails open: the subscriber
+            // gets the record rather than silently losing data.
+            Err(_) => (true, 10_000),
+        }
+    }
+}
+
+struct Subscription {
+    endpoint: EndPoint,
+    filter: Option<Filter>,
+    /// Schema ids already announced to this subscriber.
+    sent_schemas: std::collections::HashSet<u32>,
+    delivered: u64,
+    filtered: u64,
+}
+
+/// The publisher half of a node's monitoring channels.
+pub struct Hub {
+    topics: HashMap<String, TopicId>,
+    subs: HashMap<TopicId, Vec<Subscription>>,
+    schemas: SchemaRegistry,
+    next_topic: u32,
+    /// Total E-Code fuel burned in filters (host converts to CPU cost).
+    filter_fuel: u64,
+    /// Filters awaiting their topic's first schema: (topic, sub index,
+    /// source).
+    pending_filters: Vec<(TopicId, usize, String)>,
+}
+
+impl Default for Hub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Hub {
+            topics: HashMap::new(),
+            subs: HashMap::new(),
+            schemas: SchemaRegistry::new(),
+            next_topic: 0,
+            filter_fuel: 0,
+            pending_filters: Vec::new(),
+        }
+    }
+
+    /// Gets or creates a topic by name.
+    pub fn topic(&mut self, name: &str) -> TopicId {
+        if let Some(&t) = self.topics.get(name) {
+            return t;
+        }
+        let t = TopicId(self.next_topic);
+        self.next_topic += 1;
+        self.topics.insert(name.to_owned(), t);
+        self.subs.insert(t, Vec::new());
+        t
+    }
+
+    /// Looks up a topic by name without creating it.
+    pub fn topic_id(&self, name: &str) -> Option<TopicId> {
+        self.topics.get(name).copied()
+    }
+
+    /// Adds a subscription. `filter` is an optional E-Code source whose
+    /// inputs are the numeric/boolean fields of published records; a
+    /// nonzero return delivers the record.
+    ///
+    /// The filter is compiled lazily against the first published schema —
+    /// pass `schema_hint` via [`subscribe_with_schema`](Hub::subscribe_with_schema)
+    /// to compile eagerly and catch errors at subscribe time.
+    ///
+    /// # Errors
+    ///
+    /// [`PubSubError::UnknownTopic`] if the topic does not exist.
+    pub fn subscribe(
+        &mut self,
+        topic: TopicId,
+        endpoint: EndPoint,
+        filter: Option<&str>,
+    ) -> Result<(), PubSubError> {
+        let subs = self
+            .subs
+            .get_mut(&topic)
+            .ok_or(PubSubError::UnknownTopic(topic))?;
+        subs.push(Subscription {
+            endpoint,
+            filter: None,
+            sent_schemas: Default::default(),
+            delivered: 0,
+            filtered: 0,
+        });
+        if let Some(src) = filter {
+            // Remember the source; compile on first publish (schema known).
+            let idx = subs.len() - 1;
+            self.pending_filters.push((topic, idx, src.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Adds a subscription with an eagerly compiled filter.
+    ///
+    /// # Errors
+    ///
+    /// [`PubSubError::UnknownTopic`] or [`PubSubError::BadFilter`].
+    pub fn subscribe_with_schema(
+        &mut self,
+        topic: TopicId,
+        endpoint: EndPoint,
+        filter: Option<&str>,
+        schema: &Schema,
+    ) -> Result<(), PubSubError> {
+        let compiled = match filter {
+            Some(src) => Some(Filter::compile(src, schema)?),
+            None => None,
+        };
+        let subs = self
+            .subs
+            .get_mut(&topic)
+            .ok_or(PubSubError::UnknownTopic(topic))?;
+        subs.push(Subscription {
+            endpoint,
+            filter: compiled,
+            sent_schemas: Default::default(),
+            delivered: 0,
+            filtered: 0,
+        });
+        Ok(())
+    }
+
+    /// Removes all subscriptions of `endpoint` on `topic`. Returns how
+    /// many were removed.
+    pub fn unsubscribe(&mut self, topic: TopicId, endpoint: EndPoint) -> usize {
+        let Some(subs) = self.subs.get_mut(&topic) else {
+            return 0;
+        };
+        let before = subs.len();
+        subs.retain(|s| s.endpoint != endpoint);
+        before - subs.len()
+    }
+
+    /// Number of subscriptions on a topic.
+    pub fn subscriber_count(&self, topic: TopicId) -> usize {
+        self.subs.get(&topic).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Encodes and fans a record out to every passing subscriber. Returns
+    /// `(endpoint, wire bytes)` pairs the caller hands to the kernel
+    /// transport. The first delivery of a schema to a subscriber inlines
+    /// the schema description (self-describing stream).
+    ///
+    /// # Errors
+    ///
+    /// Codec errors if the values do not match the schema.
+    pub fn publish(
+        &mut self,
+        topic: TopicId,
+        schema: &Schema,
+        values: &[Value],
+    ) -> Result<Vec<(EndPoint, Vec<u8>)>, PubSubError> {
+        if !self.subs.contains_key(&topic) {
+            return Err(PubSubError::UnknownTopic(topic));
+        }
+        // Late-compile any pending filters now that a schema is known.
+        let pending = std::mem::take(&mut self.pending_filters);
+        for (t, idx, src) in pending {
+            if t == topic {
+                let filter = Filter::compile(&src, schema)?;
+                if let Some(sub) = self.subs.get_mut(&t).and_then(|v| v.get_mut(idx)) {
+                    sub.filter = Some(filter);
+                }
+            } else {
+                self.pending_filters.push((t, idx, src));
+            }
+        }
+
+        if values.len() != schema.len() {
+            return Err(PubSubError::SchemaMismatch);
+        }
+        let schema_id = self.schemas.register(schema);
+
+        // Encode the record once.
+        let mut rw = RecordWriter::new(schema);
+        for v in values {
+            rw.push_value(v)?;
+        }
+        let record = rw.finish()?;
+
+        let subs = self.subs.get_mut(&topic).expect("checked");
+        let mut out = Vec::new();
+        for sub in subs.iter_mut() {
+            if let Some(filter) = &sub.filter {
+                let (pass, fuel) = filter.passes(values);
+                self.filter_fuel += fuel;
+                if !pass {
+                    sub.filtered += 1;
+                    continue;
+                }
+            }
+            let include_schema = sub.sent_schemas.insert(schema_id.0);
+            let mut wire = Vec::with_capacity(record.len() + 8);
+            write_u64(&mut wire, topic.0 as u64);
+            write_u64(&mut wire, schema_id.0 as u64);
+            wire.push(include_schema as u8);
+            if include_schema {
+                schema.encode(&mut wire);
+            }
+            wire.extend_from_slice(&record);
+            sub.delivered += 1;
+            out.push((sub.endpoint, wire));
+        }
+        Ok(out)
+    }
+
+    /// Total E-Code fuel burned by subscription filters so far (the host
+    /// converts this to CPU time and charges it as monitoring overhead).
+    pub fn filter_fuel(&self) -> u64 {
+        self.filter_fuel
+    }
+
+    /// (delivered, filtered) counts for a subscriber on a topic.
+    pub fn delivery_stats(&self, topic: TopicId, endpoint: EndPoint) -> Option<(u64, u64)> {
+        self.subs
+            .get(&topic)?
+            .iter()
+            .find(|s| s.endpoint == endpoint)
+            .map(|s| (s.delivered, s.filtered))
+    }
+}
+
+/// The subscriber half: decodes the self-describing stream.
+#[derive(Default)]
+pub struct ChannelDecoder {
+    schemas: SchemaRegistry,
+}
+
+impl ChannelDecoder {
+    /// An empty decoder (learns schemas from the stream).
+    pub fn new() -> Self {
+        ChannelDecoder::default()
+    }
+
+    /// Decodes one published message into `(topic, values)`. Returns
+    /// `Ok(None)` for a schema-only announcement carrying no record.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors on malformed input or unknown schema ids.
+    pub fn decode(&mut self, wire: &[u8]) -> Result<Option<(TopicId, Vec<Value>)>, PubSubError> {
+        let mut buf = wire;
+        let topic = TopicId(read_u64(&mut buf)? as u32);
+        let schema_id = SchemaId(read_u64(&mut buf)? as u32);
+        if buf.is_empty() {
+            return Err(PubSubError::Codec(PbioError::UnexpectedEof));
+        }
+        let has_schema = buf[0] != 0;
+        buf = &buf[1..];
+        if has_schema {
+            let schema = Schema::decode(&mut buf)?;
+            self.schemas.install(schema_id, schema);
+        }
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let schema = self.schemas.get(schema_id)?.clone();
+        let values = RecordReader::new(&schema, buf).read_all()?;
+        Ok(Some((topic, values)))
+    }
+
+    /// The schema most recently associated with an id, if known.
+    pub fn schema(&self, id: SchemaId) -> Option<&Schema> {
+        self.schemas.get(id).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Ip, Port};
+
+    fn schema() -> Schema {
+        Schema::build("metric")
+            .field("latency_us", FieldType::U64)
+            .field("node", FieldType::Str)
+            .field("load", FieldType::F64)
+            .finish()
+            .unwrap()
+    }
+
+    fn ep(host: u32) -> EndPoint {
+        EndPoint::new(Ip(host), Port(9999))
+    }
+
+    fn rec(latency: u64, load: f64) -> Vec<Value> {
+        vec![
+            Value::U64(latency),
+            Value::Str("proxy".into()),
+            Value::F64(load),
+        ]
+    }
+
+    #[test]
+    fn publish_without_subscribers_sends_nothing() {
+        let mut hub = Hub::new();
+        let t = hub.topic("x");
+        let out = hub.publish(t, &schema(), &rec(1, 0.5)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fanout_to_multiple_subscribers() {
+        let mut hub = Hub::new();
+        let t = hub.topic("x");
+        hub.subscribe(t, ep(1), None).unwrap();
+        hub.subscribe(t, ep(2), None).unwrap();
+        let out = hub.publish(t, &schema(), &rec(5, 0.1)).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(hub.subscriber_count(t), 2);
+    }
+
+    #[test]
+    fn schema_travels_once_per_subscriber() {
+        let mut hub = Hub::new();
+        let t = hub.topic("x");
+        hub.subscribe(t, ep(1), None).unwrap();
+        let first = hub.publish(t, &schema(), &rec(5, 0.1)).unwrap();
+        let second = hub.publish(t, &schema(), &rec(6, 0.2)).unwrap();
+        assert!(
+            first[0].1.len() > second[0].1.len() + 20,
+            "first message carries the schema: {} vs {}",
+            first[0].1.len(),
+            second[0].1.len()
+        );
+        // Both decode fine in order.
+        let mut dec = ChannelDecoder::new();
+        assert!(dec.decode(&first[0].1).unwrap().is_some());
+        let (topic, vals) = dec.decode(&second[0].1).unwrap().unwrap();
+        assert_eq!(topic, t);
+        assert_eq!(vals[0], Value::U64(6));
+    }
+
+    #[test]
+    fn decoder_without_schema_errors() {
+        let mut hub = Hub::new();
+        let t = hub.topic("x");
+        hub.subscribe(t, ep(1), None).unwrap();
+        let first = hub.publish(t, &schema(), &rec(5, 0.1)).unwrap();
+        let second = hub.publish(t, &schema(), &rec(6, 0.2)).unwrap();
+        let _ = first;
+        let mut dec = ChannelDecoder::new();
+        // Skipping the schema-bearing message leaves the id unknown.
+        assert!(matches!(
+            dec.decode(&second[0].1),
+            Err(PubSubError::Codec(PbioError::UnknownSchema(_)))
+        ));
+    }
+
+    #[test]
+    fn filter_suppresses_and_counts() {
+        let mut hub = Hub::new();
+        let t = hub.topic("x");
+        hub.subscribe_with_schema(t, ep(1), Some("return latency_us > 100;"), &schema())
+            .unwrap();
+        assert!(hub.publish(t, &schema(), &rec(50, 0.0)).unwrap().is_empty());
+        assert_eq!(hub.publish(t, &schema(), &rec(500, 0.0)).unwrap().len(), 1);
+        assert_eq!(hub.delivery_stats(t, ep(1)), Some((1, 1)));
+        assert!(hub.filter_fuel() > 0);
+    }
+
+    #[test]
+    fn filter_sees_float_fields() {
+        let mut hub = Hub::new();
+        let t = hub.topic("x");
+        hub.subscribe_with_schema(t, ep(1), Some("return load > 0.9;"), &schema())
+            .unwrap();
+        assert!(hub.publish(t, &schema(), &rec(1, 0.5)).unwrap().is_empty());
+        assert_eq!(hub.publish(t, &schema(), &rec(1, 0.95)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn late_compiled_filter_works() {
+        let mut hub = Hub::new();
+        let t = hub.topic("x");
+        hub.subscribe(t, ep(1), Some("return latency_us >= 10;")).unwrap();
+        assert!(hub.publish(t, &schema(), &rec(5, 0.0)).unwrap().is_empty());
+        assert_eq!(hub.publish(t, &schema(), &rec(10, 0.0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bad_filter_is_reported_eagerly() {
+        let mut hub = Hub::new();
+        let t = hub.topic("x");
+        let err = hub
+            .subscribe_with_schema(t, ep(1), Some("return nonsense_field;"), &schema())
+            .unwrap_err();
+        assert!(matches!(err, PubSubError::BadFilter(_)));
+    }
+
+    #[test]
+    fn unsubscribe_removes() {
+        let mut hub = Hub::new();
+        let t = hub.topic("x");
+        hub.subscribe(t, ep(1), None).unwrap();
+        hub.subscribe(t, ep(2), None).unwrap();
+        assert_eq!(hub.unsubscribe(t, ep(1)), 1);
+        assert_eq!(hub.subscriber_count(t), 1);
+        assert_eq!(hub.unsubscribe(t, ep(1)), 0);
+    }
+
+    #[test]
+    fn unknown_topic_errors() {
+        let mut hub = Hub::new();
+        let bogus = TopicId(99);
+        assert!(matches!(
+            hub.subscribe(bogus, ep(1), None),
+            Err(PubSubError::UnknownTopic(_))
+        ));
+        assert!(matches!(
+            hub.publish(bogus, &schema(), &rec(1, 0.0)),
+            Err(PubSubError::UnknownTopic(_))
+        ));
+    }
+
+    #[test]
+    fn value_count_mismatch_errors() {
+        let mut hub = Hub::new();
+        let t = hub.topic("x");
+        assert!(matches!(
+            hub.publish(t, &schema(), &[Value::U64(1)]),
+            Err(PubSubError::SchemaMismatch)
+        ));
+    }
+
+    #[test]
+    fn topics_are_stable_by_name() {
+        let mut hub = Hub::new();
+        let a = hub.topic("alpha");
+        let b = hub.topic("beta");
+        assert_ne!(a, b);
+        assert_eq!(hub.topic("alpha"), a);
+        assert_eq!(hub.topic_id("beta"), Some(b));
+        assert_eq!(hub.topic_id("gamma"), None);
+    }
+}
+
+#[cfg(test)]
+mod wire_fuzz {
+    use super::*;
+    use proptest::prelude::*;
+    use simnet::{Ip, Port};
+
+    proptest! {
+        /// The channel decoder is total on arbitrary input.
+        #[test]
+        fn prop_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut dec = ChannelDecoder::new();
+            let _ = dec.decode(&bytes);
+        }
+
+        /// Publish → decode round-trips arbitrary numeric records.
+        #[test]
+        fn prop_publish_decode_roundtrip(a in any::<u64>(), b in any::<i64>(), c in -1e300f64..1e300) {
+            let schema = Schema::build("fuzzrec")
+                .field("a", FieldType::U64)
+                .field("b", FieldType::I64)
+                .field("c", FieldType::F64)
+                .finish()
+                .unwrap();
+            let mut hub = Hub::new();
+            let t = hub.topic("x");
+            hub.subscribe(t, EndPoint::new(Ip(1), Port(9)), None).unwrap();
+            let values = vec![Value::U64(a), Value::I64(b), Value::F64(c)];
+            let sends = hub.publish(t, &schema, &values).unwrap();
+            prop_assert_eq!(sends.len(), 1);
+            let mut dec = ChannelDecoder::new();
+            let (topic, decoded) = dec.decode(&sends[0].1).unwrap().unwrap();
+            prop_assert_eq!(topic, t);
+            prop_assert_eq!(decoded, values);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! A capacity-limited FIFO with drop accounting, used throughout the
+//! simulated kernel for socket buffers, NIC rings and device queues.
+
+use std::collections::VecDeque;
+
+/// Error returned by [`BoundedQueue::enqueue`] when the queue is full; hands
+/// the rejected item back to the caller (C-INTERMEDIATE: the caller decides
+/// whether to retry, drop, or back-pressure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnqueueError<T>(pub T);
+
+impl<T> std::fmt::Display for EnqueueError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "queue is at capacity")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for EnqueueError<T> {}
+
+/// A FIFO bounded either by item count, by a caller-supplied "size" total
+/// (e.g. bytes), or both. Tracks high-water mark and cumulative drops so
+/// analyzers can report queue pressure.
+///
+/// # Example
+///
+/// ```
+/// use simcore::BoundedQueue;
+/// let mut q = BoundedQueue::with_capacity(2);
+/// q.enqueue("a", 1).unwrap();
+/// q.enqueue("b", 1).unwrap();
+/// assert!(q.enqueue("c", 1).is_err());
+/// assert_eq!(q.dequeue(), Some(("a", 1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<(T, u64)>,
+    max_items: usize,
+    max_size: u64,
+    cur_size: u64,
+    high_water_items: usize,
+    high_water_size: u64,
+    dropped: u64,
+    total_enqueued: u64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue bounded by item count only.
+    pub fn with_capacity(max_items: usize) -> Self {
+        Self::with_limits(max_items, u64::MAX)
+    }
+
+    /// A queue bounded by total size only (each item carries a size).
+    pub fn with_size_limit(max_size: u64) -> Self {
+        Self::with_limits(usize::MAX, max_size)
+    }
+
+    /// A queue bounded by both item count and total size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both limits are zero-capacity in a way that admits nothing
+    /// (`max_items == 0` or `max_size == 0`).
+    pub fn with_limits(max_items: usize, max_size: u64) -> Self {
+        assert!(max_items > 0 && max_size > 0, "queue must admit at least one item");
+        BoundedQueue {
+            items: VecDeque::new(),
+            max_items,
+            max_size,
+            cur_size: 0,
+            high_water_items: 0,
+            high_water_size: 0,
+            dropped: 0,
+            total_enqueued: 0,
+        }
+    }
+
+    /// Appends an item of the given `size`. On overflow the item is returned
+    /// in the error and the drop counter is incremented.
+    pub fn enqueue(&mut self, item: T, size: u64) -> Result<(), EnqueueError<T>> {
+        if self.items.len() >= self.max_items || self.cur_size.saturating_add(size) > self.max_size
+        {
+            self.dropped += 1;
+            return Err(EnqueueError(item));
+        }
+        self.cur_size += size;
+        self.items.push_back((item, size));
+        self.total_enqueued += 1;
+        self.high_water_items = self.high_water_items.max(self.items.len());
+        self.high_water_size = self.high_water_size.max(self.cur_size);
+        Ok(())
+    }
+
+    /// Removes the oldest item, returning it with its size.
+    pub fn dequeue(&mut self) -> Option<(T, u64)> {
+        let (item, size) = self.items.pop_front()?;
+        self.cur_size -= size;
+        Some((item, size))
+    }
+
+    /// Peeks at the oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front().map(|(t, _)| t)
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Sum of the sizes of queued items.
+    pub fn size(&self) -> u64 {
+        self.cur_size
+    }
+
+    /// Items dropped because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total items ever successfully enqueued.
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+
+    /// Largest item count ever held.
+    pub fn high_water_items(&self) -> usize {
+        self.high_water_items
+    }
+
+    /// Largest total size ever held.
+    pub fn high_water_size(&self) -> u64 {
+        self.high_water_size
+    }
+
+    /// Remaining size headroom.
+    pub fn remaining_size(&self) -> u64 {
+        self.max_size - self.cur_size
+    }
+
+    /// Iterates over queued items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter().map(|(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::with_capacity(10);
+        for i in 0..5 {
+            q.enqueue(i, 1).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue().unwrap().0, i);
+        }
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn item_limit_enforced() {
+        let mut q = BoundedQueue::with_capacity(2);
+        q.enqueue('a', 1).unwrap();
+        q.enqueue('b', 1).unwrap();
+        let err = q.enqueue('c', 1).unwrap_err();
+        assert_eq!(err.0, 'c');
+        assert_eq!(q.dropped(), 1);
+        q.dequeue();
+        q.enqueue('c', 1).unwrap();
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        let mut q = BoundedQueue::with_size_limit(100);
+        q.enqueue("x", 60).unwrap();
+        assert!(q.enqueue("y", 50).is_err());
+        q.enqueue("z", 40).unwrap();
+        assert_eq!(q.size(), 100);
+        assert_eq!(q.remaining_size(), 0);
+    }
+
+    #[test]
+    fn high_water_marks() {
+        let mut q = BoundedQueue::with_limits(10, 1000);
+        q.enqueue(1, 100).unwrap();
+        q.enqueue(2, 200).unwrap();
+        q.dequeue();
+        q.dequeue();
+        assert_eq!(q.high_water_items(), 2);
+        assert_eq!(q.high_water_size(), 300);
+        assert_eq!(q.size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<()>::with_capacity(0);
+    }
+
+    proptest! {
+        /// Invariant: size() always equals the sum of sizes of queued items,
+        /// under any interleaving of enqueues and dequeues.
+        #[test]
+        fn prop_size_invariant(ops in proptest::collection::vec((any::<bool>(), 1u64..50), 1..200)) {
+            let mut q = BoundedQueue::with_limits(16, 400);
+            let mut model: std::collections::VecDeque<u64> = Default::default();
+            for (is_push, size) in ops {
+                if is_push {
+                    if q.enqueue((), size).is_ok() {
+                        model.push_back(size);
+                    }
+                } else {
+                    let got = q.dequeue().map(|(_, s)| s);
+                    prop_assert_eq!(got, model.pop_front());
+                }
+                prop_assert_eq!(q.size(), model.iter().sum::<u64>());
+                prop_assert_eq!(q.len(), model.len());
+                prop_assert!(q.len() <= 16);
+                prop_assert!(q.size() <= 400);
+            }
+        }
+    }
+}

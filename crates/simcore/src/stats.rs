@@ -1,0 +1,532 @@
+//! Online statistics used by analyzers and the benchmark harness.
+//!
+//! The local and global performance analyzers must summarize metric streams
+//! without storing every sample (they run "in the kernel" where buffers are
+//! scarce), so everything here is O(1) or O(bins) per observation:
+//! [`OnlineStats`] (Welford), [`Histogram`] (log-scale bins with percentile
+//! queries), [`TimeWeighted`] (time-weighted averages for gauge-style
+//! metrics like queue depth) and [`RateMeter`] (windowed event rates).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SimDuration, SimTime};
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+///
+/// # Example
+///
+/// ```
+/// use simcore::stats::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for v in [1.0, 2.0, 3.0] { s.record(v); }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation. Non-finite values are ignored (and counted
+    /// nowhere); analyzers must never poison their summaries.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds a duration observation in milliseconds.
+    pub fn record_duration_ms(&mut self, d: SimDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A log-scale histogram of non-negative values with percentile queries.
+///
+/// Bins are powers of `2^(1/4)` (four bins per octave), giving ≤ ~19%
+/// relative error on percentile estimates over a huge dynamic range with a
+/// few hundred bins — the same trick HdrHistogram-style recorders use.
+///
+/// # Example
+///
+/// ```
+/// use simcore::stats::Histogram;
+/// let mut h = Histogram::new();
+/// for v in 1..=1000 { h.record(v as f64); }
+/// let p50 = h.percentile(50.0).unwrap();
+/// assert!(p50 > 350.0 && p50 < 700.0, "p50 was {p50}");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    /// bins[i] counts values in [bound(i-1), bound(i)); bin 0 is [0, 1).
+    bins: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+const BINS_PER_OCTAVE: f64 = 4.0;
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bin_index(value: f64) -> usize {
+        if value < 1.0 {
+            0
+        } else {
+            1 + (value.log2() * BINS_PER_OCTAVE).floor() as usize
+        }
+    }
+
+    fn bin_upper_bound(index: usize) -> f64 {
+        if index == 0 {
+            1.0
+        } else {
+            2f64.powf(index as f64 / BINS_PER_OCTAVE)
+        }
+    }
+
+    /// Adds one observation. Negative and non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() || value < 0.0 {
+            return;
+        }
+        let idx = Self::bin_index(value);
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimates the `p`-th percentile (0–100). Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100], got {p}");
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Midpoint of the bin, geometric-ish.
+                let hi = Self::bin_upper_bound(i);
+                let lo = if i == 0 { 0.0 } else { Self::bin_upper_bound(i - 1) };
+                return Some((lo + hi) / 2.0);
+            }
+        }
+        Some(Self::bin_upper_bound(self.bins.len().saturating_sub(1)))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// Time-weighted average of a gauge (queue depth, outstanding requests).
+///
+/// Call [`update`](TimeWeighted::update) every time the gauge changes; the
+/// average weights each value by how long it was held.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    total_time: f64,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start` with initial gauge `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_time: start,
+            last_value: value,
+            weighted_sum: 0.0,
+            total_time: 0.0,
+            max: value,
+        }
+    }
+
+    /// Records that the gauge changed to `value` at time `now`.
+    pub fn update(&mut self, now: SimTime, value: f64) {
+        let dt = now.saturating_since(self.last_time).as_secs_f64();
+        self.weighted_sum += self.last_value * dt;
+        self.total_time += dt;
+        self.last_time = now;
+        self.last_value = value;
+        self.max = self.max.max(value);
+    }
+
+    /// The time-weighted average up to the last update.
+    pub fn average(&self) -> f64 {
+        if self.total_time == 0.0 {
+            self.last_value
+        } else {
+            self.weighted_sum / self.total_time
+        }
+    }
+
+    /// Largest gauge value seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The gauge value as of the last update.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// Windowed event-rate meter: counts events per fixed window and reports
+/// the completed-window series (used for the throughput-over-time figures).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateMeter {
+    window: SimDuration,
+    window_start: SimTime,
+    current_count: u64,
+    /// Completed windows: (window start, events in window).
+    series: Vec<(SimTime, u64)>,
+}
+
+impl RateMeter {
+    /// Creates a meter with the given window length, starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(start: SimTime, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "RateMeter window must be non-zero");
+        RateMeter {
+            window,
+            window_start: start,
+            current_count: 0,
+            series: Vec::new(),
+        }
+    }
+
+    /// Records one event at time `now`, closing any windows that have
+    /// elapsed since the last event.
+    pub fn record(&mut self, now: SimTime) {
+        self.roll_to(now);
+        self.current_count += 1;
+    }
+
+    /// Closes all windows ending at or before `now` (recording zero-count
+    /// windows for idle gaps).
+    pub fn roll_to(&mut self, now: SimTime) {
+        while now >= self.window_start + self.window {
+            self.series.push((self.window_start, self.current_count));
+            self.current_count = 0;
+            self.window_start += self.window;
+        }
+    }
+
+    /// Completed windows as `(window_start, count)` pairs.
+    pub fn series(&self) -> &[(SimTime, u64)] {
+        &self.series
+    }
+
+    /// Completed windows as events-per-second rates.
+    pub fn rates_per_sec(&self) -> Vec<(SimTime, f64)> {
+        let w = self.window.as_secs_f64();
+        self.series.iter().map(|&(t, c)| (t, c as f64 / w)).collect()
+    }
+
+    /// Overall mean rate across completed windows (events/sec).
+    pub fn mean_rate(&self) -> f64 {
+        if self.series.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.series.iter().map(|&(_, c)| c).sum();
+        total as f64 / (self.series.len() as f64 * self.window.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_ignores_non_finite() {
+        let mut s = OnlineStats::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 20.0).collect();
+        let mut whole = OnlineStats::new();
+        for &v in &data {
+            whole.record(v);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &v in &data[..37] {
+            left.record(v);
+        }
+        for &v in &data[37..] {
+            right.record(v);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.record(3.0);
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 3.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_truth() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u32 {
+            h.record(v as f64);
+        }
+        for (p, truth) in [(50.0, 5000.0), (90.0, 9000.0), (99.0, 9900.0)] {
+            let est = h.percentile(p).unwrap();
+            let rel = (est - truth).abs() / truth;
+            assert!(rel < 0.25, "p{p}: est {est} truth {truth} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_subunit() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(0.5);
+        h.record(0.9);
+        assert_eq!(h.count(), 3);
+        let p = h.percentile(50.0).unwrap();
+        assert!(p <= 1.0);
+    }
+
+    #[test]
+    fn histogram_empty_percentile_none() {
+        assert_eq!(Histogram::new().percentile(50.0), None);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10.0);
+        b.record(1000.0);
+        b.record(2000.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!(a.mean() > 500.0);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        // 0 for 1s, then 10 for 1s => average 5.
+        tw.update(SimTime::from_secs(1), 10.0);
+        tw.update(SimTime::from_secs(2), 0.0);
+        assert!((tw.average() - 5.0).abs() < 1e-12);
+        assert_eq!(tw.max(), 10.0);
+        assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn rate_meter_windows() {
+        let mut m = RateMeter::new(SimTime::ZERO, SimDuration::from_secs(1));
+        for i in 0..10 {
+            m.record(SimTime::from_millis(i * 100)); // all within first second
+        }
+        m.record(SimTime::from_millis(1500)); // second window
+        m.roll_to(SimTime::from_secs(4));
+        let series = m.series();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[0].1, 10);
+        assert_eq!(series[1].1, 1);
+        assert_eq!(series[2].1, 0);
+        assert_eq!(series[3].1, 0);
+        let rates = m.rates_per_sec();
+        assert_eq!(rates[0].1, 10.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_histogram_percentile_monotone(values in proptest::collection::vec(0.0f64..1e6, 1..500)) {
+            let mut h = Histogram::new();
+            for v in &values {
+                h.record(*v);
+            }
+            let p10 = h.percentile(10.0).unwrap();
+            let p50 = h.percentile(50.0).unwrap();
+            let p99 = h.percentile(99.0).unwrap();
+            prop_assert!(p10 <= p50 && p50 <= p99);
+        }
+
+        #[test]
+        fn prop_online_stats_mean_bounded(values in proptest::collection::vec(-1e9f64..1e9, 1..500)) {
+            let mut s = OnlineStats::new();
+            for v in &values {
+                s.record(*v);
+            }
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(s.mean() >= lo - 1e-6 && s.mean() <= hi + 1e-6);
+        }
+
+        #[test]
+        fn prop_merge_commutative_count(xs in proptest::collection::vec(-1e6f64..1e6, 0..100),
+                                        ys in proptest::collection::vec(-1e6f64..1e6, 0..100)) {
+            let mut a = OnlineStats::new();
+            let mut b = OnlineStats::new();
+            for x in &xs { a.record(*x); }
+            for y in &ys { b.record(*y); }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(ab.count(), ba.count());
+            prop_assert!((ab.mean() - ba.mean()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-node wall clocks with NTP-style offset and drift.
+//!
+//! The global performance analyzer correlates logs from different machines
+//! using "NTP timestamps" (§2). Real NTP keeps clocks within a bounded
+//! offset of true time but never perfectly aligned; reproducing that error
+//! is essential for testing GPA correlation honestly.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// Static description of a node clock's error model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockSpec {
+    /// Constant offset from true (global simulation) time, in nanoseconds.
+    /// May be negative (clock runs behind).
+    pub offset_ns: i64,
+    /// Drift rate in parts-per-million: the clock gains `drift_ppm`
+    /// microseconds per second of true time. May be negative.
+    pub drift_ppm: f64,
+}
+
+impl ClockSpec {
+    /// A perfectly synchronized clock.
+    pub const PERFECT: ClockSpec = ClockSpec {
+        offset_ns: 0,
+        drift_ppm: 0.0,
+    };
+
+    /// A typical LAN NTP-disciplined clock: offset within ±`bound_us`
+    /// microseconds, drift within ±2 ppm, drawn deterministically from the
+    /// node index.
+    pub fn typical_ntp(node_index: u32, bound_us: i64) -> ClockSpec {
+        // Cheap deterministic hash of the index; avoids needing an RNG here.
+        let h = (node_index as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17);
+        let span = (bound_us.max(1) * 2_000) as u64; // ns range width
+        let offset_ns = (h % span) as i64 - bound_us * 1_000;
+        let drift_ppm = ((h >> 32) % 4_000) as f64 / 1_000.0 - 2.0;
+        ClockSpec { offset_ns, drift_ppm }
+    }
+}
+
+/// A node's wall clock: converts between global simulation time and the
+/// node-local timestamps that appear in monitoring records.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NtpClock {
+    spec: ClockSpec,
+}
+
+impl NtpClock {
+    /// Creates a clock with the given error model.
+    pub fn new(spec: ClockSpec) -> Self {
+        NtpClock { spec }
+    }
+
+    /// The error model.
+    pub fn spec(&self) -> &ClockSpec {
+        &self.spec
+    }
+
+    /// The node-local wall-clock reading at global time `t`.
+    ///
+    /// Readings saturate at zero: a clock with a negative offset reads zero
+    /// near simulation start rather than underflowing.
+    pub fn wall(&self, t: SimTime) -> SimTime {
+        let true_ns = t.as_nanos() as i128;
+        let drift_ns = (true_ns as f64 * self.spec.drift_ppm / 1e6) as i128;
+        let wall = true_ns + self.spec.offset_ns as i128 + drift_ns;
+        SimTime::from_nanos(wall.clamp(0, u64::MAX as i128) as u64)
+    }
+
+    /// Inverts [`wall`](NtpClock::wall): estimates the global time at which
+    /// this node's clock read `w`. Exact up to rounding of the drift term.
+    pub fn true_time(&self, w: SimTime) -> SimTime {
+        let wall_ns = w.as_nanos() as i128;
+        let base = wall_ns - self.spec.offset_ns as i128;
+        // wall = true * (1 + d) + offset  =>  true = (wall - offset)/(1 + d)
+        let t = base as f64 / (1.0 + self.spec.drift_ppm / 1e6);
+        SimTime::from_nanos(t.clamp(0.0, u64::MAX as f64) as u64)
+    }
+
+    /// The worst-case absolute error between wall and true time over a run
+    /// of the given length — the bound GPA correlation windows must absorb.
+    pub fn max_error(&self, run_length: SimDuration) -> SimDuration {
+        let drift_ns = (run_length.as_nanos() as f64 * self.spec.drift_ppm.abs() / 1e6) as u64;
+        SimDuration::from_nanos(self.spec.offset_ns.unsigned_abs() + drift_ns)
+    }
+}
+
+impl Default for NtpClock {
+    fn default() -> Self {
+        NtpClock::new(ClockSpec::PERFECT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = NtpClock::default();
+        let t = SimTime::from_secs(12);
+        assert_eq!(c.wall(t), t);
+        assert_eq!(c.true_time(t), t);
+    }
+
+    #[test]
+    fn positive_offset_moves_wall_ahead() {
+        let c = NtpClock::new(ClockSpec {
+            offset_ns: 5_000,
+            drift_ppm: 0.0,
+        });
+        assert_eq!(c.wall(SimTime::from_micros(1)).as_nanos(), 6_000);
+    }
+
+    #[test]
+    fn negative_offset_saturates_at_zero() {
+        let c = NtpClock::new(ClockSpec {
+            offset_ns: -1_000_000,
+            drift_ppm: 0.0,
+        });
+        assert_eq!(c.wall(SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(c.wall(SimTime::from_millis(2)).as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn drift_accumulates() {
+        let c = NtpClock::new(ClockSpec {
+            offset_ns: 0,
+            drift_ppm: 10.0,
+        });
+        // 10 ppm over 1 s = 10 µs fast.
+        assert_eq!(c.wall(SimTime::from_secs(1)).as_nanos(), 1_000_010_000);
+    }
+
+    #[test]
+    fn max_error_bounds_observed_error() {
+        for idx in 0..50u32 {
+            let spec = ClockSpec::typical_ntp(idx, 500);
+            let c = NtpClock::new(spec);
+            let run = SimDuration::from_secs(300);
+            let bound = c.max_error(run);
+            for s in [0u64, 10, 100, 300] {
+                let t = SimTime::from_secs(s);
+                let w = c.wall(t);
+                let err = if w >= t { w - t } else { t - w };
+                assert!(
+                    err <= bound + SimDuration::from_nanos(1),
+                    "node {idx}: err {err} > bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn typical_ntp_within_configured_bound() {
+        for idx in 0..200u32 {
+            let spec = ClockSpec::typical_ntp(idx, 500);
+            assert!(spec.offset_ns.abs() <= 500_000, "offset {}", spec.offset_ns);
+            assert!(spec.drift_ppm.abs() <= 2.0, "drift {}", spec.drift_ppm);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_true_time_inverts_wall(offset in -1_000_000i64..1_000_000,
+                                       drift in -50.0f64..50.0,
+                                       secs in 1u64..10_000) {
+            let c = NtpClock::new(ClockSpec { offset_ns: offset, drift_ppm: drift });
+            let t = SimTime::from_secs(secs);
+            let w = c.wall(t);
+            // Skip the saturated-at-zero corner.
+            prop_assume!(w > SimTime::ZERO);
+            let back = c.true_time(w);
+            let err = if back >= t { back - t } else { t - back };
+            // f64 round-trip error stays under a microsecond for these ranges.
+            prop_assert!(err < simcore::SimDuration::from_micros(1), "err {err}");
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Topologies: named nodes, addressed interfaces, and the link fabric.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use simcore::{NodeId, SimTime};
+
+use crate::{ClockSpec, Ip, Link, LinkSpec, NtpClock, TransmitOutcome};
+
+/// Error building a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A link referenced a node index that does not exist.
+    UnknownNode(NodeId),
+    /// Two link declarations covered the same node pair.
+    DuplicateLink(NodeId, NodeId),
+    /// A link connected a node to itself.
+    SelfLink(NodeId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "link references unknown {n}"),
+            TopologyError::DuplicateLink(a, b) => write!(f, "duplicate link between {a} and {b}"),
+            TopologyError::SelfLink(n) => write!(f, "self-link on {n}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Error returned when transmitting between unconnected nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoRouteError {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+}
+
+impl fmt::Display for NoRouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no route from {} to {}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for NoRouteError {}
+
+struct NodeInfo {
+    name: String,
+    ip: Ip,
+    clock: NtpClock,
+}
+
+/// Builder for [`Network`] topologies.
+///
+/// # Example
+///
+/// ```
+/// use simcore::NodeId;
+/// use simnet::{LinkSpec, NetworkBuilder};
+///
+/// let net = NetworkBuilder::new()
+///     .node("a")
+///     .node("b")
+///     .link(NodeId(0), NodeId(1), LinkSpec::gigabit_lan())
+///     .build()?;
+/// assert_eq!(net.node_count(), 2);
+/// # Ok::<(), simnet::TopologyError>(())
+/// ```
+#[derive(Default)]
+pub struct NetworkBuilder {
+    nodes: Vec<(String, ClockSpec)>,
+    links: Vec<(NodeId, NodeId, LinkSpec)>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        NetworkBuilder::default()
+    }
+
+    /// Adds a node with a perfect clock; returns the builder. Nodes get ids
+    /// in declaration order and IPs `10.0.0.(index+1)`.
+    pub fn node(mut self, name: &str) -> Self {
+        self.nodes.push((name.to_owned(), ClockSpec::PERFECT));
+        self
+    }
+
+    /// Adds a node with an explicit clock error model.
+    pub fn node_with_clock(mut self, name: &str, clock: ClockSpec) -> Self {
+        self.nodes.push((name.to_owned(), clock));
+        self
+    }
+
+    /// Connects two nodes with a link.
+    pub fn link(mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> Self {
+        self.links.push((a, b, spec));
+        self
+    }
+
+    /// Connects every distinct node pair with the same link spec.
+    pub fn full_mesh(mut self, spec: LinkSpec) -> Self {
+        let n = self.nodes.len() as u32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                self.links.push((NodeId(i), NodeId(j), spec));
+            }
+        }
+        self
+    }
+
+    /// Validates and builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] on dangling node references, self-links or
+    /// duplicate links.
+    pub fn build(self) -> Result<Network, TopologyError> {
+        let n = self.nodes.len() as u32;
+        let mut links = HashMap::new();
+        for (a, b, spec) in self.links {
+            if a == b {
+                return Err(TopologyError::SelfLink(a));
+            }
+            if a.0 >= n {
+                return Err(TopologyError::UnknownNode(a));
+            }
+            if b.0 >= n {
+                return Err(TopologyError::UnknownNode(b));
+            }
+            let key = if a < b { (a, b) } else { (b, a) };
+            if links.insert(key, Link::new(spec)).is_some() {
+                return Err(TopologyError::DuplicateLink(key.0, key.1));
+            }
+        }
+        let nodes = self
+            .nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, clock))| NodeInfo {
+                name,
+                ip: Ip::for_node_index(i as u32),
+                clock: NtpClock::new(clock),
+            })
+            .collect();
+        Ok(Network { nodes, links })
+    }
+}
+
+/// A built topology: the link fabric plus per-node addressing and clocks.
+pub struct Network {
+    nodes: Vec<NodeInfo>,
+    links: HashMap<(NodeId, NodeId), Link>,
+}
+
+impl Network {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A node's display name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0 as usize].name
+    }
+
+    /// A node's IP address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_ip(&self, node: NodeId) -> Ip {
+        self.nodes[node.0 as usize].ip
+    }
+
+    /// Looks up a node by IP address.
+    pub fn node_by_ip(&self, ip: Ip) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|ni| ni.ip == ip)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// A node's wall clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn clock(&self, node: NodeId) -> &NtpClock {
+        &self.nodes[node.0 as usize].clock
+    }
+
+    /// Transmits `bytes` from `from` to `to` at time `now`, returning the
+    /// delivery schedule (or drop verdict).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoRouteError`] if the nodes are not directly linked.
+    pub fn transmit(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+    ) -> Result<TransmitOutcome, NoRouteError> {
+        let key = if from < to { (from, to) } else { (to, from) };
+        let link = self
+            .links
+            .get_mut(&key)
+            .ok_or(NoRouteError { from, to })?;
+        Ok(if from < to {
+            link.transmit_forward(now, bytes)
+        } else {
+            link.transmit_reverse(now, bytes)
+        })
+    }
+
+    /// Immutable access to the link between two nodes, if any.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<&Link> {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.links.get(&key)
+    }
+
+    /// Round-trip propagation + single-MTU serialization estimate between
+    /// two directly linked nodes (the "network RTT" the paper reports as
+    /// < 0.3 ms).
+    pub fn estimated_rtt(&self, a: NodeId, b: NodeId) -> Option<simcore::SimDuration> {
+        self.link_between(a, b).map(|l| {
+            let one_way = l.spec().propagation + l.spec().serialization_delay(1500);
+            one_way * 2
+        })
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    fn two_node_net() -> Network {
+        NetworkBuilder::new()
+            .node("a")
+            .node("b")
+            .link(NodeId(0), NodeId(1), LinkSpec::gigabit_lan())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_ips_and_names() {
+        let net = two_node_net();
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.node_name(NodeId(0)), "a");
+        assert_eq!(net.node_ip(NodeId(1)), Ip::for_node_index(1));
+        assert_eq!(net.node_by_ip(Ip::for_node_index(0)), Some(NodeId(0)));
+        assert_eq!(net.node_by_ip(Ip(0xDEADBEEF)), None);
+    }
+
+    #[test]
+    fn transmit_uses_link_both_directions() {
+        let mut net = two_node_net();
+        let t0 = net
+            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 1500)
+            .unwrap()
+            .arrival_time()
+            .unwrap();
+        let t1 = net
+            .transmit(SimTime::ZERO, NodeId(1), NodeId(0), 1500)
+            .unwrap()
+            .arrival_time()
+            .unwrap();
+        assert_eq!(t0, t1, "independent directions");
+    }
+
+    #[test]
+    fn no_route_between_unlinked_nodes() {
+        let mut net = NetworkBuilder::new().node("a").node("b").build().unwrap();
+        let err = net
+            .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 100)
+            .unwrap_err();
+        assert_eq!(err, NoRouteError { from: NodeId(0), to: NodeId(1) });
+    }
+
+    #[test]
+    fn full_mesh_links_all_pairs() {
+        let net = NetworkBuilder::new()
+            .node("a")
+            .node("b")
+            .node("c")
+            .node("d")
+            .full_mesh(LinkSpec::gigabit_lan())
+            .build()
+            .unwrap();
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    assert!(net.link_between(NodeId(i), NodeId(j)).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_rejects_self_link() {
+        let err = NetworkBuilder::new()
+            .node("a")
+            .link(NodeId(0), NodeId(0), LinkSpec::gigabit_lan())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::SelfLink(NodeId(0)));
+    }
+
+    #[test]
+    fn build_rejects_unknown_node() {
+        let err = NetworkBuilder::new()
+            .node("a")
+            .link(NodeId(0), NodeId(7), LinkSpec::gigabit_lan())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::UnknownNode(NodeId(7)));
+    }
+
+    #[test]
+    fn build_rejects_duplicate_links_even_reversed() {
+        let err = NetworkBuilder::new()
+            .node("a")
+            .node("b")
+            .link(NodeId(0), NodeId(1), LinkSpec::gigabit_lan())
+            .link(NodeId(1), NodeId(0), LinkSpec::fast_ethernet())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::DuplicateLink(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn rtt_estimate_is_sub_millisecond_on_lan() {
+        let net = two_node_net();
+        let rtt = net.estimated_rtt(NodeId(0), NodeId(1)).unwrap();
+        // The paper reports network RTT < 0.3 ms on its testbed.
+        assert!(rtt < SimDuration::from_micros(300), "rtt {rtt}");
+    }
+
+    #[test]
+    fn clock_defaults_to_perfect_and_can_be_set() {
+        let net = NetworkBuilder::new()
+            .node("sync")
+            .node_with_clock("skewed", ClockSpec { offset_ns: 250_000, drift_ppm: 1.0 })
+            .build()
+            .unwrap();
+        let t = SimTime::from_secs(1);
+        assert_eq!(net.clock(NodeId(0)).wall(t), t);
+        assert!(net.clock(NodeId(1)).wall(t) > t);
+    }
+}

@@ -1,0 +1,99 @@
+//! Tunable cost constants for the simulated kernel.
+//!
+//! Defaults approximate the paper's testbed: a 2.8 GHz uniprocessor P4
+//! running Linux 2.4 with a non-offloading gigabit NIC — a platform where
+//! gigabit receive processing consumes most of a CPU (the era's "1 GHz per
+//! Gbps" rule), which is what makes the Iperf overhead experiment (§3.1)
+//! come out the way it does.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+use crate::DiskSpec;
+
+/// Per-operation CPU costs and scheduler parameters for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostConfig {
+    /// Scheduler timeslice for compute-bound work.
+    pub timeslice: SimDuration,
+    /// Direct cost of a context switch.
+    pub context_switch: SimDuration,
+    /// Base cost of entering/leaving the kernel for a syscall.
+    pub syscall_base: SimDuration,
+    /// Cost per byte of copying between user and kernel space.
+    pub copy_per_byte_ns: f64,
+    /// NIC receive interrupt handling, per packet.
+    pub rx_irq: SimDuration,
+    /// Protocol (IP+TCP) receive processing, per packet (softirq).
+    pub rx_stack: SimDuration,
+    /// Per-packet cost of the user-copy step of `recv`.
+    pub rx_deliver: SimDuration,
+    /// Protocol transmit processing, per packet.
+    pub tx_stack: SimDuration,
+    /// NIC rx ring capacity in packets: softirq backlog beyond this drops
+    /// arriving packets at the NIC (receive livelock).
+    pub rx_ring_packets: u32,
+    /// Socket receive buffer capacity in bytes.
+    pub socket_rx_bytes: u64,
+    /// Socket/device transmit queue capacity in bytes; senders block when
+    /// it is full (backpressure) and wake when it drains below half.
+    pub socket_tx_bytes: u64,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        CostConfig {
+            timeslice: SimDuration::from_millis(5),
+            context_switch: SimDuration::from_micros(2),
+            syscall_base: SimDuration::from_micros(1),
+            copy_per_byte_ns: 1.4, // ~700 MB/s copy on the era's hardware
+            rx_irq: SimDuration::from_micros(3),
+            rx_stack: SimDuration::from_micros(6),
+            rx_deliver: SimDuration::from_nanos(1_300),
+            tx_stack: SimDuration::from_micros(3),
+            rx_ring_packets: 300,
+            socket_rx_bytes: 4 * 1024 * 1024,
+            socket_tx_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl CostConfig {
+    /// Cost of copying `bytes` across the user/kernel boundary.
+    pub fn copy_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos((bytes as f64 * self.copy_per_byte_ns) as u64)
+    }
+}
+
+/// Per-node hardware/OS configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct NodeConfig {
+    /// CPU cost model.
+    pub costs: CostConfig,
+    /// The node's single disk (the paper's nodes have one).
+    pub disk: DiskSpec,
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_cost_scales_linearly() {
+        let c = CostConfig::default();
+        assert_eq!(c.copy_cost(0), SimDuration::ZERO);
+        let one_kb = c.copy_cost(1024).as_nanos() as i64;
+        let two_kb = c.copy_cost(2048).as_nanos() as i64;
+        assert!((two_kb - 2 * one_kb).abs() <= 1, "{one_kb} vs {two_kb}");
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CostConfig::default();
+        assert!(c.timeslice > c.context_switch);
+        assert!(c.rx_ring_packets > 0);
+        assert!(c.socket_rx_bytes > 0);
+    }
+}

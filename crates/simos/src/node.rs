@@ -1,0 +1,164 @@
+//! Per-node kernel state and statistics.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use kprof::{FileId, Kprof, Pid};
+use simcore::{NodeId, SimDuration, SimTime};
+use simnet::{FlowKey, Port};
+
+use crate::process::Process;
+use crate::socket::{Socket, SocketId};
+use crate::{Disk, NodeConfig};
+
+/// Cumulative CPU time by category. The categories add up to total busy
+/// time; `monitor` is the perturbation SysProf itself causes — the paper's
+/// overhead metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuUsage {
+    /// Time in user mode (application compute).
+    pub user: SimDuration,
+    /// Time in kernel mode on behalf of processes (syscalls).
+    pub kernel: SimDuration,
+    /// Interrupt/softirq time (network stack processing).
+    pub irq: SimDuration,
+    /// Monitoring overhead (Kprof hooks, analyzer callbacks, daemon work).
+    pub monitor: SimDuration,
+}
+
+impl CpuUsage {
+    /// Total busy time.
+    pub fn busy(&self) -> SimDuration {
+        self.user + self.kernel + self.irq + self.monitor
+    }
+
+    /// Busy fraction of a window.
+    pub fn utilization(&self, window: SimDuration) -> f64 {
+        if window.is_zero() {
+            0.0
+        } else {
+            self.busy().as_secs_f64() / window.as_secs_f64()
+        }
+    }
+}
+
+/// Observable per-node counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// Application payload bytes delivered to user space (or kernel
+    /// daemons) on this node.
+    pub bytes_received: u64,
+    /// Application payload bytes submitted for send on this node.
+    pub bytes_sent: u64,
+    /// Packets that arrived at the NIC.
+    pub packets_in: u64,
+    /// Packets handed to the NIC for transmit.
+    pub packets_out: u64,
+    /// Packets dropped at the NIC ring (receive livelock).
+    pub ring_drops: u64,
+    /// Packets dropped at socket receive buffers.
+    pub socket_drops: u64,
+    /// Complete application messages delivered.
+    pub messages_delivered: u64,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// CPU time breakdown.
+    pub cpu: CpuUsage,
+}
+
+/// What the CPU is doing right now.
+#[derive(Debug)]
+pub(crate) struct RunningQuantum {
+    pub pid: Pid,
+    pub end_handle: simcore::EventHandle,
+    pub end_time: SimTime,
+    pub kind: crate::world::QuantumKind,
+    /// The quantum's own planned work (excludes context-switch cost and
+    /// any time stolen by interrupts/monitoring).
+    pub work: SimDuration,
+    /// Time stolen by interrupts/monitoring during this quantum (already
+    /// included in `end_time` stretches; excluded from the quantum's own
+    /// work accounting).
+    pub stolen: SimDuration,
+}
+
+/// One simulated machine: kernel state + instrumentation.
+pub(crate) struct Node {
+    pub id: NodeId,
+    pub config: NodeConfig,
+    pub kprof: Kprof,
+    pub disk: Disk,
+    pub procs: HashMap<Pid, Process>,
+    pub runq: VecDeque<Pid>,
+    pub running: Option<RunningQuantum>,
+    /// CPU committed through this time by interrupt work while idle.
+    pub cpu_busy_until: SimTime,
+    pub last_pid: Option<Pid>,
+    pub dispatch_pending: bool,
+    pub sockets: HashMap<SocketId, Socket>,
+    /// Inbound flow (src=peer, dst=local) → socket.
+    pub flows: HashMap<FlowKey, SocketId>,
+    pub listeners: HashMap<Port, Pid>,
+    /// Ports served by kernel sinks (dissemination/pub-sub endpoints).
+    pub sink_ports: HashSet<Port>,
+    /// Kernel-side assembly sockets for sink traffic, keyed by rx flow.
+    pub sink_socks: HashMap<FlowKey, Socket>,
+    pub next_sock: u64,
+    pub next_msg: u64,
+    pub next_ephemeral: u16,
+    /// Device transmit queue occupancy (bytes), for send backpressure.
+    pub tx_queue_bytes: u64,
+    /// Pids blocked waiting for tx queue space.
+    pub tx_waiters: Vec<Pid>,
+    /// Softirq pipeline horizon.
+    pub softirq_busy_until: SimTime,
+    /// Packets in the NIC ring / softirq backlog.
+    pub rx_backlog: u32,
+    /// (pid, file) pairs that have already emitted FileOpen.
+    pub opened: HashSet<(Pid, FileId)>,
+    pub stats: NodeStats,
+}
+
+impl Node {
+    pub fn new(id: NodeId, config: NodeConfig) -> Self {
+        Node {
+            id,
+            config,
+            kprof: Kprof::new(id),
+            disk: Disk::new(config.disk),
+            procs: HashMap::new(),
+            runq: VecDeque::new(),
+            running: None,
+            cpu_busy_until: SimTime::ZERO,
+            last_pid: None,
+            dispatch_pending: false,
+            sockets: HashMap::new(),
+            flows: HashMap::new(),
+            listeners: HashMap::new(),
+            sink_ports: HashSet::new(),
+            sink_socks: HashMap::new(),
+            next_sock: 1,
+            next_msg: 1,
+            next_ephemeral: 32768,
+            tx_queue_bytes: 0,
+            tx_waiters: Vec::new(),
+            softirq_busy_until: SimTime::ZERO,
+            rx_backlog: 0,
+            opened: HashSet::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Allocates a node-local socket id.
+    pub fn alloc_sock(&mut self) -> SocketId {
+        let id = SocketId(self.next_sock);
+        self.next_sock += 1;
+        id
+    }
+
+    /// Allocates an ephemeral port.
+    pub fn alloc_ephemeral(&mut self) -> Port {
+        let p = Port(self.next_ephemeral);
+        self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(32768);
+        p
+    }
+}

@@ -1,0 +1,204 @@
+//! Reusable building-block programs for tests, docs, and microbenchmarks.
+//!
+//! The real evaluation workloads (Iozone, httperf, RUBiS servlets, the NFS
+//! proxy) live in the `sysprof-apps` crate; these are the simplest useful
+//! programs.
+
+use simcore::SimDuration;
+use simnet::Port;
+
+use crate::program::{Message, ProcCtx, Program};
+use crate::SocketId;
+
+/// Listens on a port and discards everything it receives (traffic counts
+/// still appear in [`NodeStats`](crate::NodeStats)).
+#[derive(Debug)]
+pub struct SinkServer {
+    port: Port,
+}
+
+impl SinkServer {
+    /// A sink listening on `port`.
+    pub fn new(port: Port) -> Self {
+        SinkServer { port }
+    }
+}
+
+impl Program for SinkServer {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.listen(self.port);
+    }
+}
+
+/// Connects to a remote listener, sends one message, and exits.
+#[derive(Debug)]
+pub struct OneShotSender {
+    remote: simcore::NodeId,
+    port: Port,
+    bytes: u64,
+}
+
+impl OneShotSender {
+    /// Sends `bytes` to `remote:port` once.
+    pub fn new(remote: simcore::NodeId, port: Port, bytes: u64) -> Self {
+        OneShotSender {
+            remote,
+            port,
+            bytes,
+        }
+    }
+}
+
+impl Program for OneShotSender {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.connect(self.remote, self.port);
+    }
+
+    fn on_connected(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId) {
+        ctx.send(sock, self.bytes, 0);
+        ctx.exit();
+    }
+}
+
+/// Listens on a port and answers every message with a reply of fixed size,
+/// after an optional service compute time. The reply reuses the request's
+/// message id, so request/response pairs are correlated at the application
+/// level (the monitor still never sees the ids).
+#[derive(Debug)]
+pub struct EchoServer {
+    port: Port,
+    reply_bytes: u64,
+    service: SimDuration,
+}
+
+impl EchoServer {
+    /// An echo server on `port` replying with `reply_bytes` after
+    /// `service` compute per request.
+    pub fn new(port: Port, reply_bytes: u64, service: SimDuration) -> Self {
+        EchoServer {
+            port,
+            reply_bytes,
+            service,
+        }
+    }
+}
+
+impl Program for EchoServer {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.listen(self.port);
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId, msg: Message) {
+        if !self.service.is_zero() {
+            ctx.compute(self.service);
+        }
+        ctx.send_with_id(sock, self.reply_bytes, msg.kind + 1, msg.msg_id);
+    }
+}
+
+/// Computes for a fixed total time, in chunks, then exits — a stand-in for
+/// CPU-bound batch work (the linpack shape).
+#[derive(Debug)]
+pub struct ComputeLoop {
+    total: SimDuration,
+    chunk: SimDuration,
+    done: SimDuration,
+}
+
+impl ComputeLoop {
+    /// Computes for `total` time in `chunk`-sized pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn new(total: SimDuration, chunk: SimDuration) -> Self {
+        assert!(!chunk.is_zero(), "chunk must be non-zero");
+        ComputeLoop {
+            total,
+            chunk,
+            done: SimDuration::ZERO,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut ProcCtx<'_>) {
+        if self.done >= self.total {
+            ctx.exit();
+            return;
+        }
+        let next = self.chunk.min(self.total - self.done);
+        self.done += next;
+        ctx.compute(next);
+        // Re-arm via a zero-length timer so progress shows up as distinct
+        // scheduler activity rather than one monolithic op.
+        ctx.sleep(SimDuration::ZERO, 0);
+    }
+}
+
+impl Program for ComputeLoop {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        self.step(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProcCtx<'_>, _token: u64) {
+        self.step(ctx);
+    }
+}
+
+/// Opens a connection and streams messages back-to-back for a duration —
+/// the Iperf sender shape. Backpressure from the kernel's transmit queue
+/// paces it to the link rate.
+#[derive(Debug)]
+pub struct BulkSender {
+    remote: simcore::NodeId,
+    port: Port,
+    msg_bytes: u64,
+    duration: SimDuration,
+    started_at: Option<simcore::SimTime>,
+    sock: Option<SocketId>,
+}
+
+impl BulkSender {
+    /// Streams `msg_bytes`-sized messages to `remote:port` for `duration`.
+    pub fn new(remote: simcore::NodeId, port: Port, msg_bytes: u64, duration: SimDuration) -> Self {
+        BulkSender {
+            remote,
+            port,
+            msg_bytes,
+            duration,
+            started_at: None,
+            sock: None,
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut ProcCtx<'_>) {
+        let Some(sock) = self.sock else { return };
+        let started = self.started_at.expect("set on connect");
+        if ctx.now().saturating_since(started) >= self.duration {
+            ctx.close(sock);
+            ctx.exit();
+            return;
+        }
+        // Queue a burst, then yield via a zero timer; the send ops block
+        // on tx backpressure when the device queue is full.
+        for _ in 0..4 {
+            ctx.send(sock, self.msg_bytes, 0);
+        }
+        ctx.sleep(SimDuration::ZERO, 0);
+    }
+}
+
+impl Program for BulkSender {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.connect(self.remote, self.port);
+    }
+
+    fn on_connected(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId) {
+        self.sock = Some(sock);
+        self.started_at = Some(ctx.now());
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProcCtx<'_>, _token: u64) {
+        self.pump(ctx);
+    }
+}

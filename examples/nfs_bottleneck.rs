@@ -1,0 +1,72 @@
+//! The §3.2 case study as a runnable diagnosis session: a shared virtual
+//! storage service (clients → user-level NFS proxy → back-end NFS servers)
+//! is slow — *where* is the time going?
+//!
+//! SysProf answers without touching the application: the per-interaction
+//! records show the proxy spends a flat, small amount of user time per
+//! request while the back-end's kernel time dwarfs it and grows with
+//! load — the disk is the bottleneck, not the proxy.
+//!
+//! ```text
+//! cargo run --release --example nfs_bottleneck
+//! ```
+
+use simcore::SimDuration;
+use sysprof_apps::storage::{run_storage, StorageConfig};
+
+fn main() {
+    println!("Diagnosing the virtual storage service (Figures 4 & 5)…\n");
+    println!(
+        "{:>18} | {:>12} {:>14} | {:>18} | {:>10}",
+        "iozone threads", "proxy user", "proxy kernel", "backend kernel", "throughput"
+    );
+    println!(
+        "{:>18} | {:>12} {:>14} | {:>18} | {:>10}",
+        "(per client)", "(ms)", "(ms)", "(ms)", "(req/s)"
+    );
+
+    let duration = SimDuration::from_secs(10);
+    let mut last = None;
+    for threads in [1usize, 2, 4, 8, 16] {
+        let r = run_storage(StorageConfig {
+            threads_per_client: threads,
+            duration,
+            ..StorageConfig::default()
+        });
+        println!(
+            "{:>18} | {:>12.3} {:>14.3} | {:>18.2} | {:>10.0}",
+            threads,
+            r.proxy_user_ms,
+            r.proxy_kernel_ms,
+            r.backend_kernel_ms,
+            r.requests_completed as f64 / duration.as_secs_f64(),
+        );
+        last = Some(r);
+    }
+
+    let r = last.expect("sweep ran");
+    println!();
+    println!("Diagnosis at the highest load:");
+    println!(
+        "  - time at the proxy:    {:.2} ms/interaction ({:.2} user + {:.2} kernel)",
+        r.proxy_user_ms + r.proxy_kernel_ms,
+        r.proxy_user_ms,
+        r.proxy_kernel_ms
+    );
+    println!(
+        "  - time at the back-end: {:.2} ms/interaction — {:.0}x the proxy",
+        r.backend_kernel_ms,
+        r.backend_kernel_ms / (r.proxy_user_ms + r.proxy_kernel_ms)
+    );
+    println!(
+        "  - network round trip:   {:.3} ms — insignificant",
+        r.network_rtt_ms
+    );
+    println!(
+        "  - monitoring cost:      {:.2}% of proxy CPU",
+        r.proxy_overhead_fraction * 100.0
+    );
+    println!("\n=> The back-end NFS servers (their disks) are the bottleneck.");
+    println!("   The proxy's flat user time rules it out; its rising kernel time is");
+    println!("   queueing behind the slow back-ends, not proxy processing.");
+}

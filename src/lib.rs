@@ -1,0 +1,35 @@
+//! Umbrella crate for the SysProf reproduction: re-exports every layer of
+//! the workspace so examples and integration tests can reach the whole
+//! system through one dependency.
+//!
+//! The layers, bottom-up:
+//!
+//! * [`simcore`] — discrete-event engine (virtual time, calendar, seeded
+//!   randomness, online statistics),
+//! * [`simnet`] — packet-level network (links, topologies, NTP clocks),
+//! * [`kprof`] — the kernel monitoring interface (events, masks,
+//!   predicates, analyzer registry, overhead accounting),
+//! * [`simos`] — the simulated OS kernel (processes, scheduler, sockets,
+//!   disks) instrumented with Kprof hooks,
+//! * [`pbio`] — self-describing binary record encoding,
+//! * [`ecode`] — the E-Code analyzer language and fuel-metered VM,
+//! * [`pubsub`] — kernel-level publish/subscribe channels with dynamic
+//!   E-Code filters,
+//! * [`dwcs`] — the DWCS / RA-DWCS request schedulers,
+//! * [`sysprof`] — the paper's toolkit: LPA, CPAs, dissemination daemon,
+//!   GPA, controller, `/proc` views, and the [`sysprof::SysProf`] facade,
+//! * [`sysprof_apps`] — the evaluation workloads (linpack, Iperf, the NFS
+//!   virtual storage service, RUBiS),
+//! * [`sysprof_bench`] — the drivers that regenerate each paper figure.
+
+pub use dwcs;
+pub use ecode;
+pub use kprof;
+pub use pbio;
+pub use pubsub;
+pub use simcore;
+pub use simnet;
+pub use simos;
+pub use sysprof;
+pub use sysprof_apps;
+pub use sysprof_bench;

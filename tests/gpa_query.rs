@@ -1,0 +1,106 @@
+//! Remote GPA queries over the simulated wire: "Other nodes in the system
+//! can query the GPA" (§2).
+
+use simcore::{NodeId, SimDuration, SimTime};
+use simnet::{LinkSpec, Port};
+use simos::programs::{EchoServer, OneShotSender};
+use simos::WorldBuilder;
+use sysprof::{GpaAnswer, GpaQuery, MonitorConfig, QueryClient, SysProf};
+
+fn monitored_world() -> (simos::World, SysProf) {
+    let mut world = WorldBuilder::new(21)
+        .node("client")
+        .node("server")
+        .node("gpa")
+        .full_mesh(LinkSpec::gigabit_lan())
+        .build()
+        .unwrap();
+    let sysprof = SysProf::deploy(&mut world, &[NodeId(1)], NodeId(2), MonitorConfig::default());
+    world.spawn(
+        NodeId(1),
+        "echo",
+        Box::new(EchoServer::new(Port(80), 256, SimDuration::from_micros(100))),
+    );
+    world.spawn(
+        NodeId(0),
+        "client",
+        Box::new(OneShotSender::new(NodeId(1), Port(80), 20_000)),
+    );
+    (world, sysprof)
+}
+
+#[test]
+fn remote_node_queries_interaction_count() {
+    let (mut world, _sysprof) = monitored_world();
+    world.run_until(SimTime::from_secs(1));
+
+    let mut client = QueryClient::install(&mut world, NodeId(0), NodeId(2));
+    let id = client.send(&mut world, GpaQuery::InteractionCount);
+    assert!(client.answer(id).is_none(), "the answer takes network time");
+
+    world.run_for(SimDuration::from_millis(50));
+    match client.answer(id) {
+        Some(GpaAnswer::InteractionCount(n)) => assert!(n >= 1, "count {n}"),
+        other => panic!("unexpected answer {other:?}"),
+    }
+}
+
+#[test]
+fn remote_node_queries_class_summary_and_load() {
+    let (mut world, _sysprof) = monitored_world();
+    world.run_until(SimTime::from_secs(1));
+
+    let mut client = QueryClient::install(&mut world, NodeId(0), NodeId(2));
+    let q1 = client.send(
+        &mut world,
+        GpaQuery::ClassSummary {
+            node: NodeId(1),
+            class_port: 80,
+        },
+    );
+    let q2 = client.send(&mut world, GpaQuery::NodeLoad { node: NodeId(1) });
+    let q3 = client.send(
+        &mut world,
+        GpaQuery::ClassSummary {
+            node: NodeId(1),
+            class_port: 9_999, // never used as a service class
+        },
+    );
+    world.run_for(SimDuration::from_millis(50));
+
+    match client.answer(q1) {
+        Some(GpaAnswer::ClassSummary(Some(s))) => {
+            assert_eq!(s.node, NodeId(1));
+            assert!(s.count >= 1);
+            assert!(s.mean_total_us > 0.0);
+        }
+        other => panic!("unexpected answer {other:?}"),
+    }
+    match client.answer(q2) {
+        Some(GpaAnswer::NodeLoad(Some(view))) => {
+            assert!(view.reports >= 1);
+        }
+        other => panic!("unexpected answer {other:?}"),
+    }
+    match client.answer(q3) {
+        Some(GpaAnswer::ClassSummary(None)) => {}
+        other => panic!("unexpected answer {other:?}"),
+    }
+    assert_eq!(client.answers_received(), 3);
+}
+
+#[test]
+fn all_class_summaries_round_trip() {
+    let (mut world, _sysprof) = monitored_world();
+    world.run_until(SimTime::from_secs(1));
+    let mut client = QueryClient::install(&mut world, NodeId(0), NodeId(2));
+    let id = client.send(&mut world, GpaQuery::AllClassSummaries);
+    world.run_for(SimDuration::from_millis(50));
+    match client.answer(id) {
+        Some(GpaAnswer::AllClassSummaries(all)) => {
+            assert!(!all.is_empty());
+            assert!(all.iter().any(|s| s.class_port == Port(80)));
+        }
+        other => panic!("unexpected answer {other:?}"),
+    }
+}
