@@ -66,7 +66,13 @@ pub struct IperfClient {
 impl IperfClient {
     /// A sender streaming `msg_bytes`-sized messages to `remote:port` with
     /// `window` unacknowledged messages in flight, for `duration`.
-    pub fn new(remote: NodeId, port: Port, msg_bytes: u64, window: usize, duration: SimDuration) -> Self {
+    pub fn new(
+        remote: NodeId,
+        port: Port,
+        msg_bytes: u64,
+        window: usize,
+        duration: SimDuration,
+    ) -> Self {
         IperfClient {
             remote,
             port,
@@ -156,11 +162,21 @@ pub fn run_iperf(link: LinkSpec, monitored: bool, duration: SimDuration, seed: u
         )
     });
 
-    world.spawn(NodeId(1), "iperf-server", Box::new(IperfServer::new(Port(5001))));
+    world.spawn(
+        NodeId(1),
+        "iperf-server",
+        Box::new(IperfServer::new(Port(5001))),
+    );
     world.spawn(
         NodeId(0),
         "iperf-client",
-        Box::new(IperfClient::new(NodeId(1), Port(5001), 64 * 1024, 8, duration)),
+        Box::new(IperfClient::new(
+            NodeId(1),
+            Port(5001),
+            64 * 1024,
+            8,
+            duration,
+        )),
     );
 
     world.run_until(SimTime::ZERO + duration + SimDuration::from_secs(1));
@@ -207,8 +223,18 @@ mod tests {
 
     #[test]
     fn fast_ethernet_overhead_is_small() {
-        let off = run_iperf(LinkSpec::fast_ethernet(), false, SimDuration::from_secs(2), 7);
-        let on = run_iperf(LinkSpec::fast_ethernet(), true, SimDuration::from_secs(2), 7);
+        let off = run_iperf(
+            LinkSpec::fast_ethernet(),
+            false,
+            SimDuration::from_secs(2),
+            7,
+        );
+        let on = run_iperf(
+            LinkSpec::fast_ethernet(),
+            true,
+            SimDuration::from_secs(2),
+            7,
+        );
         let loss = (off.goodput_mbps - on.goodput_mbps) / off.goodput_mbps;
         assert!(loss < 0.05, "100 Mbps loss {loss}");
     }

@@ -67,15 +67,10 @@ pub fn run_linpack(monitored: bool, seed: u64) -> LinpackResult {
     world.run_until(SimTime::from_secs(60));
     assert!(world.process_exited(NodeId(0), pid), "benchmark finished");
 
-    let (user, _kernel) = world
-        .process_times(NodeId(0), pid)
-        .expect("process exists");
+    let (user, _kernel) = world.process_times(NodeId(0), pid).expect("process exists");
     // The benchmark times its own solve phase: work done / wall time from
     // start to the moment it exits.
-    let elapsed = world
-        .process_exit_time(NodeId(0), pid)
-        .expect("exited")
-        - SimTime::ZERO;
+    let elapsed = world.process_exit_time(NodeId(0), pid).expect("exited") - SimTime::ZERO;
     let flops = user.as_secs_f64() * FLOPS_PER_COMPUTE_SEC;
     let mflops = flops / elapsed.as_secs_f64() / 1e6;
 
@@ -98,9 +93,18 @@ mod tests {
         let on = run_linpack(true, 42);
         let rel = (off.mflops - on.mflops).abs() / off.mflops;
         // The paper: "There was no change in the mflops measured".
-        assert!(rel < 0.005, "mflops changed by {:.3}% (off {:.1}, on {:.1})",
-            rel * 100.0, off.mflops, on.mflops);
-        assert!(on.overhead_fraction < 0.005, "overhead {}", on.overhead_fraction);
+        assert!(
+            rel < 0.005,
+            "mflops changed by {:.3}% (off {:.1}, on {:.1})",
+            rel * 100.0,
+            off.mflops,
+            on.mflops
+        );
+        assert!(
+            on.overhead_fraction < 0.005,
+            "overhead {}",
+            on.overhead_fraction
+        );
     }
 
     #[test]

@@ -248,11 +248,8 @@ impl RubisDriver {
             sh.bid_violations = self.sched.stats(self.bids).violations;
             sh.comment_violations = self.sched.stats(self.comments).violations;
         }
-        loop {
-            let head = match self.sched.peek(now) {
-                Some((_stream, head)) => *head,
-                None => break,
-            };
+        while let Some((_stream, head)) = self.sched.peek(now) {
+            let head = *head;
             let Some(server) = self.choose_target(&head) else {
                 break; // head-of-line: its target (or every server) is full
             };
@@ -296,24 +293,33 @@ impl Program for RubisDriver {
         let now = ctx.now();
         let over = now.saturating_since(SimTime::ZERO) >= self.duration;
         match token {
-            TOKEN_BID_ARRIVAL
-                if !over => {
-                    let target = self.static_target();
-                    self.sched
-                        .enqueue(self.bids, Req { class: KIND_BID, target }, now);
-                    self.arm_arrival(ctx, TOKEN_BID_ARRIVAL);
-                }
-            TOKEN_COMMENT_ARRIVAL
-                if !over => {
-                    let target = self.static_target();
-                    self.sched
-                        .enqueue(self.comments, Req { class: KIND_COMMENT, target }, now);
-                    self.arm_arrival(ctx, TOKEN_COMMENT_ARRIVAL);
-                }
-            TOKEN_POLL
-                if (!over || self.sched.pending() > 0) => {
-                    ctx.sleep(SimDuration::from_millis(5), TOKEN_POLL);
-                }
+            TOKEN_BID_ARRIVAL if !over => {
+                let target = self.static_target();
+                self.sched.enqueue(
+                    self.bids,
+                    Req {
+                        class: KIND_BID,
+                        target,
+                    },
+                    now,
+                );
+                self.arm_arrival(ctx, TOKEN_BID_ARRIVAL);
+            }
+            TOKEN_COMMENT_ARRIVAL if !over => {
+                let target = self.static_target();
+                self.sched.enqueue(
+                    self.comments,
+                    Req {
+                        class: KIND_COMMENT,
+                        target,
+                    },
+                    now,
+                );
+                self.arm_arrival(ctx, TOKEN_COMMENT_ARRIVAL);
+            }
+            TOKEN_POLL if (!over || self.sched.pending() > 0) => {
+                ctx.sleep(SimDuration::from_millis(5), TOKEN_POLL);
+            }
             _ => {}
         }
         self.pump(ctx);
@@ -549,7 +555,12 @@ pub fn run_rubis(config: RubisConfig) -> RubisResult {
         }
     };
 
-    let bid = outcome(&sh.bid_meter, sh.bid_completed, sh.bid_dropped, sh.bid_violations);
+    let bid = outcome(
+        &sh.bid_meter,
+        sh.bid_completed,
+        sh.bid_dropped,
+        sh.bid_violations,
+    );
     let comment = outcome(
         &sh.comment_meter,
         sh.comment_completed,
@@ -616,7 +627,10 @@ mod tests {
             r.bid.first_half_rps,
             r.bid.second_half_rps
         );
-        assert!(r.bid.dropped + r.comment.dropped > 0, "DWCS must drop under overload");
+        assert!(
+            r.bid.dropped + r.comment.dropped > 0,
+            "DWCS must drop under overload"
+        );
     }
 
     #[test]

@@ -282,7 +282,10 @@ pub fn build_storage_world(config: &StorageConfig) -> StorageWorld {
         builder = builder.node(&format!("nfs{i}"));
     }
     builder = builder.node("gpa");
-    let mut world = builder.full_mesh(LinkSpec::gigabit_lan()).build().expect("topology");
+    let mut world = builder
+        .full_mesh(LinkSpec::gigabit_lan())
+        .build()
+        .expect("topology");
 
     let proxy_node = NodeId(config.clients as u32);
     let backend_nodes: Vec<NodeId> = (0..config.backends)
@@ -355,11 +358,13 @@ pub fn run_storage(config: StorageConfig) -> StorageResult {
     let backend_summary = gpa.class_summary(backend_nodes[0], BACKEND_PORT);
 
     let (proxy_user_ms, proxy_kernel_ms, proxy_interactions) = proxy_summary
-        .map(|s| (
-            s.mean_user_us / 1e3,
-            (s.mean_kernel_in_us + s.mean_kernel_out_us) / 1e3,
-            s.count,
-        ))
+        .map(|s| {
+            (
+                s.mean_user_us / 1e3,
+                (s.mean_kernel_in_us + s.mean_kernel_out_us) / 1e3,
+                s.count,
+            )
+        })
         .unwrap_or((0.0, 0.0, 0));
     let (backend_kernel_ms, backend_interactions) = backend_summary
         .map(|s| ((s.mean_kernel_in_us + s.mean_kernel_out_us) / 1e3, s.count))
@@ -396,9 +401,21 @@ mod tests {
     #[test]
     fn requests_flow_end_to_end() {
         let r = quick(2);
-        assert!(r.requests_completed > 50, "completed {}", r.requests_completed);
-        assert!(r.proxy_interactions > 10, "proxy saw {}", r.proxy_interactions);
-        assert!(r.backend_interactions > 10, "backend saw {}", r.backend_interactions);
+        assert!(
+            r.requests_completed > 50,
+            "completed {}",
+            r.requests_completed
+        );
+        assert!(
+            r.proxy_interactions > 10,
+            "proxy saw {}",
+            r.proxy_interactions
+        );
+        assert!(
+            r.backend_interactions > 10,
+            "backend saw {}",
+            r.backend_interactions
+        );
     }
 
     #[test]

@@ -94,7 +94,15 @@ fn bench_ecode(c: &mut Criterion) {
         let program = ecode::Program::compile(src, &sysprof::EVENT_INPUTS).expect("compiles");
         let mut inst = ecode::Instance::new(&program);
         use ecode::Value::Int;
-        let inputs = [Int(7), Int(7), Int(1_000_000), Int(1500), Int(0), Int(40000), Int(2049)];
+        let inputs = [
+            Int(7),
+            Int(7),
+            Int(1_000_000),
+            Int(1500),
+            Int(0),
+            Int(40000),
+            Int(2049),
+        ];
         b.iter(|| std::hint::black_box(inst.run(&inputs, 10_000).expect("runs")));
     });
     g.finish();
@@ -192,7 +200,9 @@ fn bench_pubsub(c: &mut Criterion) {
                 }
                 (hub, t)
             },
-            |(mut hub, t)| std::hint::black_box(hub.publish(t, &schema, &values).expect("publishes")),
+            |(mut hub, t)| {
+                std::hint::black_box(hub.publish(t, &schema, &values).expect("publishes"))
+            },
             BatchSize::SmallInput,
         );
     });

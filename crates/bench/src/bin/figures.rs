@@ -31,15 +31,12 @@ fn parse_args() -> Opts {
         match a.as_str() {
             "--exp" => opts.exp = args.next().unwrap_or_else(|| "all".into()),
             "--quick" => opts.quick = true,
-            "--seed" => {
-                opts.seed = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(42)
-            }
+            "--seed" => opts.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(42),
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: figures [--exp e1|e2|t0|f4|f5|f6|f7|cost|all] [--quick] [--seed N]");
+                eprintln!(
+                    "usage: figures [--exp e1|e2|t0|f4|f5|f6|f7|cost|all] [--quick] [--seed N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -54,7 +51,11 @@ fn save_json(name: &str, value: &impl serde::Serialize) {
     }
     let path = dir.join(format!("{name}.json"));
     if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = f.write_all(serde_json::to_string_pretty(value).expect("serializes").as_bytes());
+        let _ = f.write_all(
+            serde_json::to_string_pretty(value)
+                .expect("serializes")
+                .as_bytes(),
+        );
         println!("  -> wrote {}", path.display());
     }
 }
@@ -113,7 +114,10 @@ fn main() {
     if want("t0") {
         println!("== T0: monitoring-granularity sweep (§3.1 '<1% … >10%') ==");
         let rows = exp_t0_granularity(q(5, 2), opts.seed);
-        println!("  {:<18} {:>10} {:>10} {:>12}", "level", "Mbps", "overhead", "events");
+        println!(
+            "  {:<18} {:>10} {:>10} {:>12}",
+            "level", "Mbps", "overhead", "events"
+        );
         for row in &rows {
             println!(
                 "  {:<18} {:>10.1} {:>9.2}% {:>12}",
@@ -129,7 +133,9 @@ fn main() {
 
     if want("f4") || want("f5") {
         println!("== Figures 4 & 5: virtual storage service (§3.2) ==");
-        println!("paper: proxy user flat, proxy kernel grows; back-end kernel >10x proxy; RTT < 0.3 ms");
+        println!(
+            "paper: proxy user flat, proxy kernel grows; back-end kernel >10x proxy; RTT < 0.3 ms"
+        );
         let rows = exp_f4_f5_storage(q(20, 5), opts.seed);
         println!(
             "  {:>7} | {:>14} {:>16} | {:>18} | {:>8} {:>9}",
@@ -206,6 +212,10 @@ fn print_rubis(name: &str, r: &sysprof_apps::RubisResult) {
     );
     println!(
         "  {:<11} comment: {:>5.1}/s avg ({:>5.1} before, {:>5.1} after disturbance, {} dropped)",
-        "", r.comment.mean_rps, r.comment.first_half_rps, r.comment.second_half_rps, r.comment.dropped
+        "",
+        r.comment.mean_rps,
+        r.comment.first_half_rps,
+        r.comment.second_half_rps,
+        r.comment.dropped
     );
 }

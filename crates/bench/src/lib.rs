@@ -14,10 +14,10 @@
 
 #![warn(missing_docs)]
 
+use kprof::EventMask;
 use serde::Serialize;
 use simcore::{NodeId, SimDuration, SimTime};
 use simnet::{LinkSpec, Port};
-use kprof::EventMask;
 use simos::WorldBuilder;
 use sysprof::{Controller, MonitorConfig, SysProf};
 use sysprof_apps::iperf::{IperfClient, IperfServer};
@@ -130,11 +130,21 @@ pub fn exp_t0_granularity(duration: SimDuration, seed: u64) -> Vec<GranularityRo
             .register(Box::new(kprof::CountingAnalyzer::new(EventMask::ALL)));
         Controller::new().set_global_mask(&mut world, NodeId(1), mask);
 
-        world.spawn(NodeId(1), "iperf-server", Box::new(IperfServer::new(Port(5001))));
+        world.spawn(
+            NodeId(1),
+            "iperf-server",
+            Box::new(IperfServer::new(Port(5001))),
+        );
         world.spawn(
             NodeId(0),
             "iperf-client",
-            Box::new(IperfClient::new(NodeId(1), Port(5001), 64 * 1024, 8, duration)),
+            Box::new(IperfClient::new(
+                NodeId(1),
+                Port(5001),
+                64 * 1024,
+                8,
+                duration,
+            )),
         );
         world.run_until(SimTime::ZERO + duration + SimDuration::from_secs(1));
 
@@ -198,7 +208,10 @@ pub fn exp_f7_ra_dwcs(duration: SimDuration, seed: u64) -> RubisResult {
 
 /// F7's companion measurement: plain DWCS *with* SysProf deployed, to
 /// quantify the "<2% application performance decrease" claim.
-pub fn exp_monitoring_cost_on_rubis(duration: SimDuration, seed: u64) -> (RubisResult, RubisResult) {
+pub fn exp_monitoring_cost_on_rubis(
+    duration: SimDuration,
+    seed: u64,
+) -> (RubisResult, RubisResult) {
     let unmonitored = run_rubis(RubisConfig {
         resource_aware: false,
         monitored: false,

@@ -13,7 +13,7 @@
 //! flag events by returning nonzero, and publish computed metrics with
 //! `out(slot, value)`.
 
-use ecode::{EcodeError, Instance, Program, RunOutcome, Type, Value};
+use ecode::{Instance, RunOutcome, Type, Value, VerifyError, VerifyLimits, VerifyReport};
 use kprof::{Analyzer, AnalyzerOutcome, Event, EventMask, EventPayload, Interest, Predicate};
 use simcore::SimDuration;
 
@@ -38,13 +38,14 @@ pub const EVENT_INPUTS: [(&str, Type); 7] = [
     ("port_dst", Type::Int),
 ];
 
-/// Error installing a CPA.
+/// Error installing a CPA: the program failed static verification. Carries
+/// the full diagnostic list — nothing touches Kprof when this is returned.
 #[derive(Debug, Clone, PartialEq)]
-pub struct CpaError(pub EcodeError);
+pub struct CpaError(pub VerifyError);
 
 impl std::fmt::Display for CpaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "cpa compile error: {}", self.0)
+        write!(f, "cpa rejected by verifier:\n{}", self.0)
     }
 }
 
@@ -58,6 +59,7 @@ pub struct CpaAnalyzer {
     predicate: Predicate,
     fuel_budget: u64,
     ns_per_instr: f64,
+    report: VerifyReport,
     /// Events whose program run returned nonzero.
     flagged: u64,
     events: u64,
@@ -67,21 +69,29 @@ pub struct CpaAnalyzer {
 }
 
 impl CpaAnalyzer {
-    /// Compiles `source` and wraps it as an analyzer subscribed to `mask`.
+    /// Verifies `source` against [`EVENT_INPUTS`] and the default fuel
+    /// budget, then wraps the optimized program as an analyzer subscribed
+    /// to `mask`. Rejection happens *before* anything is registered with
+    /// Kprof — a bad program never sees a single event.
     ///
     /// # Errors
     ///
-    /// [`CpaError`] if the source does not compile against
-    /// [`EVENT_INPUTS`].
+    /// [`CpaError`] with line-numbered diagnostics if the source fails
+    /// static verification (compile error, guaranteed trap, out-of-range
+    /// output slot, or worst-case fuel above the budget).
     pub fn compile(name: &str, source: &str, mask: EventMask) -> Result<CpaAnalyzer, CpaError> {
-        let program = Program::compile(source, &EVENT_INPUTS).map_err(CpaError)?;
+        let fuel_budget = 2_000;
+        let limits = VerifyLimits::with_max_fuel(fuel_budget);
+        let verified = ecode::verify(source, &EVENT_INPUTS, &limits).map_err(CpaError)?;
+        let (program, report) = verified.into_parts();
         Ok(CpaAnalyzer {
             name: name.to_owned(),
             instance: Instance::new(&program),
             mask,
             predicate: Predicate::new(),
-            fuel_budget: 2_000,
+            fuel_budget,
             ns_per_instr: 2.0,
+            report,
             flagged: 0,
             events: 0,
             aborted: 0,
@@ -101,6 +111,18 @@ impl CpaAnalyzer {
     pub fn with_fuel_budget(mut self, fuel: u64) -> Self {
         self.fuel_budget = fuel;
         self
+    }
+
+    /// The verifier's report: proven worst-case fuel bound (before and
+    /// after optimization) and any warnings.
+    pub fn report(&self) -> &VerifyReport {
+        &self.report
+    }
+
+    /// The proven worst-case fuel per event. Hosts can pre-size cost
+    /// accounting with this instead of assuming the full budget.
+    pub fn fuel_bound(&self) -> u64 {
+        self.report.fuel_bound
     }
 
     /// Events processed.
@@ -306,8 +328,7 @@ mod tests {
 
     #[test]
     fn cost_scales_with_fuel() {
-        let mut cheap =
-            CpaAnalyzer::compile("cheap", "return 0;", EventMask::NETWORK).unwrap();
+        let mut cheap = CpaAnalyzer::compile("cheap", "return 0;", EventMask::NETWORK).unwrap();
         let mut pricey = CpaAnalyzer::compile(
             "pricey",
             "int s = 0; s = s + size; s = s * 2; s = s % 97; return s;",

@@ -13,9 +13,9 @@ use simnet::EndPoint;
 use simos::World;
 
 use crate::daemon::{
-    ControlSink, Daemon, DaemonConfig, DaemonStats, CONTROL_PORT, DATA_PORT, DAEMON_SRC_PORT,
+    ControlSink, Daemon, DaemonConfig, DaemonStats, CONTROL_PORT, DAEMON_SRC_PORT, DATA_PORT,
 };
-use crate::gpa::{Gpa, GpaConfig, GpaSink};
+use crate::gpa::{ControlReplySink, Gpa, GpaConfig, GpaSink};
 use crate::lpa::{Lpa, LpaConfig};
 use crate::records::INTERACTION_TOPIC;
 
@@ -64,6 +64,13 @@ impl SysProf {
             crate::query::QUERY_PORT,
             Box::new(crate::query::GpaQuerySink::new(gpa.clone())),
         );
+        // Subscribe NACKs from daemons route back to the port our
+        // control requests are sent from.
+        world.install_sink(
+            gpa_node,
+            DAEMON_SRC_PORT,
+            Box::new(ControlReplySink::new(gpa.clone())),
+        );
 
         let mut lpa_ids = HashMap::new();
         let mut daemon_stats = HashMap::new();
@@ -75,9 +82,10 @@ impl SysProf {
 
             let hub = Rc::new(RefCell::new(Hub::new()));
             let daemon = Daemon::new(lpa_id, hub.clone(), config.daemon);
-            daemon_stats.insert(node, daemon.stats_handle());
+            let stats = daemon.stats_handle();
+            daemon_stats.insert(node, stats.clone());
             world.set_daemon_hook(node, Box::new(daemon));
-            world.install_sink(node, CONTROL_PORT, Box::new(ControlSink::new(hub)));
+            world.install_sink(node, CONTROL_PORT, Box::new(ControlSink::new(hub, stats)));
             // Kick off the periodic flush cycle.
             world.schedule_daemon_wake(node, config.daemon.flush_interval);
         }
@@ -96,7 +104,13 @@ impl SysProf {
                 reply_to: gpa_ep,
                 filter: None,
             };
-            world.kernel_send(gpa_node, DAEMON_SRC_PORT, ctl_ep, 0, sub_interactions.encode());
+            world.kernel_send(
+                gpa_node,
+                DAEMON_SRC_PORT,
+                ctl_ep,
+                0,
+                sub_interactions.encode(),
+            );
             world.kernel_send(gpa_node, DAEMON_SRC_PORT, ctl_ep, 0, sub_load.encode());
         }
 

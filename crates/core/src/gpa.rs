@@ -118,6 +118,22 @@ struct ClassAggr {
     total_hist: simcore::stats::Histogram,
 }
 
+/// A subscribe request a remote daemon rejected (received as a NACK).
+///
+/// Surfaced by [`Gpa::subscription_failures`] so operators see *why* a
+/// node is silent instead of debugging missing data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriptionFailure {
+    /// Topic of the rejected subscribe.
+    pub topic: String,
+    /// The subscriber endpoint the rejected request named.
+    pub subscriber: EndPoint,
+    /// The daemon that rejected it.
+    pub from: EndPoint,
+    /// Rendered verifier diagnostics (one string per finding).
+    pub diagnostics: Vec<String>,
+}
+
 /// The global analyzer state. Wrap in `Rc<RefCell<…>>` and hand a clone
 /// to [`GpaSink`]; keep a clone for queries.
 pub struct Gpa {
@@ -130,6 +146,7 @@ pub struct Gpa {
     decoders: HashMap<EndPoint, ChannelDecoder>,
     ingested: u64,
     decode_failures: u64,
+    subscription_failures: Vec<SubscriptionFailure>,
 }
 
 impl Gpa {
@@ -145,6 +162,7 @@ impl Gpa {
             decoders: HashMap::new(),
             ingested: 0,
             decode_failures: 0,
+            subscription_failures: Vec::new(),
         }
     }
 
@@ -175,8 +193,10 @@ impl Gpa {
             aggr.user.record(rec.user_us as f64);
             aggr.kernel_out.record(rec.kernel_out_us as f64);
             aggr.blocked.record(rec.blocked_us as f64);
-            aggr.total.record(rec.end_us.saturating_sub(rec.start_us) as f64);
-            aggr.total_hist.record(rec.end_us.saturating_sub(rec.start_us) as f64);
+            aggr.total
+                .record(rec.end_us.saturating_sub(rec.start_us) as f64);
+            aggr.total_hist
+                .record(rec.end_us.saturating_sub(rec.start_us) as f64);
             if self.records.len() >= self.config.max_records {
                 self.records.remove(0);
             }
@@ -201,6 +221,18 @@ impl Gpa {
     /// Records that failed to decode or match a known schema.
     pub fn decode_failures(&self) -> u64 {
         self.decode_failures
+    }
+
+    /// Subscribe requests remote daemons rejected (NACKs received), with
+    /// the verifier diagnostics explaining each rejection.
+    pub fn subscription_failures(&self) -> &[SubscriptionFailure] {
+        &self.subscription_failures
+    }
+
+    /// Records a NACK received from a daemon (called by
+    /// [`ControlReplySink`]).
+    pub fn record_subscription_failure(&mut self, failure: SubscriptionFailure) {
+        self.subscription_failures.push(failure);
     }
 
     /// All retained interaction records (ingest order).
@@ -296,8 +328,8 @@ impl Gpa {
                 if child.flow.src.ip != parent.flow.dst.ip {
                     continue;
                 }
-                let nests = child.start_us + eps >= parent.start_us
-                    && child.end_us <= parent.end_us + eps;
+                let nests =
+                    child.start_us + eps >= parent.start_us && child.end_us <= parent.end_us + eps;
                 if nests {
                     children.push(child.clone());
                 }
@@ -356,6 +388,53 @@ impl KernelSink for GpaSink {
         let cost = gpa.config.per_record_cost * (n as u64 + 1);
         KernelOutput {
             cost,
+            ..Default::default()
+        }
+    }
+}
+
+/// Receives control-plane replies (subscribe NACKs) from remote daemons
+/// and records them on the shared [`Gpa`].
+///
+/// Installed on the GPA node at the port its subscribe requests name as
+/// their source, so daemon replies route back here.
+pub struct ControlReplySink {
+    gpa: Rc<RefCell<Gpa>>,
+}
+
+impl ControlReplySink {
+    /// A sink recording NACKs onto `gpa`.
+    pub fn new(gpa: Rc<RefCell<Gpa>>) -> Self {
+        ControlReplySink { gpa }
+    }
+}
+
+impl KernelSink for ControlReplySink {
+    fn on_message(
+        &mut self,
+        _now_wall: SimTime,
+        _node: NodeId,
+        src: EndPoint,
+        _msg: Message,
+        data: Vec<u8>,
+    ) -> KernelOutput {
+        if let Ok(pubsub::control::ControlMsg::SubscribeNack {
+            topic,
+            reply_to,
+            diagnostics,
+        }) = pubsub::control::ControlMsg::decode(&data)
+        {
+            self.gpa
+                .borrow_mut()
+                .record_subscription_failure(SubscriptionFailure {
+                    topic,
+                    subscriber: reply_to,
+                    from: src,
+                    diagnostics,
+                });
+        }
+        KernelOutput {
+            cost: SimDuration::from_micros(1),
             ..Default::default()
         }
     }
@@ -513,9 +592,7 @@ mod tests {
         let now = SimTime::from_secs(6);
         let silent = g.silent_nodes(now, SimDuration::from_secs(3));
         assert_eq!(silent, vec![NodeId(1)], "node 1's reports are stale");
-        assert!(g
-            .silent_nodes(now, SimDuration::from_secs(10))
-            .is_empty());
+        assert!(g.silent_nodes(now, SimDuration::from_secs(10)).is_empty());
     }
 
     #[test]
@@ -529,7 +606,12 @@ mod tests {
         assert!(s.p95_total_us <= s.p99_total_us);
         // For this uniform ramp the median sits near the mean.
         let rel = (s.p50_total_us - s.mean_total_us).abs() / s.mean_total_us;
-        assert!(rel < 0.3, "p50 {} vs mean {}", s.p50_total_us, s.mean_total_us);
+        assert!(
+            rel < 0.3,
+            "p50 {} vs mean {}",
+            s.p50_total_us,
+            s.mean_total_us
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ pub use daemon::{
     DATA_PORT, LOAD_TOPIC,
 };
 pub use deploy::{MonitorConfig, SysProf};
-pub use gpa::{ClassSummary, CorrelatedPath, Gpa, GpaConfig, GpaSink, NodeLoadView};
+pub use gpa::{
+    ClassSummary, ControlReplySink, CorrelatedPath, Gpa, GpaConfig, GpaSink, NodeLoadView,
+    SubscriptionFailure,
+};
 pub use lpa::{Lpa, LpaConfig};
 pub use query::{GpaAnswer, GpaQuery, GpaQuerySink, QueryClient, QUERY_PORT, QUERY_REPLY_PORT};
 pub use records::{InteractionRecord, LoadRecord, INTERACTION_TOPIC};

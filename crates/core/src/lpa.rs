@@ -307,7 +307,10 @@ impl Lpa {
                 continue;
             };
             let snap = state.deliver_snap.take();
-            let share = Self::close_window(&mut self.open_windows, self.flows.get_mut(&canon).expect("state exists"));
+            let share = Self::close_window(
+                &mut self.open_windows,
+                self.flows.get_mut(&canon).expect("state exists"),
+            );
             closed += 1;
             self.close_message(canon, ClosedMsg { acc, snap, share }, now, 0);
         }
@@ -367,7 +370,12 @@ impl Lpa {
             .map(|(p, a)| {
                 (
                     *p,
-                    (a.count, a.kernel_in_us.mean(), a.user_us.mean(), a.total_us.mean()),
+                    (
+                        a.count,
+                        a.kernel_in_us.mean(),
+                        a.user_us.mean(),
+                        a.total_us.mean(),
+                    ),
                 )
             })
             .collect();
@@ -399,10 +407,7 @@ impl Lpa {
 
     /// Closes the current inbound window on a flow state, returning the
     /// fair-share divisor observed at close.
-    fn close_window(
-        open_windows: &mut HashMap<Pid, u32>,
-        state: &mut FlowState,
-    ) -> u32 {
+    fn close_window(open_windows: &mut HashMap<Pid, u32>, state: &mut FlowState) -> u32 {
         match state.window_pid.take() {
             Some(p) => {
                 let n = open_windows.entry(p).or_insert(1);
@@ -414,17 +419,20 @@ impl Lpa {
         }
     }
 
-    fn pid_snapshot(&self, pid: Option<Pid>, now: SimTime) -> Option<(SimDuration, SimDuration, SimDuration)> {
+    fn pid_snapshot(
+        &self,
+        pid: Option<Pid>,
+        now: SimTime,
+    ) -> Option<(SimDuration, SimDuration, SimDuration)> {
         let pid = pid?;
         // A process with no scheduling history yet has a zero clock (it
         // simply has not run since monitoring started) — that is a valid
         // snapshot, not an unknown one.
-        Some(
-            self.pids
-                .get(&pid)
-                .map(|c| c.snapshot(now))
-                .unwrap_or((SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO)),
-        )
+        Some(self.pids.get(&pid).map(|c| c.snapshot(now)).unwrap_or((
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        )))
     }
 
     /// Handles a packet observation that can open/extend/close messages.
@@ -466,8 +474,15 @@ impl Lpa {
                 });
                 if let Some(closed) = closed {
                     let snap = state.deliver_snap.take();
-                    let share = Self::close_window(&mut self.open_windows, self.flows.get_mut(&canon).expect("state exists"));
-                    let closed = ClosedMsg { acc: closed, snap, share };
+                    let share = Self::close_window(
+                        &mut self.open_windows,
+                        self.flows.get_mut(&canon).expect("state exists"),
+                    );
+                    let closed = ClosedMsg {
+                        acc: closed,
+                        snap,
+                        share,
+                    };
                     return self.close_message(canon, closed, wall, cpu);
                 }
                 false
@@ -502,7 +517,13 @@ impl Lpa {
 
     /// Builds and stages the interaction record for a (first, second)
     /// message pair.
-    fn complete_interaction(&mut self, first: ClosedMsg, second: ClosedMsg, now: SimTime, cpu: u16) {
+    fn complete_interaction(
+        &mut self,
+        first: ClosedMsg,
+        second: ClosedMsg,
+        now: SimTime,
+        cpu: u16,
+    ) {
         let responder_side = first.acc.dir == Dir::In;
         let request = &first.acc;
         let response = &second.acc;
@@ -544,14 +565,15 @@ impl Lpa {
             // requests cannot be separated without domain knowledge; this
             // is the even-split heuristic.)
             let share = (first.share as u64).max(1);
-            let (user, blocked, blocked_io) = match (first.snap, self.pid_snapshot(pid, response.first_wall)) {
-                (Some((run0, blk0, io0)), Some((run1, blk1, io1))) => (
-                    run1.saturating_sub(run0) / share,
-                    blk1.saturating_sub(blk0) / share,
-                    io1.saturating_sub(io0) / share,
-                ),
-                _ => (SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO),
-            };
+            let (user, blocked, blocked_io) =
+                match (first.snap, self.pid_snapshot(pid, response.first_wall)) {
+                    (Some((run0, blk0, io0)), Some((run1, blk1, io1))) => (
+                        run1.saturating_sub(run0) / share,
+                        blk1.saturating_sub(blk0) / share,
+                        io1.saturating_sub(io0) / share,
+                    ),
+                    _ => (SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO),
+                };
             (kernel_in, user, kernel_out, blocked, blocked_io, pid)
         } else {
             // Initiator side: we see the round trip; response delivery
@@ -608,7 +630,8 @@ impl Lpa {
             aggr.kernel_in_us.record(record.kernel_in_us as f64);
             aggr.user_us.record(record.user_us as f64);
             aggr.kernel_out_us.record(record.kernel_out_us as f64);
-            aggr.total_us.record(record.end_us.saturating_sub(record.start_us) as f64);
+            aggr.total_us
+                .record(record.end_us.saturating_sub(record.start_us) as f64);
             aggr.bytes += record.req_bytes + record.resp_bytes;
         }
 
@@ -770,6 +793,7 @@ impl Lpa {
 impl Lpa {
     /// Handles a network event that carries an ARM correlator. Returns
     /// whether an interaction record completed.
+    #[allow(clippy::too_many_arguments)]
     fn arm_event(
         &mut self,
         point: NetPoint,
@@ -796,7 +820,11 @@ impl Lpa {
                     .entry(key)
                     .or_insert_with(|| ArmState::new(wall));
                 st.last_wall = wall;
-                let slot = if dir == Dir::In { &mut st.req } else { &mut st.resp };
+                let slot = if dir == Dir::In {
+                    &mut st.req
+                } else {
+                    &mut st.resp
+                };
                 match slot {
                     Some(acc) => {
                         acc.last_wall = wall;
@@ -862,8 +890,7 @@ impl Lpa {
                     // The inbound message is the request at the responder
                     // and the response at the initiator; update whichever
                     // slot holds the inbound run.
-                    let inbound_is_req =
-                        st.req.as_ref().map(|m| m.dir == Dir::In).unwrap_or(false);
+                    let inbound_is_req = st.req.as_ref().map(|m| m.dir == Dir::In).unwrap_or(false);
                     if inbound_is_req {
                         // A request delivery after its response started can
                         // only come from a reordered stream; it must not
@@ -915,7 +942,9 @@ impl Lpa {
         let ready: Vec<(FlowKey, u64)> = self
             .arm_flows
             .iter()
-            .filter(|((f, id), st)| *f == canon && *id != current && st.req.is_some() && st.resp.is_some())
+            .filter(|((f, id), st)| {
+                *f == canon && *id != current && st.req.is_some() && st.resp.is_some()
+            })
             .map(|(k, _)| *k)
             .collect();
         let mut any = false;
@@ -1002,10 +1031,9 @@ impl Analyzer for Lpa {
         let mut cost = self.config.per_event_cost;
         match event.class() {
             kprof::EventClass::Scheduling => self.sched_event(event),
-            kprof::EventClass::Network
-                if self.net_event(event) => {
-                    cost += self.config.per_record_cost;
-                }
+            kprof::EventClass::Network if self.net_event(event) => {
+                cost += self.config.per_record_cost;
+            }
             _ => {}
         }
         AnalyzerOutcome {
@@ -1192,10 +1220,13 @@ mod tests {
         l.on_event(&net(1_000, NetPoint::RxNic, rf, 500, None));
         l.on_event(&net(1_100, NetPoint::RxDeliverUser, rf, 500, Some(pid)));
         // Process blocks on disk for 3 ms inside the window.
-        l.on_event(&ev(1_200, EventPayload::ProcessBlock {
-            pid,
-            reason: BlockReason::DiskIo,
-        }));
+        l.on_event(&ev(
+            1_200,
+            EventPayload::ProcessBlock {
+                pid,
+                reason: BlockReason::DiskIo,
+            },
+        ));
         l.on_event(&ev(4_200, EventPayload::ProcessWake { pid }));
         l.on_event(&net(4_300, NetPoint::TxFromUser, tf, 100, Some(pid)));
         l.on_event(&net(4_320, NetPoint::TxNicDone, tf, 100, None));
@@ -1213,7 +1244,13 @@ mod tests {
             EndPoint::new(ME, Port(9999)),
         );
         l.on_event(&net(1_000, NetPoint::RxNic, daemon_flow, 500, None));
-        l.on_event(&net(2_000, NetPoint::TxFromUser, daemon_flow.reversed(), 500, None));
+        l.on_event(&net(
+            2_000,
+            NetPoint::TxFromUser,
+            daemon_flow.reversed(),
+            500,
+            None,
+        ));
         l.on_event(&net(3_000, NetPoint::RxNic, daemon_flow, 500, None));
         l.flush_idle(SimTime::from_secs(1));
         assert_eq!(l.records_completed(), 0, "own traffic never diagnosed");
@@ -1221,8 +1258,10 @@ mod tests {
 
     #[test]
     fn service_port_predicate_filters_classes() {
-        let mut cfg = LpaConfig::default();
-        cfg.service_ports = Some([Port(80)].into_iter().collect());
+        let cfg = LpaConfig {
+            service_ports: Some([Port(80)].into_iter().collect()),
+            ..Default::default()
+        };
         let mut l = Lpa::new(NodeId(1), ME, cfg);
         one_exchange(&mut l, 1_000); // class 2049: filtered out
         l.on_event(&net(5_000, NetPoint::RxNic, req_flow(), 800, None));
@@ -1231,8 +1270,10 @@ mod tests {
 
     #[test]
     fn class_only_mode_aggregates_without_staging() {
-        let mut cfg = LpaConfig::default();
-        cfg.class_only = true;
+        let cfg = LpaConfig {
+            class_only: true,
+            ..Default::default()
+        };
         let mut l = Lpa::new(NodeId(1), ME, cfg);
         for i in 0..5 {
             one_exchange(&mut l, 1_000 + i * 10_000);
@@ -1281,7 +1322,13 @@ mod tests {
         l.on_event(&net(1_000, NetPoint::TxFromUser, rf, 300, Some(Pid(2))));
         l.on_event(&net(1_020, NetPoint::TxNicDone, rf, 300, None));
         l.on_event(&net(3_000, NetPoint::RxNic, back, 150, None));
-        l.on_event(&net(3_200, NetPoint::RxDeliverUser, back, 150, Some(Pid(2))));
+        l.on_event(&net(
+            3_200,
+            NetPoint::RxDeliverUser,
+            back,
+            150,
+            Some(Pid(2)),
+        ));
         l.flush_idle(SimTime::from_secs(1));
         assert_eq!(l.records_completed(), 1);
         let rec = l.window_snapshot().next().unwrap();
@@ -1294,8 +1341,10 @@ mod tests {
 
     #[test]
     fn window_is_bounded() {
-        let mut cfg = LpaConfig::default();
-        cfg.window = 3;
+        let cfg = LpaConfig {
+            window: 3,
+            ..Default::default()
+        };
         let mut l = Lpa::new(NodeId(1), ME, cfg);
         for i in 0..10 {
             one_exchange(&mut l, 1_000 + i * 10_000);
@@ -1306,20 +1355,35 @@ mod tests {
 
     #[test]
     fn buffer_full_notification_fires() {
-        let mut cfg = LpaConfig::default();
-        cfg.window = 2; // tiny buffers
+        let cfg = LpaConfig {
+            window: 2, // tiny buffers
+            ..Default::default()
+        };
         let mut l = Lpa::new(NodeId(1), ME, cfg);
         let mut notified = false;
         for i in 0..6 {
             one_exchange(&mut l, 1_000 + i * 10_000);
-            let boundary = net(1_000 + (i + 1) * 10_000 - 100, NetPoint::RxNic, req_flow(), 1, None);
+            let boundary = net(
+                1_000 + (i + 1) * 10_000 - 100,
+                NetPoint::RxNic,
+                req_flow(),
+                1,
+                None,
+            );
             let out = l.on_event(&boundary);
             notified |= out.buffer_full;
         }
         assert!(notified, "small buffers must fill and notify");
     }
 
-    fn net_arm(wall_us: u64, point: NetPoint, flow: FlowKey, size: u32, pid: Option<Pid>, arm: u64) -> Event {
+    fn net_arm(
+        wall_us: u64,
+        point: NetPoint,
+        flow: FlowKey,
+        size: u32,
+        pid: Option<Pid>,
+        arm: u64,
+    ) -> Event {
         ev(
             wall_us,
             EventPayload::Net {
@@ -1334,8 +1398,10 @@ mod tests {
     }
 
     fn arm_lpa() -> Lpa {
-        let mut cfg = LpaConfig::default();
-        cfg.use_arm_hints = true;
+        let cfg = LpaConfig {
+            use_arm_hints: true,
+            ..Default::default()
+        };
         Lpa::new(NodeId(1), ME, cfg)
     }
 
@@ -1375,7 +1441,14 @@ mod tests {
         let tf = rf.reversed();
         // Full exchange for id 1…
         l.on_event(&net_arm(1_000, NetPoint::RxNic, rf, 500, None, 1));
-        l.on_event(&net_arm(2_000, NetPoint::TxFromUser, tf, 100, Some(Pid(1)), 1));
+        l.on_event(&net_arm(
+            2_000,
+            NetPoint::TxFromUser,
+            tf,
+            100,
+            Some(Pid(1)),
+            1,
+        ));
         assert_eq!(l.records_completed(), 0, "still open");
         // …a packet of id 2 finishes it eagerly (no idle flush needed).
         l.on_event(&net_arm(3_000, NetPoint::RxNic, rf, 500, None, 2));
@@ -1389,9 +1462,28 @@ mod tests {
         let tf = rf.reversed();
         let pid = Pid(5);
         l.on_event(&net_arm(1_000, NetPoint::RxNic, rf, 500, None, 9));
-        l.on_event(&net_arm(1_400, NetPoint::RxDeliverUser, rf, 500, Some(pid), 9));
-        l.on_event(&ev(1_500, EventPayload::ContextSwitch { from: None, to: Some(pid) }));
-        l.on_event(&ev(1_700, EventPayload::ContextSwitch { from: Some(pid), to: None }));
+        l.on_event(&net_arm(
+            1_400,
+            NetPoint::RxDeliverUser,
+            rf,
+            500,
+            Some(pid),
+            9,
+        ));
+        l.on_event(&ev(
+            1_500,
+            EventPayload::ContextSwitch {
+                from: None,
+                to: Some(pid),
+            },
+        ));
+        l.on_event(&ev(
+            1_700,
+            EventPayload::ContextSwitch {
+                from: Some(pid),
+                to: None,
+            },
+        ));
         l.on_event(&net_arm(1_800, NetPoint::TxFromUser, tf, 100, Some(pid), 9));
         l.on_event(&net_arm(1_820, NetPoint::TxNicDone, tf, 100, None, 9));
         l.flush_idle(SimTime::from_secs(1));
@@ -1454,12 +1546,12 @@ mod proptests {
     fn arb_event() -> impl Strategy<Value = Event> {
         let ep = |ip: u32, port: u16| EndPoint::new(Ip(ip), Port(port));
         (
-            0u64..2_000_000,              // wall µs
-            0u8..10,                      // payload selector
-            1u32..4,                      // pid
-            0u32..3,                      // peer ip selector
-            prop::option::of(0u64..4),    // arm id
-            64u32..1500,                  // size
+            0u64..2_000_000,           // wall µs
+            0u8..10,                   // payload selector
+            1u32..4,                   // pid
+            0u32..3,                   // peer ip selector
+            prop::option::of(0u64..4), // arm id
+            64u32..1500,               // size
         )
             .prop_map(move |(wall, sel, pid, peer, arm, size)| {
                 let pid = Pid(pid);

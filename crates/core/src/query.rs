@@ -111,9 +111,7 @@ impl KernelSink for GpaQuerySink {
                 GpaAnswer::ClassSummary(gpa.class_summary(node, Port(class_port)))
             }
             GpaQuery::NodeLoad { node } => GpaAnswer::NodeLoad(gpa.node_load(node)),
-            GpaQuery::AllClassSummaries => {
-                GpaAnswer::AllClassSummaries(gpa.all_class_summaries())
-            }
+            GpaQuery::AllClassSummaries => GpaAnswer::AllClassSummaries(gpa.all_class_summaries()),
         };
         let reply = AnswerEnvelope {
             id: envelope.id,
@@ -158,7 +156,9 @@ impl KernelSink for ReplySink {
         data: Vec<u8>,
     ) -> KernelOutput {
         if let Ok(envelope) = serde_json::from_slice::<AnswerEnvelope>(&data) {
-            self.answers.borrow_mut().push((envelope.id, envelope.answer));
+            self.answers
+                .borrow_mut()
+                .push((envelope.id, envelope.answer));
         }
         KernelOutput {
             cost: SimDuration::from_micros(3),

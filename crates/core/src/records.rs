@@ -278,7 +278,11 @@ mod tests {
             binary.len(),
             json.len()
         );
-        assert!(binary.len() < 64, "a record fits in a cache line: {}B", binary.len());
+        assert!(
+            binary.len() < 64,
+            "a record fits in a cache line: {}B",
+            binary.len()
+        );
     }
 
     #[test]

@@ -289,7 +289,10 @@ impl<R> Scheduler<R> {
 
     /// The DWCS pairwise precedence: does `a` beat `b`?
     fn beats(a: &Stream<R>, b: &Stream<R>) -> bool {
-        let (ha, hb) = (a.queue.front().expect("a pending"), b.queue.front().expect("b pending"));
+        let (ha, hb) = (
+            a.queue.front().expect("a pending"),
+            b.queue.front().expect("b pending"),
+        );
         // 1. EDF.
         if ha.deadline != hb.deadline {
             return ha.deadline < hb.deadline;

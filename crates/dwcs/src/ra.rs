@@ -88,7 +88,12 @@ impl RaDispatcher {
         let best = self
             .servers
             .iter()
-            .filter_map(|&s| self.loads.get(&s).filter(|l| fresh(l)).map(|l| (s, score(l))))
+            .filter_map(|&s| {
+                self.loads
+                    .get(&s)
+                    .filter(|l| fresh(l))
+                    .map(|l| (s, score(l)))
+            })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"));
         match best {
             Some((server, _)) => server,

@@ -1,0 +1,140 @@
+//! Verifier diagnostics: machine-readable findings with line numbers,
+//! rendered rustc-style for humans.
+
+use std::fmt;
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not disqualifying; the program may still deploy.
+    Warning,
+    /// Disqualifying: the verifier refuses the program.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One verifier finding, tied to a source line.
+///
+/// Codes are stable identifiers (`E...` reject, `W...` advise):
+///
+/// | code    | meaning                                                |
+/// |---------|--------------------------------------------------------|
+/// | `E0001` | division/modulo by zero is guaranteed                  |
+/// | `E0002` | `out()` slot is always out of range                    |
+/// | `E0003` | worst-case fuel exceeds the host budget                |
+/// | `E0004` | the source does not compile (lex/parse/type error)     |
+/// | `W0001` | divisor may be zero on some input                      |
+/// | `W0002` | `out()` slot may be out of range                       |
+/// | `W0003` | unused `static` variable                               |
+/// | `W0004` | unused input                                           |
+/// | `W0005` | branch is dead under a constant condition              |
+/// | `W0006` | unreachable code after `return`                        |
+/// | `W0007` | local read before ever being assigned (reads as 0)     |
+/// | `W0008` | some paths return a value, others fall off the end     |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity (errors reject the program).
+    pub severity: Severity,
+    /// Stable code, e.g. `"E0003"`.
+    pub code: &'static str,
+    /// 1-based source line; 0 when the finding is program-wide.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A rejecting finding.
+    pub fn error(code: &'static str, line: u32, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// An advisory finding.
+    pub fn warning(code: &'static str, line: u32, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the finding with its source line excerpt, rustc-style:
+    ///
+    /// ```text
+    /// error[E0001]: division by zero is guaranteed
+    ///  --> line 3
+    ///   |
+    /// 3 |     out(0, 1 / z);
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        if self.line > 0 {
+            out.push_str(&format!("\n --> line {}", self.line));
+            if let Some(text) = src.lines().nth(self.line as usize - 1) {
+                let gutter = self.line.to_string();
+                out.push_str(&format!(
+                    "\n{:width$} |\n{gutter} | {}",
+                    "",
+                    text,
+                    width = gutter.len()
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if self.line > 0 {
+            write!(f, " (line {})", self.line)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_code_and_line() {
+        let d = Diagnostic::error("E0001", 3, "division by zero is guaranteed");
+        assert_eq!(
+            d.to_string(),
+            "error[E0001] (line 3): division by zero is guaranteed"
+        );
+        let w = Diagnostic::warning("W0003", 0, "unused static");
+        assert_eq!(w.to_string(), "warning[W0003]: unused static");
+    }
+
+    #[test]
+    fn render_excerpts_the_source_line() {
+        let src = "int z = 0;\nreturn 1 / z;";
+        let d = Diagnostic::error("E0001", 2, "division by zero is guaranteed");
+        let rendered = d.render(src);
+        assert!(rendered.contains("error[E0001]: division by zero is guaranteed"));
+        assert!(rendered.contains(" --> line 2"));
+        assert!(rendered.contains("2 | return 1 / z;"));
+    }
+
+    #[test]
+    fn errors_order_after_warnings() {
+        assert!(Severity::Error > Severity::Warning);
+    }
+}

@@ -77,26 +77,7 @@ impl Program {
     /// Lex, parse, or type errors, each carrying a source line.
     pub fn compile(src: &str, inputs: &[(&str, Type)]) -> Result<Program, EcodeError> {
         let stmts = Parser::new(lex(src)?).program()?;
-        let mut c = Compiler {
-            code: Vec::new(),
-            vars: HashMap::new(),
-            inputs: Vec::new(),
-            globals: Vec::new(),
-            n_locals: 0,
-        };
-        for (i, (name, ty)) in inputs.iter().enumerate() {
-            c.inputs.push(((*name).to_owned(), *ty));
-            c.vars
-                .insert((*name).to_owned(), VarSlot::Input(i as u16, *ty));
-        }
-        c.stmts(&stmts)?;
-        c.code.push(Op::RetVoid);
-        Ok(Program {
-            code: c.code,
-            inputs: c.inputs,
-            globals: c.globals,
-            n_locals: c.n_locals,
-        })
+        compile_stmts(&stmts, inputs)
     }
 
     /// The declared inputs (name, type) in positional order.
@@ -108,6 +89,45 @@ impl Program {
     pub fn code_len(&self) -> usize {
         self.code.len()
     }
+
+    /// Exact worst-case fuel for this program.
+    ///
+    /// E-Code has no loops, so the bound is the longest path through the
+    /// bytecode's forward-jump DAG. Running with `fuel >=
+    /// static_fuel_bound()` can never abort with
+    /// [`OutOfFuel`](crate::EcodeError::OutOfFuel).
+    pub fn static_fuel_bound(&self) -> u64 {
+        crate::analysis::fuel::max_fuel(&self.code)
+    }
+}
+
+/// Type-checks and code-generates an already-parsed program. Shared by
+/// [`Program::compile`] and the verifier (which compiles both the
+/// original and the optimized AST).
+pub(crate) fn compile_stmts(
+    stmts: &[Stmt],
+    inputs: &[(&str, Type)],
+) -> Result<Program, EcodeError> {
+    let mut c = Compiler {
+        code: Vec::new(),
+        vars: HashMap::new(),
+        inputs: Vec::new(),
+        globals: Vec::new(),
+        n_locals: 0,
+    };
+    for (i, (name, ty)) in inputs.iter().enumerate() {
+        c.inputs.push(((*name).to_owned(), *ty));
+        c.vars
+            .insert((*name).to_owned(), VarSlot::Input(i as u16, *ty));
+    }
+    c.stmts(stmts)?;
+    c.code.push(Op::RetVoid);
+    Ok(Program {
+        code: c.code,
+        inputs: c.inputs,
+        globals: c.globals,
+        n_locals: c.n_locals,
+    })
 }
 
 fn terr(line: u32, msg: impl Into<String>) -> EcodeError {
@@ -229,7 +249,7 @@ impl Compiler {
                 }
                 Ok(())
             }
-            Stmt::ExprStmt { expr, .. } => {
+            Stmt::Expr { expr, .. } => {
                 self.expr(expr)?;
                 self.code.push(Op::Pop);
                 Ok(())
@@ -266,9 +286,10 @@ impl Compiler {
                 Ok(Type::Bool)
             }
             Expr::Var(name) => {
-                let slot = *self.vars.get(name).ok_or_else(|| {
-                    terr(0, format!("{name:?} is not declared"))
-                })?;
+                let slot = *self
+                    .vars
+                    .get(name)
+                    .ok_or_else(|| terr(0, format!("{name:?} is not declared")))?;
                 self.code.push(match slot {
                     VarSlot::Input(i, _) => Op::LoadInput(i),
                     VarSlot::Global(i, _) => Op::LoadGlobal(i),

@@ -119,15 +119,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, EcodeError> {
                 let tok = if is_float {
                     Tok::Double(text.parse().map_err(|_| err(line, "bad float literal"))?)
                 } else {
-                    Tok::Int(text.parse().map_err(|_| err(line, "integer literal overflows"))?)
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| err(line, "integer literal overflows"))?,
+                    )
                 };
                 out.push(Token { tok, line });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];

@@ -31,6 +31,24 @@
 //! `if`/`else`, blocks, `return`, expression statements. Builtins:
 //! `abs`, `min`, `max`, `out(slot, value)`.
 //!
+//! # The verifier
+//!
+//! Fuel metering alone catches a misbehaving program only *after* it has
+//! run — and perturbed — the monitored node. [`verify`] moves that to
+//! load time, the way an eBPF verifier does: it statically proves a
+//! worst-case fuel bound (E-Code has no loops, so the compiled bytecode
+//! is a forward-jump DAG and the longest path is computed exactly),
+//! rejects guaranteed traps (division by zero, out-of-range `out()`
+//! slots) via interval reasoning, lints suspicious code (dead branches,
+//! unreachable statements, unused state, uninitialized reads), and
+//! constant-folds/dead-code-eliminates the program to shrink its
+//! per-event cost. Accepted programs come back as a
+//! [`Verified<Program>`] with a [`VerifyReport`] (before/after fuel
+//! bounds, warnings); rejected ones as a [`VerifyError`] of
+//! line-numbered [`Diagnostic`]s rendered rustc-style. Hosts should
+//! install only verified programs and size fuel budgets from
+//! [`VerifyReport::fuel_bound`] (or [`Program::static_fuel_bound`]).
+//!
 //! # Example
 //!
 //! ```
@@ -50,11 +68,15 @@
 
 #![warn(missing_docs)]
 
+mod analysis;
 mod compile;
 mod lexer;
 mod parser;
 mod vm;
 
+pub use analysis::{
+    verify, Diagnostic, Severity, Verified, VerifyError, VerifyLimits, VerifyReport,
+};
 pub use compile::{Program, Type};
 pub use vm::{Instance, RunOutcome, Value};
 

@@ -86,7 +86,7 @@ pub enum Stmt {
         expr: Option<Expr>,
         line: u32,
     },
-    ExprStmt {
+    Expr {
         expr: Expr,
         line: u32,
     },
@@ -191,7 +191,7 @@ impl Parser {
             _ => {
                 let expr = self.expr()?;
                 self.expect(Tok::Semi, "';'")?;
-                Ok(Stmt::ExprStmt { expr, line })
+                Ok(Stmt::Expr { expr, line })
             }
         }
     }
@@ -463,7 +463,12 @@ mod tests {
         ));
         assert!(matches!(
             &stmts[1],
-            Stmt::Decl { is_static: false, ty: AstType::Double, init: None, .. }
+            Stmt::Decl {
+                is_static: false,
+                ty: AstType::Double,
+                init: None,
+                ..
+            }
         ));
     }
 
@@ -474,7 +479,12 @@ mod tests {
             panic!("not a return");
         };
         // (1 + (2*3))
-        let Expr::Bin { op: BinOp::Add, rhs, .. } = e else {
+        let Expr::Bin {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
             panic!("top is not add: {e:?}");
         };
         assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
@@ -491,10 +501,8 @@ mod tests {
 
     #[test]
     fn if_else_chain() {
-        let stmts = parse(
-            "if (a > 1) { x = 1; } else if (a > 0) { x = 2; } else { x = 3; }",
-        )
-        .unwrap();
+        let stmts =
+            parse("if (a > 1) { x = 1; } else if (a > 0) { x = 2; } else { x = 3; }").unwrap();
         let Stmt::If { else_block, .. } = &stmts[0] else {
             panic!()
         };
@@ -505,7 +513,11 @@ mod tests {
     #[test]
     fn call_with_args() {
         let stmts = parse("out(0, x / n);").unwrap();
-        let Stmt::ExprStmt { expr: Expr::Call { name, args, .. }, .. } = &stmts[0] else {
+        let Stmt::Expr {
+            expr: Expr::Call { name, args, .. },
+            ..
+        } = &stmts[0]
+        else {
             panic!()
         };
         assert_eq!(name, "out");
@@ -515,7 +527,15 @@ mod tests {
     #[test]
     fn unary_chain() {
         let stmts = parse("return !-x;").unwrap();
-        let Stmt::Return { expr: Some(Expr::Un { op: UnOp::Not, expr, .. }), .. } = &stmts[0]
+        let Stmt::Return {
+            expr:
+                Some(Expr::Un {
+                    op: UnOp::Not,
+                    expr,
+                    ..
+                }),
+            ..
+        } = &stmts[0]
         else {
             panic!()
         };

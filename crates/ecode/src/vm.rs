@@ -535,17 +535,12 @@ mod tests {
             }
             return count;
         "#;
-        let p = Program::compile(
-            src,
-            &[("kind", Type::Int), ("latency_us", Type::Double)],
-        )
-        .unwrap();
+        let p =
+            Program::compile(src, &[("kind", Type::Int), ("latency_us", Type::Double)]).unwrap();
         let mut i = Instance::new(&p);
         i.run(&[Value::Int(8), Value::Double(100.0)], 1000).unwrap();
         i.run(&[Value::Int(3), Value::Double(999.0)], 1000).unwrap(); // filtered
-        let r = i
-            .run(&[Value::Int(8), Value::Double(200.0)], 1000)
-            .unwrap();
+        let r = i.run(&[Value::Int(8), Value::Double(200.0)], 1000).unwrap();
         assert_eq!(r.ret, 2);
         assert_eq!(r.outputs, vec![(0, 150.0)]);
     }

@@ -199,7 +199,10 @@ impl<T> PerCpuBuffers<T> {
 
     /// Drains every side of every CPU buffer.
     pub fn drain_all(&mut self) -> Vec<T> {
-        self.buffers.iter_mut().flat_map(|b| b.drain_all()).collect()
+        self.buffers
+            .iter_mut()
+            .flat_map(|b| b.drain_all())
+            .collect()
     }
 
     /// Total records lost to overwrites across CPUs.

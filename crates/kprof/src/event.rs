@@ -48,7 +48,10 @@ pub enum NetPoint {
 impl NetPoint {
     /// True for points on the receive path.
     pub fn is_rx(self) -> bool {
-        matches!(self, NetPoint::RxNic | NetPoint::RxSocketBuffer | NetPoint::RxDeliverUser)
+        matches!(
+            self,
+            NetPoint::RxNic | NetPoint::RxSocketBuffer | NetPoint::RxDeliverUser
+        )
     }
 }
 
@@ -113,8 +116,8 @@ impl EventKind {
                 EventClass::Scheduling
             }
             SyscallEntry | SyscallExit => EventClass::Syscall,
-            NetRxNic | NetRxSocketBuffer | NetRxDeliverUser | NetTxFromUser
-            | NetTxDeviceQueue | NetTxNicDone | NetDrop => EventClass::Network,
+            NetRxNic | NetRxSocketBuffer | NetRxDeliverUser | NetTxFromUser | NetTxDeviceQueue
+            | NetTxNicDone | NetDrop => EventClass::Network,
             FileOpen | FileClose | FileRead | FileWrite | BlockIoStart | BlockIoComplete => {
                 EventClass::FileSystem
             }
@@ -439,7 +442,11 @@ impl fmt::Display for Event {
         write!(
             f,
             "[{} {} cpu{} #{}] {:?}",
-            self.node, self.wall, self.cpu, self.seq, self.kind()
+            self.node,
+            self.wall,
+            self.cpu,
+            self.seq,
+            self.kind()
         )
     }
 }
@@ -451,16 +458,20 @@ mod tests {
 
     #[test]
     fn class_masks_partition_all_kinds() {
-        let union = EventMask::SCHEDULING
-            | EventMask::SYSCALL
-            | EventMask::NETWORK
-            | EventMask::FILESYSTEM;
+        let union =
+            EventMask::SCHEDULING | EventMask::SYSCALL | EventMask::NETWORK | EventMask::FILESYSTEM;
         assert_eq!(union, EventMask::ALL);
         // Pairwise disjoint.
-        assert!(EventMask::SCHEDULING.intersect(EventMask::SYSCALL).is_empty());
+        assert!(EventMask::SCHEDULING
+            .intersect(EventMask::SYSCALL)
+            .is_empty());
         assert!(EventMask::SYSCALL.intersect(EventMask::NETWORK).is_empty());
-        assert!(EventMask::NETWORK.intersect(EventMask::FILESYSTEM).is_empty());
-        assert!(EventMask::SCHEDULING.intersect(EventMask::FILESYSTEM).is_empty());
+        assert!(EventMask::NETWORK
+            .intersect(EventMask::FILESYSTEM)
+            .is_empty());
+        assert!(EventMask::SCHEDULING
+            .intersect(EventMask::FILESYSTEM)
+            .is_empty());
     }
 
     #[test]
@@ -515,11 +526,20 @@ mod tests {
             Some(Pid(4))
         );
         assert_eq!(
-            EventPayload::ContextSwitch { from: Some(Pid(1)), to: None }.pid(),
+            EventPayload::ContextSwitch {
+                from: Some(Pid(1)),
+                to: None
+            }
+            .pid(),
             None
         );
         assert_eq!(
-            EventPayload::BlockIoStart { disk: DiskId(0), bytes: 512, pid: Some(Pid(2)) }.pid(),
+            EventPayload::BlockIoStart {
+                disk: DiskId(0),
+                bytes: 512,
+                pid: Some(Pid(2))
+            }
+            .pid(),
             Some(Pid(2))
         );
     }

@@ -137,7 +137,10 @@ mod tests {
         assert!(!p.matches(&ev(EventPayload::ProcessWake { pid: Pid(6) }), NO_GID));
         // Events without a pid fail a pid filter.
         assert!(!p.matches(
-            &ev(EventPayload::ContextSwitch { from: None, to: None }),
+            &ev(EventPayload::ContextSwitch {
+                from: None,
+                to: None
+            }),
             NO_GID
         ));
     }

@@ -5,9 +5,7 @@ use std::collections::HashMap;
 
 use simcore::{NodeId, SimDuration, SimTime};
 
-use crate::{
-    Analyzer, AnalyzerId, CountingAnalyzer, Event, EventMask, EventPayload, GroupId, Pid,
-};
+use crate::{Analyzer, AnalyzerId, CountingAnalyzer, Event, EventMask, EventPayload, GroupId, Pid};
 
 /// How much CPU time each piece of the monitoring path costs. All overhead
 /// in the simulation flows through this model, so experiments can quantify
@@ -412,14 +410,21 @@ mod tests {
             self.seen += 1;
             AnalyzerOutcome::cost(SimDuration::from_nanos(50))
         }
-        fn as_any(&self) -> &dyn std::any::Any { self }
-        fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
     }
 
     #[test]
     fn predicate_rejections_counted() {
         let mut kprof = Kprof::new(NodeId(0));
-        kprof.register(Box::new(PidFiltered { seen: 0, pid: Pid(42) }));
+        kprof.register(Box::new(PidFiltered {
+            seen: 0,
+            pid: Pid(42),
+        }));
         wake(&mut kprof, 1); // rejected by predicate
         wake(&mut kprof, 42); // delivered
         assert_eq!(kprof.stats().predicate_rejections, 1);
@@ -464,8 +469,12 @@ mod tests {
                 self.seen += 1;
                 AnalyzerOutcome::default()
             }
-            fn as_any(&self) -> &dyn std::any::Any { self }
-            fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
         }
         let mut kprof = Kprof::new(NodeId(0));
         kprof.register(Box::new(GidFiltered { seen: 0 }));
@@ -490,10 +499,14 @@ mod tests {
     fn seq_numbers_are_monotone() {
         let mut kprof = Kprof::new(NodeId(0));
         let a = kprof.make_event(SimTime::ZERO, 0, EventPayload::ProcessWake { pid: Pid(1) });
-        let b = kprof.make_event(SimTime::ZERO, 0, EventPayload::ProcessBlock {
-            pid: Pid(1),
-            reason: BlockReason::Sleep,
-        });
+        let b = kprof.make_event(
+            SimTime::ZERO,
+            0,
+            EventPayload::ProcessBlock {
+                pid: Pid(1),
+                reason: BlockReason::Sleep,
+            },
+        );
         assert!(b.seq > a.seq);
     }
 

@@ -194,9 +194,8 @@ mod tests {
     fn predicate_narrows_capture() {
         let mut kprof = Kprof::new(NodeId(0));
         let id = kprof.register(Box::new(
-            TraceAnalyzer::new(EventMask::SCHEDULING, 16).with_predicate(
-                Predicate::new().pids([Pid(2)]),
-            ),
+            TraceAnalyzer::new(EventMask::SCHEDULING, 16)
+                .with_predicate(Predicate::new().pids([Pid(2)])),
         ));
         for i in 0..6 {
             wake(&mut kprof, i % 3, i as u64);

@@ -348,7 +348,10 @@ mod tests {
 
     #[test]
     fn too_many_fields_detected() {
-        let s = Schema::build("one").field("a", FieldType::U64).finish().unwrap();
+        let s = Schema::build("one")
+            .field("a", FieldType::U64)
+            .finish()
+            .unwrap();
         let mut w = RecordWriter::new(&s);
         w.push_u64(1).unwrap();
         assert_eq!(w.push_u64(2).unwrap_err(), PbioError::TooManyFields);
@@ -356,7 +359,10 @@ mod tests {
 
     #[test]
     fn truncated_record_errors() {
-        let s = Schema::build("s").field("e", FieldType::Str).finish().unwrap();
+        let s = Schema::build("s")
+            .field("e", FieldType::Str)
+            .finish()
+            .unwrap();
         let mut w = RecordWriter::new(&s);
         w.push_str("hello").unwrap();
         let bytes = w.finish().unwrap();

@@ -177,7 +177,10 @@ impl SchemaBuilder {
         let mut seen = std::collections::HashSet::new();
         for f in &self.fields {
             if !seen.insert(f.name.as_str()) {
-                return Err(PbioError::BadSchema(format!("duplicate field {:?}", f.name)));
+                return Err(PbioError::BadSchema(format!(
+                    "duplicate field {:?}",
+                    f.name
+                )));
             }
         }
         Ok(Schema {
@@ -332,7 +335,10 @@ mod tests {
         reg.install(SchemaId(7), sample());
         assert!(reg.get(SchemaId(7)).is_ok());
         // Next locally assigned id does not collide.
-        let other = Schema::build("other").field("x", FieldType::U64).finish().unwrap();
+        let other = Schema::build("other")
+            .field("x", FieldType::U64)
+            .finish()
+            .unwrap();
         let id = reg.register(&other);
         assert!(id.0 > 7);
     }

@@ -26,10 +26,23 @@ pub enum ControlMsg {
         /// The subscriber being removed.
         reply_to: EndPoint,
     },
+    /// A subscribe was rejected. Sent by the daemon back to the
+    /// requester when the topic is unknown or the filter fails static
+    /// verification, carrying the rendered diagnostics — a bad filter is
+    /// surfaced, never silently dropped.
+    SubscribeNack {
+        /// The topic of the rejected subscribe.
+        topic: String,
+        /// The subscriber the rejected request named.
+        reply_to: EndPoint,
+        /// Rendered verifier diagnostics (one string per finding).
+        diagnostics: Vec<String>,
+    },
 }
 
 const TAG_SUBSCRIBE: u64 = 1;
 const TAG_UNSUBSCRIBE: u64 = 2;
+const TAG_SUBSCRIBE_NACK: u64 = 3;
 
 fn write_string(buf: &mut Vec<u8>, s: &str) {
     write_u64(buf, s.len() as u64);
@@ -86,6 +99,19 @@ impl ControlMsg {
                 write_string(&mut buf, topic);
                 write_endpoint(&mut buf, *reply_to);
             }
+            ControlMsg::SubscribeNack {
+                topic,
+                reply_to,
+                diagnostics,
+            } => {
+                write_u64(&mut buf, TAG_SUBSCRIBE_NACK);
+                write_string(&mut buf, topic);
+                write_endpoint(&mut buf, *reply_to);
+                write_u64(&mut buf, diagnostics.len() as u64);
+                for d in diagnostics {
+                    write_string(&mut buf, d);
+                }
+            }
         }
         buf
     }
@@ -121,6 +147,24 @@ impl ControlMsg {
                 let topic = read_string(&mut buf)?;
                 let reply_to = read_endpoint(&mut buf)?;
                 Ok(ControlMsg::Unsubscribe { topic, reply_to })
+            }
+            TAG_SUBSCRIBE_NACK => {
+                let topic = read_string(&mut buf)?;
+                let reply_to = read_endpoint(&mut buf)?;
+                let n = read_u64(&mut buf)?;
+                // Cap by remaining bytes so a hostile length cannot OOM.
+                if n > buf.len() as u64 {
+                    return Err(PubSubError::Codec(PbioError::UnexpectedEof));
+                }
+                let mut diagnostics = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    diagnostics.push(read_string(&mut buf)?);
+                }
+                Ok(ControlMsg::SubscribeNack {
+                    topic,
+                    reply_to,
+                    diagnostics,
+                })
             }
             _ => Err(PubSubError::Codec(PbioError::BadSchemaEncoding)),
         }
@@ -160,6 +204,19 @@ mod tests {
         let msg = ControlMsg::Unsubscribe {
             topic: "t".into(),
             reply_to: ep(),
+        };
+        assert_eq!(ControlMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn subscribe_nack_round_trip() {
+        let msg = ControlMsg::SubscribeNack {
+            topic: "interactions".into(),
+            reply_to: ep(),
+            diagnostics: vec![
+                "error[E0001] (line 2): division by zero".into(),
+                "warning[W0004]: unused inputs: size".into(),
+            ],
         };
         assert_eq!(ControlMsg::decode(&msg.encode()).unwrap(), msg);
     }

@@ -50,7 +50,7 @@ pub mod control;
 use std::collections::HashMap;
 use std::fmt;
 
-use ecode::{Instance, Program, Type, Value as EValue};
+use ecode::{Instance, Program, Type, Value as EValue, VerifyLimits};
 use pbio::{
     read_u64, write_u64, FieldType, PbioError, RecordReader, RecordWriter, Schema, SchemaId,
     SchemaRegistry, Value,
@@ -66,8 +66,9 @@ pub struct TopicId(pub u32);
 pub enum PubSubError {
     /// The referenced topic does not exist.
     UnknownTopic(TopicId),
-    /// A subscription filter failed to compile.
-    BadFilter(ecode::EcodeError),
+    /// A subscription filter failed static verification. Carries the
+    /// full line-numbered diagnostics for the NACK path.
+    BadFilter(ecode::VerifyError),
     /// Record encoding/decoding failed.
     Codec(PbioError),
     /// A record's fields did not match its schema.
@@ -93,6 +94,11 @@ impl From<PbioError> for PubSubError {
     }
 }
 
+/// Worst-case fuel a subscription filter may cost per record. Filters
+/// are statically verified against this budget at subscribe time, so a
+/// filter that could exceed it is rejected before it ever runs.
+pub const FILTER_FUEL_BUDGET: u64 = 10_000;
+
 /// A compiled per-subscription filter. Filters see the record's numeric
 /// and boolean fields as E-Code inputs by field name; string/bytes fields
 /// are not visible to filters.
@@ -100,6 +106,8 @@ struct Filter {
     program: Program,
     /// Indices of the record fields that are filter inputs, in input order.
     field_indices: Vec<usize>,
+    /// Statically proven worst-case fuel per evaluation.
+    fuel_bound: u64,
 }
 
 impl Filter {
@@ -116,10 +124,17 @@ impl Filter {
             inputs.push((f.name.as_str(), ty));
             field_indices.push(i);
         }
-        let program = Program::compile(src, &inputs).map_err(PubSubError::BadFilter)?;
+        let verified = ecode::verify(
+            src,
+            &inputs,
+            &VerifyLimits::with_max_fuel(FILTER_FUEL_BUDGET),
+        )
+        .map_err(PubSubError::BadFilter)?;
+        let (program, report) = verified.into_parts();
         Ok(Filter {
             program,
             field_indices,
+            fuel_bound: report.fuel_bound,
         })
     }
 
@@ -137,11 +152,15 @@ impl Filter {
             })
             .collect();
         let mut inst = Instance::new(&self.program);
-        match inst.run(&inputs, 10_000) {
+        // The verifier proved `fuel_bound` suffices, so granting exactly
+        // that much can never abort with OutOfFuel.
+        match inst.run(&inputs, self.fuel_bound) {
             Ok(out) => (out.ret != 0, out.fuel_used),
-            // A broken or over-budget filter fails open: the subscriber
-            // gets the record rather than silently losing data.
-            Err(_) => (true, 10_000),
+            // Defense in depth: a runtime trap (e.g. an input-dependent
+            // division by zero, which verification only warns about) fails
+            // open — the subscriber gets the record rather than silently
+            // losing data.
+            Err(_) => (true, self.fuel_bound),
         }
     }
 }
@@ -163,6 +182,9 @@ pub struct Hub {
     next_topic: u32,
     /// Total E-Code fuel burned in filters (host converts to CPU cost).
     filter_fuel: u64,
+    /// Late-compiled filters that failed verification (the subscription
+    /// then delivers unfiltered rather than silently dropping records).
+    filter_failures: u64,
     /// Filters awaiting their topic's first schema: (topic, sub index,
     /// source).
     pending_filters: Vec<(TopicId, usize, String)>,
@@ -183,6 +205,7 @@ impl Hub {
             schemas: SchemaRegistry::new(),
             next_topic: 0,
             filter_fuel: 0,
+            filter_failures: 0,
             pending_filters: Vec::new(),
         }
     }
@@ -240,18 +263,23 @@ impl Hub {
         Ok(())
     }
 
-    /// Adds a subscription with an eagerly compiled filter.
+    /// Adds a subscription with an eagerly compiled and **statically
+    /// verified** filter. Returns the filter's proven worst-case fuel per
+    /// record (`None` when no filter was given), which hosts use to
+    /// pre-size cost accounting.
     ///
     /// # Errors
     ///
-    /// [`PubSubError::UnknownTopic`] or [`PubSubError::BadFilter`].
+    /// [`PubSubError::UnknownTopic`], or [`PubSubError::BadFilter`]
+    /// carrying the verifier's line-numbered diagnostics — nothing is
+    /// registered in that case.
     pub fn subscribe_with_schema(
         &mut self,
         topic: TopicId,
         endpoint: EndPoint,
         filter: Option<&str>,
         schema: &Schema,
-    ) -> Result<(), PubSubError> {
+    ) -> Result<Option<u64>, PubSubError> {
         let compiled = match filter {
             Some(src) => Some(Filter::compile(src, schema)?),
             None => None,
@@ -260,6 +288,7 @@ impl Hub {
             .subs
             .get_mut(&topic)
             .ok_or(PubSubError::UnknownTopic(topic))?;
+        let fuel_bound = compiled.as_ref().map(|f| f.fuel_bound);
         subs.push(Subscription {
             endpoint,
             filter: compiled,
@@ -267,7 +296,7 @@ impl Hub {
             delivered: 0,
             filtered: 0,
         });
-        Ok(())
+        Ok(fuel_bound)
     }
 
     /// Removes all subscriptions of `endpoint` on `topic`. Returns how
@@ -303,13 +332,21 @@ impl Hub {
         if !self.subs.contains_key(&topic) {
             return Err(PubSubError::UnknownTopic(topic));
         }
-        // Late-compile any pending filters now that a schema is known.
+        // Late-compile any pending filters now that a schema is known. A
+        // filter that fails verification must not abort the publish (that
+        // would drop the record for *every* subscriber on the topic): the
+        // failure is counted and that one subscription delivers
+        // unfiltered, consistent with the fail-open policy in `passes`.
         let pending = std::mem::take(&mut self.pending_filters);
         for (t, idx, src) in pending {
             if t == topic {
-                let filter = Filter::compile(&src, schema)?;
-                if let Some(sub) = self.subs.get_mut(&t).and_then(|v| v.get_mut(idx)) {
-                    sub.filter = Some(filter);
+                match Filter::compile(&src, schema) {
+                    Ok(filter) => {
+                        if let Some(sub) = self.subs.get_mut(&t).and_then(|v| v.get_mut(idx)) {
+                            sub.filter = Some(filter);
+                        }
+                    }
+                    Err(_) => self.filter_failures += 1,
                 }
             } else {
                 self.pending_filters.push((t, idx, src));
@@ -358,6 +395,25 @@ impl Hub {
     /// converts this to CPU time and charges it as monitoring overhead).
     pub fn filter_fuel(&self) -> u64 {
         self.filter_fuel
+    }
+
+    /// How many lazily-compiled filters failed verification (those
+    /// subscriptions deliver unfiltered instead of silently dropping).
+    pub fn filter_failures(&self) -> u64 {
+        self.filter_failures
+    }
+
+    /// The largest statically proven per-record fuel bound across all
+    /// installed filters — the worst case one published record can cost
+    /// in filter CPU per subscriber. Hosts use it to pre-size
+    /// per-instruction cost accounting.
+    pub fn max_filter_fuel_bound(&self) -> u64 {
+        self.subs
+            .values()
+            .flatten()
+            .filter_map(|s| s.filter.as_ref().map(|f| f.fuel_bound))
+            .max()
+            .unwrap_or(0)
     }
 
     /// (delivered, filtered) counts for a subscriber on a topic.
@@ -523,7 +579,8 @@ mod tests {
     fn late_compiled_filter_works() {
         let mut hub = Hub::new();
         let t = hub.topic("x");
-        hub.subscribe(t, ep(1), Some("return latency_us >= 10;")).unwrap();
+        hub.subscribe(t, ep(1), Some("return latency_us >= 10;"))
+            .unwrap();
         assert!(hub.publish(t, &schema(), &rec(5, 0.0)).unwrap().is_empty());
         assert_eq!(hub.publish(t, &schema(), &rec(10, 0.0)).unwrap().len(), 1);
     }

@@ -61,7 +61,10 @@ impl<T> BoundedQueue<T> {
     /// Panics if both limits are zero-capacity in a way that admits nothing
     /// (`max_items == 0` or `max_size == 0`).
     pub fn with_limits(max_items: usize, max_size: u64) -> Self {
-        assert!(max_items > 0 && max_size > 0, "queue must admit at least one item");
+        assert!(
+            max_items > 0 && max_size > 0,
+            "queue must admit at least one item"
+        );
         BoundedQueue {
             items: VecDeque::new(),
             max_items,

@@ -45,7 +45,9 @@ pub use time::{SimDuration, SimTime};
 ///
 /// Node ids are dense small integers assigned by the topology builder; they
 /// index per-node state tables throughout the workspace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl std::fmt::Display for NodeId {

@@ -75,7 +75,10 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad uniform range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad uniform range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.unit_f64()
     }
 
@@ -91,7 +94,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not positive and finite.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
         // 1 - U is in (0, 1], so ln never sees zero.
         -mean * (1.0 - self.unit_f64()).ln()
     }
@@ -108,8 +114,10 @@ impl SimRng {
     ///
     /// Panics if `std_dev` is negative or either parameter is not finite.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
-            "bad normal parameters mean={mean} std_dev={std_dev}");
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "bad normal parameters mean={mean} std_dev={std_dev}"
+        );
         let u1 = (1.0 - self.unit_f64()).max(f64::MIN_POSITIVE);
         let u2 = self.unit_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
@@ -129,8 +137,10 @@ impl SimRng {
     ///
     /// Panics if `x_min` or `alpha` is not positive and finite.
     pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
-        assert!(x_min.is_finite() && x_min > 0.0 && alpha.is_finite() && alpha > 0.0,
-            "bad pareto parameters x_min={x_min} alpha={alpha}");
+        assert!(
+            x_min.is_finite() && x_min > 0.0 && alpha.is_finite() && alpha > 0.0,
+            "bad pareto parameters x_min={x_min} alpha={alpha}"
+        );
         let u = (1.0 - self.unit_f64()).max(f64::MIN_POSITIVE);
         x_min / u.powf(1.0 / alpha)
     }
@@ -145,7 +155,10 @@ impl SimRng {
     /// Panics if `n` is zero or `s` is negative/not finite.
     pub fn zipf(&mut self, n: usize, s: f64) -> usize {
         assert!(n > 0, "zipf requires n > 0");
-        assert!(s.is_finite() && s >= 0.0, "zipf skew must be non-negative, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf skew must be non-negative, got {s}"
+        );
         let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
         let mut target = self.unit_f64() * norm;
         for k in 1..=n {

@@ -116,7 +116,8 @@ impl OnlineStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -205,7 +206,10 @@ impl Histogram {
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn percentile(&self, p: f64) -> Option<f64> {
-        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100], got {p}");
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile must be in [0,100], got {p}"
+        );
         if self.count == 0 {
             return None;
         }
@@ -216,7 +220,11 @@ impl Histogram {
             if seen >= target {
                 // Midpoint of the bin, geometric-ish.
                 let hi = Self::bin_upper_bound(i);
-                let lo = if i == 0 { 0.0 } else { Self::bin_upper_bound(i - 1) };
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    Self::bin_upper_bound(i - 1)
+                };
                 return Some((lo + hi) / 2.0);
             }
         }
@@ -343,7 +351,10 @@ impl RateMeter {
     /// Completed windows as events-per-second rates.
     pub fn rates_per_sec(&self) -> Vec<(SimTime, f64)> {
         let w = self.window.as_secs_f64();
-        self.series.iter().map(|&(t, c)| (t, c as f64 / w)).collect()
+        self.series
+            .iter()
+            .map(|&(t, c)| (t, c as f64 / w))
+            .collect()
     }
 
     /// Overall mean rate across completed windows (events/sec).

@@ -20,7 +20,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_micros(), 3_000);
 /// assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(3));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in nanoseconds.
@@ -32,7 +34,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_micros(2) * 3;
 /// assert_eq!(d.as_nanos(), 6_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -125,7 +129,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative, got {s}"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -175,7 +182,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or NaN.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor >= 0.0 && !factor.is_nan(), "factor must be non-negative, got {factor}");
+        assert!(
+            factor >= 0.0 && !factor.is_nan(),
+            "factor must be non-negative, got {factor}"
+        );
         let v = self.0 as f64 * factor;
         if v >= u64::MAX as f64 {
             SimDuration::MAX
@@ -235,7 +245,10 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        debug_assert!(self >= rhs, "SimDuration subtraction underflow: {self} - {rhs}");
+        debug_assert!(
+            self >= rhs,
+            "SimDuration subtraction underflow: {self} - {rhs}"
+        );
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 }
@@ -318,7 +331,10 @@ mod tests {
         let d = SimDuration::MAX;
         assert_eq!(d + SimDuration::from_secs(1), SimDuration::MAX);
         assert_eq!(d * 2, SimDuration::MAX);
-        assert_eq!(SimDuration::ZERO.saturating_sub(SimDuration::from_secs(1)), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::ZERO.saturating_sub(SimDuration::from_secs(1)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

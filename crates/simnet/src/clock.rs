@@ -37,7 +37,10 @@ impl ClockSpec {
         let span = (bound_us.max(1) * 2_000) as u64; // ns range width
         let offset_ns = (h % span) as i64 - bound_us * 1_000;
         let drift_ppm = ((h >> 32) % 4_000) as f64 / 1_000.0 - 2.0;
-        ClockSpec { offset_ns, drift_ppm }
+        ClockSpec {
+            offset_ns,
+            drift_ppm,
+        }
     }
 }
 

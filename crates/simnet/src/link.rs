@@ -97,8 +97,9 @@ impl Direction {
         // Bytes already committed but not yet serialized as of `now` — the
         // queue occupancy a drop-tail check sees.
         let backlog_time = start.saturating_since(now);
-        let backlog_bytes =
-            (backlog_time.as_nanos() as u128 * spec.bandwidth_bps as u128 / 8 / 1_000_000_000) as u64;
+        let backlog_bytes = (backlog_time.as_nanos() as u128 * spec.bandwidth_bps as u128
+            / 8
+            / 1_000_000_000) as u64;
         if backlog_bytes.saturating_add(bytes) > spec.queue_bytes.max(bytes) {
             self.drops += 1;
             return TransmitOutcome::Dropped;
@@ -193,16 +194,32 @@ mod tests {
     #[test]
     fn back_to_back_packets_queue() {
         let mut link = Link::new(LinkSpec::gigabit_lan());
-        let a = link.transmit_forward(SimTime::ZERO, 1500).arrival_time().unwrap();
-        let b = link.transmit_forward(SimTime::ZERO, 1500).arrival_time().unwrap();
-        assert_eq!((b - a).as_nanos(), 12_000, "second packet serializes after first");
+        let a = link
+            .transmit_forward(SimTime::ZERO, 1500)
+            .arrival_time()
+            .unwrap();
+        let b = link
+            .transmit_forward(SimTime::ZERO, 1500)
+            .arrival_time()
+            .unwrap();
+        assert_eq!(
+            (b - a).as_nanos(),
+            12_000,
+            "second packet serializes after first"
+        );
     }
 
     #[test]
     fn directions_are_independent() {
         let mut link = Link::new(LinkSpec::gigabit_lan());
-        let f = link.transmit_forward(SimTime::ZERO, 1500).arrival_time().unwrap();
-        let r = link.transmit_reverse(SimTime::ZERO, 1500).arrival_time().unwrap();
+        let f = link
+            .transmit_forward(SimTime::ZERO, 1500)
+            .arrival_time()
+            .unwrap();
+        let r = link
+            .transmit_reverse(SimTime::ZERO, 1500)
+            .arrival_time()
+            .unwrap();
         assert_eq!(f, r, "reverse direction does not queue behind forward");
     }
 
@@ -236,14 +253,23 @@ mod tests {
         };
         let mut link = Link::new(spec);
         // First packet starts serializing immediately.
-        assert!(matches!(link.transmit_forward(SimTime::ZERO, 1500), TransmitOutcome::Sent { .. }));
+        assert!(matches!(
+            link.transmit_forward(SimTime::ZERO, 1500),
+            TransmitOutcome::Sent { .. }
+        ));
         // Its 1500 un-serialized bytes count as backlog, so a second packet
         // at the same instant would exceed the 2000-byte queue and drops.
-        assert!(matches!(link.transmit_forward(SimTime::ZERO, 1500), TransmitOutcome::Dropped));
+        assert!(matches!(
+            link.transmit_forward(SimTime::ZERO, 1500),
+            TransmitOutcome::Dropped
+        ));
         // Once the backlog serializes (1500 µs at 1 byte/µs), transmission
         // succeeds again.
         let later = SimTime::from_micros(1600);
-        assert!(matches!(link.transmit_forward(later, 1500), TransmitOutcome::Sent { .. }));
+        assert!(matches!(
+            link.transmit_forward(later, 1500),
+            TransmitOutcome::Sent { .. }
+        ));
     }
 
     #[test]

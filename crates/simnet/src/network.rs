@@ -210,10 +210,7 @@ impl Network {
         bytes: u64,
     ) -> Result<TransmitOutcome, NoRouteError> {
         let key = if from < to { (from, to) } else { (to, from) };
-        let link = self
-            .links
-            .get_mut(&key)
-            .ok_or(NoRouteError { from, to })?;
+        let link = self.links.get_mut(&key).ok_or(NoRouteError { from, to })?;
         Ok(if from < to {
             link.transmit_forward(now, bytes)
         } else {
@@ -293,7 +290,13 @@ mod tests {
         let err = net
             .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 100)
             .unwrap_err();
-        assert_eq!(err, NoRouteError { from: NodeId(0), to: NodeId(1) });
+        assert_eq!(
+            err,
+            NoRouteError {
+                from: NodeId(0),
+                to: NodeId(1)
+            }
+        );
     }
 
     #[test]
@@ -359,7 +362,13 @@ mod tests {
     fn clock_defaults_to_perfect_and_can_be_set() {
         let net = NetworkBuilder::new()
             .node("sync")
-            .node_with_clock("skewed", ClockSpec { offset_ns: 250_000, drift_ppm: 1.0 })
+            .node_with_clock(
+                "skewed",
+                ClockSpec {
+                    offset_ns: 250_000,
+                    drift_ppm: 1.0,
+                },
+            )
             .build()
             .unwrap();
         let t = SimTime::from_secs(1);

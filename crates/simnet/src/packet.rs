@@ -110,7 +110,10 @@ mod tests {
         assert_eq!(Packet::count_for_payload(1), 1);
         assert_eq!(Packet::count_for_payload(Packet::MAX_PAYLOAD as u64), 1);
         assert_eq!(Packet::count_for_payload(Packet::MAX_PAYLOAD as u64 + 1), 2);
-        assert_eq!(Packet::count_for_payload(10 * Packet::MAX_PAYLOAD as u64), 10);
+        assert_eq!(
+            Packet::count_for_payload(10 * Packet::MAX_PAYLOAD as u64),
+            10
+        );
     }
 
     #[test]

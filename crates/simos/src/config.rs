@@ -66,15 +66,13 @@ impl CostConfig {
 }
 
 /// Per-node hardware/OS configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct NodeConfig {
     /// CPU cost model.
     pub costs: CostConfig,
     /// The node's single disk (the paper's nodes have one).
     pub disk: DiskSpec,
 }
-
 
 #[cfg(test)]
 mod tests {

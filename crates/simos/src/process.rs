@@ -78,7 +78,13 @@ pub struct Process {
 
 impl Process {
     /// Creates a new runnable process with [`PendingWork::Start`] queued.
-    pub fn new(pid: Pid, gid: GroupId, name: String, program: Box<dyn Program>, rng: SimRng) -> Self {
+    pub fn new(
+        pid: Pid,
+        gid: GroupId,
+        name: String,
+        program: Box<dyn Program>,
+        rng: SimRng,
+    ) -> Self {
         let mut pending = VecDeque::new();
         pending.push_back(PendingWork::Start);
         Process {
@@ -135,7 +141,13 @@ mod tests {
 
     #[test]
     fn new_process_has_start_pending() {
-        let p = Process::new(Pid(1), GroupId(0), "t".into(), Box::new(Nop), SimRng::seed(0));
+        let p = Process::new(
+            Pid(1),
+            GroupId(0),
+            "t".into(),
+            Box::new(Nop),
+            SimRng::seed(0),
+        );
         assert_eq!(p.state, ProcState::Runnable);
         assert_eq!(p.pending.len(), 1);
         assert!(!p.is_idle());
@@ -144,7 +156,13 @@ mod tests {
 
     #[test]
     fn idle_after_draining() {
-        let mut p = Process::new(Pid(1), GroupId(0), "t".into(), Box::new(Nop), SimRng::seed(0));
+        let mut p = Process::new(
+            Pid(1),
+            GroupId(0),
+            "t".into(),
+            Box::new(Nop),
+            SimRng::seed(0),
+        );
         p.pending.clear();
         assert!(p.is_idle());
         p.remaining_compute = SimDuration::from_micros(1);

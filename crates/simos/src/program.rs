@@ -144,7 +144,12 @@ impl std::fmt::Debug for Action {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Action::Compute(d) => write!(f, "Compute({d})"),
-            Action::Send { sock, bytes, msg_id, kind } => {
+            Action::Send {
+                sock,
+                bytes,
+                msg_id,
+                kind,
+            } => {
                 write!(f, "Send {{ {sock}, {bytes}B, msg {msg_id}, kind {kind} }}")
             }
             Action::Listen { port } => write!(f, "Listen {{ :{port} }}"),
@@ -155,8 +160,16 @@ impl std::fmt::Debug for Action {
             Action::FileRead { file, bytes, token } => {
                 write!(f, "FileRead {{ {file}, {bytes}B, token {token} }}")
             }
-            Action::FileWrite { file, bytes, sync, token } => {
-                write!(f, "FileWrite {{ {file}, {bytes}B, sync {sync}, token {token} }}")
+            Action::FileWrite {
+                file,
+                bytes,
+                sync,
+                token,
+            } => {
+                write!(
+                    f,
+                    "FileWrite {{ {file}, {bytes}B, sync {sync}, token {token} }}"
+                )
             }
             Action::Sleep { duration, token } => {
                 write!(f, "Sleep {{ {duration}, token {token} }}")
@@ -358,10 +371,21 @@ mod tests {
         ctx.exit();
         assert_eq!(actions.len(), 4);
         assert!(matches!(actions[0], Action::Compute(_)));
-        assert!(matches!(actions[1], Action::Connect { sock: SocketId(10), .. }));
+        assert!(matches!(
+            actions[1],
+            Action::Connect {
+                sock: SocketId(10),
+                ..
+            }
+        ));
         assert!(matches!(
             actions[2],
-            Action::Send { bytes: 2048, msg_id: 100, kind: 7, .. }
+            Action::Send {
+                bytes: 2048,
+                msg_id: 100,
+                kind: 7,
+                ..
+            }
         ));
         assert!(matches!(actions[3], Action::Exit));
         assert_eq!(next_sock, 11);

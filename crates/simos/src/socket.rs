@@ -39,6 +39,14 @@ struct Assembly {
     first_enqueue: SimTime,
 }
 
+/// The packets (id, wire size) making up one delivered message.
+pub type MessagePackets = Vec<(simnet::PacketId, u32)>;
+
+/// A complete message queued for the application: the message, its
+/// packets, when its first packet entered the buffer, and the buffer
+/// bytes it holds.
+type ReadyMessage = (Message, MessagePackets, SimTime, u64);
+
 /// A connected socket endpoint in the simulated kernel.
 #[derive(Debug)]
 pub struct Socket {
@@ -63,7 +71,7 @@ pub struct Socket {
     dropped: u64,
     evicted_assemblies: u64,
     assemblies: HashMap<u64, Assembly>,
-    ready: Vec<(Message, Vec<(simnet::PacketId, u32)>, SimTime, u64)>,
+    ready: Vec<ReadyMessage>,
 }
 
 impl Socket {
@@ -194,7 +202,7 @@ impl Socket {
     /// Takes the oldest complete message: the message, its packets
     /// (id + size, for per-packet delivery events), and the time its first
     /// packet entered the socket buffer. Frees the message's buffer bytes.
-    pub fn take_ready(&mut self) -> Option<(Message, Vec<(simnet::PacketId, u32)>, SimTime)> {
+    pub fn take_ready(&mut self) -> Option<(Message, MessagePackets, SimTime)> {
         if self.ready.is_empty() {
             return None;
         }
@@ -294,7 +302,10 @@ mod tests {
         assert!(s.offer(pkt(1, 1, 1434, 100_000), SimTime::ZERO));
         // Same message: its own assembly is protected from eviction, so
         // the buffer is genuinely full.
-        assert!(!s.offer(pkt(2, 1, 1434, 100_000), SimTime::ZERO), "over 2000B cap");
+        assert!(
+            !s.offer(pkt(2, 1, 1434, 100_000), SimTime::ZERO),
+            "over 2000B cap"
+        );
         assert_eq!(s.dropped(), 1);
     }
 
@@ -316,7 +327,10 @@ mod tests {
     fn ready_messages_hold_bytes_until_taken() {
         let mut s = sock();
         s.offer(pkt(1, 1, 100, 100), SimTime::ZERO);
-        assert!(s.rx_backlog_bytes() > 0, "undelivered message occupies buffer");
+        assert!(
+            s.rx_backlog_bytes() > 0,
+            "undelivered message occupies buffer"
+        );
         s.take_ready();
         assert_eq!(s.rx_backlog_bytes(), 0);
     }

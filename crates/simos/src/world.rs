@@ -10,13 +10,11 @@
 
 use std::collections::HashMap;
 
-use kprof::{
-    AnalyzerId, BlockReason, EventPayload, GroupId, Kprof, NetPoint, Pid, SyscallKind,
-};
+use kprof::{AnalyzerId, BlockReason, EventPayload, GroupId, Kprof, NetPoint, Pid, SyscallKind};
 use simcore::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
 use simnet::{
-    ClockSpec, EndPoint, FlowKey, LinkSpec, Network, NetworkBuilder, Packet, PacketId,
-    PayloadTag, Port, TopologyError, TransmitOutcome,
+    ClockSpec, EndPoint, FlowKey, LinkSpec, Network, NetworkBuilder, Packet, PacketId, PayloadTag,
+    Port, TopologyError, TransmitOutcome,
 };
 
 use crate::node::{Node, NodeStats, RunningQuantum};
@@ -45,16 +43,52 @@ pub(crate) enum QuantumKind {
 
 /// Global calendar events.
 enum Ev {
-    Dispatch { node: NodeId },
-    QuantumEnd { node: NodeId },
-    PacketArrival { node: NodeId, packet: Packet },
-    RxStackDone { node: NodeId, packet: Packet },
-    NicTxDone { node: NodeId, packet: Packet },
-    DiskDone { node: NodeId, pid: Pid, token: u64, bytes: u64 },
-    TimerFire { node: NodeId, pid: Pid, token: u64 },
-    ConnEstablished { node: NodeId, pid: Pid, sock: SocketId },
-    ConnRetry { node: NodeId, pid: Pid, sock: SocketId, remote: NodeId, port: Port, attempt: u32 },
-    DaemonWake { node: NodeId, analyzer: Option<AnalyzerId> },
+    Dispatch {
+        node: NodeId,
+    },
+    QuantumEnd {
+        node: NodeId,
+    },
+    PacketArrival {
+        node: NodeId,
+        packet: Packet,
+    },
+    RxStackDone {
+        node: NodeId,
+        packet: Packet,
+    },
+    NicTxDone {
+        node: NodeId,
+        packet: Packet,
+    },
+    DiskDone {
+        node: NodeId,
+        pid: Pid,
+        token: u64,
+        bytes: u64,
+    },
+    TimerFire {
+        node: NodeId,
+        pid: Pid,
+        token: u64,
+    },
+    ConnEstablished {
+        node: NodeId,
+        pid: Pid,
+        sock: SocketId,
+    },
+    ConnRetry {
+        node: NodeId,
+        pid: Pid,
+        sock: SocketId,
+        remote: NodeId,
+        port: Port,
+        attempt: u32,
+    },
+    DaemonWake {
+        node: NodeId,
+        analyzer: Option<AnalyzerId>,
+    },
 }
 
 /// A message a kernel component (sink or daemon) wants sent.
@@ -314,7 +348,13 @@ impl World {
     /// Schedules a periodic-style daemon wake on `node` after `delay`.
     pub fn schedule_daemon_wake(&mut self, node: NodeId, delay: SimDuration) {
         let t = self.now() + delay;
-        self.queue.schedule(t, Ev::DaemonWake { node, analyzer: None });
+        self.queue.schedule(
+            t,
+            Ev::DaemonWake {
+                node,
+                analyzer: None,
+            },
+        );
     }
 
     /// Opts a process into ARM-style request tagging: its network events
@@ -334,7 +374,13 @@ impl World {
     /// The ARM correlator for a packet on `flow`, if the process that owns
     /// the matching socket opted in. `pid_hint` short-circuits the socket
     /// lookup when the caller already knows the process.
-    fn arm_of(&self, node: NodeId, flow: FlowKey, pid_hint: Option<Pid>, msg_id: u64) -> Option<u64> {
+    fn arm_of(
+        &self,
+        node: NodeId,
+        flow: FlowKey,
+        pid_hint: Option<Pid>,
+        msg_id: u64,
+    ) -> Option<u64> {
         let n = &self.nodes[node.0 as usize];
         let pid = pid_hint.or_else(|| {
             // Inbound events carry the rx flow directly; outbound events
@@ -345,10 +391,7 @@ impl World {
                 .and_then(|sid| n.sockets.get(sid))
                 .map(|s| s.owner)
         })?;
-        n.procs
-            .get(&pid)
-            .filter(|p| p.arm_enabled)
-            .map(|_| msg_id)
+        n.procs.get(&pid).filter(|p| p.arm_enabled).map(|_| msg_id)
     }
 
     /// Borrows a node's Kprof registry (to register analyzers, set masks,
@@ -418,7 +461,10 @@ impl World {
     ///
     /// Panics if `factor` is not positive and finite.
     pub fn degrade_disk(&mut self, node: NodeId, factor: f64) {
-        assert!(factor.is_finite() && factor > 0.0, "bad degradation factor {factor}");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "bad degradation factor {factor}"
+        );
         let nominal = self.nodes[node.0 as usize].config.disk;
         let disk = &mut self.nodes[node.0 as usize].disk;
         disk.set_spec(crate::DiskSpec {
@@ -522,7 +568,9 @@ impl World {
             let new_end = rq.end_time;
             let node_id = n.id;
             self.queue.cancel(rq.end_handle);
-            let handle = self.queue.schedule(new_end, Ev::QuantumEnd { node: node_id });
+            let handle = self
+                .queue
+                .schedule(new_end, Ev::QuantumEnd { node: node_id });
             self.nodes[node.0 as usize]
                 .running
                 .as_mut()
@@ -583,7 +631,11 @@ impl World {
             };
 
             match self.next_quantum(node, pid, now) {
-                NextQuantum::Run { kind, work, syscall } => {
+                NextQuantum::Run {
+                    kind,
+                    work,
+                    syscall,
+                } => {
                     self.start_quantum(node, pid, now, kind, work, syscall);
                     return;
                 }
@@ -631,7 +683,13 @@ impl World {
             });
         }
         if switching {
-            self.emit_ev(node, EventPayload::ContextSwitch { from, to: Some(pid) });
+            self.emit_ev(
+                node,
+                EventPayload::ContextSwitch {
+                    from,
+                    to: Some(pid),
+                },
+            );
         }
         if let Some(kind) = syscall {
             self.emit_ev(node, EventPayload::SyscallEntry { pid, kind });
@@ -720,9 +778,7 @@ impl World {
                         Some(SyscallKind::Write),
                     ),
                     Action::Sleep { .. } => (cfg.syscall_base, Some(SyscallKind::Sleep)),
-                    Action::Spawn { .. } => {
-                        (SimDuration::from_micros(50), Some(SyscallKind::Fork))
-                    }
+                    Action::Spawn { .. } => (SimDuration::from_micros(50), Some(SyscallKind::Fork)),
                     Action::Exit => (cfg.syscall_base, Some(SyscallKind::Exit)),
                 };
                 return NextQuantum::Run {
@@ -747,7 +803,11 @@ impl World {
                     .kernel_daemon;
                 let decided = match work_item {
                     PendingWork::MsgReady(sock) => {
-                        match self.nodes[i].sockets.get(&sock).and_then(|s| s.peek_ready()) {
+                        match self.nodes[i]
+                            .sockets
+                            .get(&sock)
+                            .and_then(|s| s.peek_ready())
+                        {
                             Some((msg, npackets)) => {
                                 let cost = if kernel_daemon {
                                     cfg.syscall_base
@@ -917,7 +977,11 @@ impl World {
                 self.nodes[node.0 as usize].listeners.insert(port, pid);
                 false
             }
-            Action::Connect { sock, node: remote, port } => {
+            Action::Connect {
+                sock,
+                node: remote,
+                port,
+            } => {
                 self.apply_connect(node, pid, sock, remote, port, now);
                 false
             }
@@ -1042,7 +1106,13 @@ impl World {
             let remote_cfg = self.costs(remote);
             let rn = &mut self.nodes[remote.0 as usize];
             let rsock = rn.alloc_sock();
-            let s = Socket::new(rsock, listener, remote_ep, local_ep, remote_cfg.socket_rx_bytes);
+            let s = Socket::new(
+                rsock,
+                listener,
+                remote_ep,
+                local_ep,
+                remote_cfg.socket_rx_bytes,
+            );
             rn.flows.insert(s.rx_flow(), rsock);
             rn.sockets.insert(rsock, s);
         }
@@ -1057,6 +1127,7 @@ impl World {
     }
 
     /// Synchronous file I/O: charge the disk and block the caller.
+    #[allow(clippy::too_many_arguments)]
     fn file_io(
         &mut self,
         node: NodeId,
@@ -1342,8 +1413,7 @@ impl World {
                     now + SimDuration::from_micros(5),
                     Ev::PacketArrival { node, packet },
                 );
-                self.queue
-                    .schedule(now, Ev::NicTxDone { node, packet });
+                self.queue.schedule(now, Ev::NicTxDone { node, packet });
                 self.nodes[node.0 as usize].tx_queue_bytes += packet.size as u64;
                 continue;
             }
@@ -1355,7 +1425,8 @@ impl World {
             {
                 TransmitOutcome::Sent { departure, arrival } => {
                     self.nodes[node.0 as usize].tx_queue_bytes += packet.size as u64;
-                    self.queue.schedule(departure, Ev::NicTxDone { node, packet });
+                    self.queue
+                        .schedule(departure, Ev::NicTxDone { node, packet });
                     self.queue.schedule(
                         arrival,
                         Ev::PacketArrival {
@@ -1502,7 +1573,10 @@ impl World {
         }
 
         // 2. Kernel sink port?
-        if self.nodes[node.0 as usize].sink_ports.contains(&flow.dst.port) {
+        if self.nodes[node.0 as usize]
+            .sink_ports
+            .contains(&flow.dst.port)
+        {
             self.sink_ingest(node, packet, now);
             return;
         }
@@ -1638,7 +1712,14 @@ impl World {
                 }
                 self.wake(node, pid, now);
             }
-            Ev::ConnRetry { node, pid, sock, remote, port, attempt } => {
+            Ev::ConnRetry {
+                node,
+                pid,
+                sock,
+                remote,
+                port,
+                attempt,
+            } => {
                 self.try_connect(node, pid, sock, remote, port, now, attempt);
             }
             Ev::ConnEstablished { node, pid, sock } => {
@@ -1704,8 +1785,8 @@ fn syscall_kind_of(op: &Action) -> Option<SyscallKind> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::programs::{BulkSender, ComputeLoop, EchoServer, OneShotSender, SinkServer};
     use crate::program::Message;
+    use crate::programs::{BulkSender, ComputeLoop, EchoServer, OneShotSender, SinkServer};
     use kprof::{CountingAnalyzer, EventMask};
 
     fn two_nodes(seed: u64) -> World {
@@ -1944,8 +2025,9 @@ mod tests {
 
     #[test]
     fn kernel_send_reaches_sink_with_data() {
+        type Got = std::rc::Rc<std::cell::RefCell<Vec<(u32, Vec<u8>)>>>;
         struct Recorder {
-            got: std::rc::Rc<std::cell::RefCell<Vec<(u32, Vec<u8>)>>>,
+            got: Got,
         }
         impl KernelSink for Recorder {
             fn on_message(
@@ -1966,7 +2048,11 @@ mod tests {
         }
         let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         let mut w = two_nodes(10);
-        w.install_sink(NodeId(1), Port(9999), Box::new(Recorder { got: got.clone() }));
+        w.install_sink(
+            NodeId(1),
+            Port(9999),
+            Box::new(Recorder { got: got.clone() }),
+        );
         let payload: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
         let dst = EndPoint::new(w.network().node_ip(NodeId(1)), Port(9999));
         w.kernel_send(NodeId(0), Port(9998), dst, 42, payload.clone());
@@ -2039,7 +2125,12 @@ mod tests {
         let wakes = std::rc::Rc::new(std::cell::Cell::new(0));
         let mut w = two_nodes(11);
         w.kprof_mut(NodeId(1)).register(Box::new(Chunky { n: 0 }));
-        w.set_daemon_hook(NodeId(1), Box::new(CountingHook { wakes: wakes.clone() }));
+        w.set_daemon_hook(
+            NodeId(1),
+            Box::new(CountingHook {
+                wakes: wakes.clone(),
+            }),
+        );
         w.spawn(NodeId(1), "sink", Box::new(SinkServer::new(Port(80))));
         w.spawn(
             NodeId(0),
@@ -2085,7 +2176,11 @@ mod tests {
             GroupId(9),
         );
         w.run_until(SimTime::from_millis(100));
-        assert_eq!(w.kprof(NodeId(0)).group_of(pid), None, "exited: reaped from table");
+        assert_eq!(
+            w.kprof(NodeId(0)).group_of(pid),
+            None,
+            "exited: reaped from table"
+        );
     }
 
     #[test]
@@ -2133,7 +2228,13 @@ mod tests {
         }
         let woke = std::rc::Rc::new(std::cell::Cell::new(SimTime::ZERO));
         let mut w = two_nodes(15);
-        w.spawn(NodeId(0), "sleeper", Box::new(Sleeper { woke_at: woke.clone() }));
+        w.spawn(
+            NodeId(0),
+            "sleeper",
+            Box::new(Sleeper {
+                woke_at: woke.clone(),
+            }),
+        );
         w.run_until(SimTime::from_secs(1));
         let t = woke.get();
         assert!(t >= SimTime::from_millis(25), "woke at {t}");
@@ -2173,7 +2274,13 @@ mod tests {
         }
         let times = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         let mut w = two_nodes(21);
-        w.spawn(NodeId(0), "writer", Box::new(TwoWrites { times: times.clone() }));
+        w.spawn(
+            NodeId(0),
+            "writer",
+            Box::new(TwoWrites {
+                times: times.clone(),
+            }),
+        );
         // Degrade immediately: both writes pay the degraded costs; compare
         // against a healthy run instead.
         let mut healthy = two_nodes(21);
@@ -2181,7 +2288,9 @@ mod tests {
         healthy.spawn(
             NodeId(0),
             "writer",
-            Box::new(TwoWrites { times: healthy_times.clone() }),
+            Box::new(TwoWrites {
+                times: healthy_times.clone(),
+            }),
         );
         w.degrade_disk(NodeId(0), 10.0);
         w.run_until(SimTime::from_secs(5));

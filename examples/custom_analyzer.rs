@@ -61,7 +61,11 @@ fn main() {
     world.spawn(
         NodeId(1),
         "server",
-        Box::new(EchoServer::new(Port(80), 1_000, SimDuration::from_micros(50))),
+        Box::new(EchoServer::new(
+            Port(80),
+            1_000,
+            SimDuration::from_micros(50),
+        )),
     );
     world.spawn(
         NodeId(0),

@@ -21,7 +21,10 @@ fn main() {
     let victim = sw.backend_nodes[1];
     let healthy = sw.backend_nodes[0];
 
-    println!("virtual storage service: 2 clients -> proxy -> {} back-ends", sw.backend_nodes.len());
+    println!(
+        "virtual storage service: 2 clients -> proxy -> {} back-ends",
+        sw.backend_nodes.len()
+    );
     println!("running healthy for 10 s…");
     sw.world.run_until(SimTime::from_secs(10));
 
@@ -41,12 +44,19 @@ fn main() {
             .collect()
     };
     for (node, ms) in &before {
-        println!("  {} mean interaction time: {ms:.1} ms", sw.world.network().node_name(*node));
+        println!(
+            "  {} mean interaction time: {ms:.1} ms",
+            sw.world.network().node_name(*node)
+        );
     }
 
-    println!("\ninjecting a disk fault on {} (8x slower seeks and transfers)…", sw.world.network().node_name(victim));
+    println!(
+        "\ninjecting a disk fault on {} (8x slower seeks and transfers)…",
+        sw.world.network().node_name(victim)
+    );
     sw.world.degrade_disk(victim, 8.0);
-    sw.world.run_until(SimTime::from_secs(20) + SimDuration::from_secs(2));
+    sw.world
+        .run_until(SimTime::from_secs(20) + SimDuration::from_secs(2));
 
     // Diagnose from monitoring data only: compare each back-end's
     // per-interaction kernel time in the window after the fault.

@@ -72,7 +72,11 @@ fn main() {
     world.spawn(
         NodeId(1),
         "app-server",
-        Box::new(EchoServer::new(Port(80), 512, SimDuration::from_micros(300))),
+        Box::new(EchoServer::new(
+            Port(80),
+            512,
+            SimDuration::from_micros(300),
+        )),
     );
     world.spawn(
         NodeId(0),
@@ -90,7 +94,10 @@ fn main() {
     // 5. What did the monitor see? First the node-local view…
     let lpa = sysprof.lpa(&world, NodeId(1)).expect("LPA deployed");
     println!("--- /proc/sysprof/status (server) ---");
-    println!("{}", procfs::render_status(NodeId(1), world.kprof(NodeId(1)), lpa));
+    println!(
+        "{}",
+        procfs::render_status(NodeId(1), world.kprof(NodeId(1)), lpa)
+    );
     println!("--- /proc/sysprof/interactions (last few) ---");
     let interactions = procfs::render_interactions(lpa);
     for line in interactions.lines().take(6) {

@@ -18,7 +18,10 @@ use sysprof_apps::rubis::{run_rubis, RubisConfig};
 fn main() {
     let duration = SimDuration::from_secs(30);
     println!("RUBiS with DWCS scheduling: 150 bids/s + 150 comments/s over two servlet");
-    println!("servers; a background job loads server A at t = {}s.\n", duration.as_secs_f64() / 2.0);
+    println!(
+        "servers; a background job loads server A at t = {}s.\n",
+        duration.as_secs_f64() / 2.0
+    );
 
     let plain = run_rubis(RubisConfig {
         resource_aware: false,
@@ -33,7 +36,10 @@ fn main() {
         ..RubisConfig::default()
     });
 
-    for (name, r) in [("plain DWCS (Figure 6)", &plain), ("RA-DWCS (Figure 7)", &ra)] {
+    for (name, r) in [
+        ("plain DWCS (Figure 6)", &plain),
+        ("RA-DWCS (Figure 7)", &ra),
+    ] {
         println!("== {name} ==");
         println!(
             "  bidding : {:>5.1}/s overall   before load {:>5.1}/s   after {:>5.1}/s   dropped {}",
@@ -41,7 +47,9 @@ fn main() {
         );
         println!(
             "  comment : {:>5.1}/s overall   before load {:>5.1}/s   after {:>5.1}/s   dropped {}",
-            r.comment.mean_rps, r.comment.first_half_rps, r.comment.second_half_rps,
+            r.comment.mean_rps,
+            r.comment.first_half_rps,
+            r.comment.second_half_rps,
             r.comment.dropped
         );
         println!();

@@ -152,7 +152,11 @@ fn arm_interactions_have_sane_per_request_latency() {
     let server_pid = world.spawn(
         NodeId(1),
         "echo",
-        Box::new(EchoServer::new(Port(80), 300, SimDuration::from_micros(200))),
+        Box::new(EchoServer::new(
+            Port(80),
+            300,
+            SimDuration::from_micros(200),
+        )),
     );
     let received = std::rc::Rc::new(std::cell::Cell::new(0));
     let client_pid = world.spawn(

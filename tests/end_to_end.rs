@@ -70,12 +70,21 @@ fn gpa_receives_interactions_over_the_wire() {
         .full_mesh(LinkSpec::gigabit_lan())
         .build()
         .unwrap();
-    let sysprof = SysProf::deploy(&mut world, &[NodeId(1)], NodeId(2), MonitorConfig::default());
+    let sysprof = SysProf::deploy(
+        &mut world,
+        &[NodeId(1)],
+        NodeId(2),
+        MonitorConfig::default(),
+    );
 
     world.spawn(
         NodeId(1),
         "echo",
-        Box::new(EchoServer::new(Port(80), 256, SimDuration::from_micros(100))),
+        Box::new(EchoServer::new(
+            Port(80),
+            256,
+            SimDuration::from_micros(100),
+        )),
     );
     let done = std::rc::Rc::new(std::cell::Cell::new(0));
     world.spawn(
@@ -102,8 +111,14 @@ fn gpa_receives_interactions_over_the_wire() {
         gpa.interaction_count()
     );
     assert_eq!(gpa.decode_failures(), 0, "clean wire decode");
-    let summary = gpa.class_summary(NodeId(1), Port(80)).expect("class exists");
-    assert!(summary.mean_user_us >= 90.0, "user time includes the 100µs compute: {}", summary.mean_user_us);
+    let summary = gpa
+        .class_summary(NodeId(1), Port(80))
+        .expect("class exists");
+    assert!(
+        summary.mean_user_us >= 90.0,
+        "user time includes the 100µs compute: {}",
+        summary.mean_user_us
+    );
     assert!(summary.mean_total_us > summary.mean_user_us);
     // Load reports flowed too.
     assert!(gpa.node_load(NodeId(1)).is_some(), "load reports arrived");
@@ -124,10 +139,12 @@ fn gpa_correlates_across_tiers_with_clock_skew() {
         .full_mesh(LinkSpec::gigabit_lan())
         .build()
         .unwrap();
-    let mut mc = MonitorConfig::default();
-    mc.gpa = GpaConfig {
-        clock_error_bound: SimDuration::from_millis(1),
-        ..GpaConfig::default()
+    let mc = MonitorConfig {
+        gpa: GpaConfig {
+            clock_error_bound: SimDuration::from_millis(1),
+            ..GpaConfig::default()
+        },
+        ..Default::default()
     };
     let sysprof = SysProf::deploy(&mut world, &[NodeId(1), NodeId(2)], NodeId(3), mc);
 
@@ -165,8 +182,14 @@ fn gpa_correlates_across_tiers_with_clock_skew() {
     let gpa = sysprof.gpa();
     let gpa = gpa.borrow();
     // Interactions were measured at both tiers.
-    assert!(gpa.class_summary(NodeId(1), Port(80)).is_some(), "relay tier measured");
-    assert!(gpa.class_summary(NodeId(2), Port(90)).is_some(), "backend tier measured");
+    assert!(
+        gpa.class_summary(NodeId(1), Port(80)).is_some(),
+        "relay tier measured"
+    );
+    assert!(
+        gpa.class_summary(NodeId(2), Port(90)).is_some(),
+        "backend tier measured"
+    );
 
     // Correlation: client->relay interactions contain relay->backend ones,
     // despite each log carrying a differently-skewed wall clock.
@@ -193,7 +216,12 @@ fn procfs_views_render_after_a_run() {
         .full_mesh(LinkSpec::gigabit_lan())
         .build()
         .unwrap();
-    let sysprof = SysProf::deploy(&mut world, &[NodeId(1)], NodeId(2), MonitorConfig::default());
+    let sysprof = SysProf::deploy(
+        &mut world,
+        &[NodeId(1)],
+        NodeId(2),
+        MonitorConfig::default(),
+    );
     world.spawn(
         NodeId(1),
         "echo",
@@ -217,7 +245,10 @@ fn procfs_views_render_after_a_run() {
     let interactions = procfs::render_interactions(lpa);
     assert!(interactions.lines().count() > 10, "window has content");
     let classes = procfs::render_classes(lpa);
-    assert!(classes.contains("80"), "class table lists port 80:\n{classes}");
+    assert!(
+        classes.contains("80"),
+        "class table lists port 80:\n{classes}"
+    );
     let status = procfs::render_status(NodeId(1), world.kprof(NodeId(1)), lpa);
     assert!(status.contains("events_generated"), "{status}");
     let gpa = sysprof.gpa();
@@ -236,12 +267,20 @@ fn deterministic_gpa_state_across_identical_runs() {
             .full_mesh(LinkSpec::gigabit_lan())
             .build()
             .unwrap();
-        let sysprof =
-            SysProf::deploy(&mut world, &[NodeId(1)], NodeId(2), MonitorConfig::default());
+        let sysprof = SysProf::deploy(
+            &mut world,
+            &[NodeId(1)],
+            NodeId(2),
+            MonitorConfig::default(),
+        );
         world.spawn(
             NodeId(1),
             "echo",
-            Box::new(EchoServer::new(Port(80), 256, SimDuration::from_micros(150))),
+            Box::new(EchoServer::new(
+                Port(80),
+                256,
+                SimDuration::from_micros(150),
+            )),
         );
         let done = std::rc::Rc::new(std::cell::Cell::new(0));
         world.spawn(

@@ -15,11 +15,20 @@ fn monitored_world() -> (simos::World, SysProf) {
         .full_mesh(LinkSpec::gigabit_lan())
         .build()
         .unwrap();
-    let sysprof = SysProf::deploy(&mut world, &[NodeId(1)], NodeId(2), MonitorConfig::default());
+    let sysprof = SysProf::deploy(
+        &mut world,
+        &[NodeId(1)],
+        NodeId(2),
+        MonitorConfig::default(),
+    );
     world.spawn(
         NodeId(1),
         "echo",
-        Box::new(EchoServer::new(Port(80), 256, SimDuration::from_micros(100))),
+        Box::new(EchoServer::new(
+            Port(80),
+            256,
+            SimDuration::from_micros(100),
+        )),
     );
     world.spawn(
         NodeId(0),

@@ -17,7 +17,12 @@ fn iperf_world(seed: u64) -> (simos::World, SysProf) {
         .full_mesh(LinkSpec::gigabit_lan())
         .build()
         .unwrap();
-    let sysprof = SysProf::deploy(&mut world, &[NodeId(1)], NodeId(2), MonitorConfig::default());
+    let sysprof = SysProf::deploy(
+        &mut world,
+        &[NodeId(1)],
+        NodeId(2),
+        MonitorConfig::default(),
+    );
     world.spawn(NodeId(1), "srv", Box::new(IperfServer::new(Port(5001))));
     world.spawn(
         NodeId(0),
@@ -48,7 +53,10 @@ fn monitoring_levels_order_overhead() {
     assert!(off < 0.005, "off {off}");
     assert!(class > off, "class {class} vs off {off}");
     assert!(full >= class, "full {full} vs class {class}");
-    assert!(full > 0.01, "full monitoring is >1% under packet load: {full}");
+    assert!(
+        full > 0.01,
+        "full monitoring is >1% under packet load: {full}"
+    );
 }
 
 #[test]
@@ -139,7 +147,12 @@ fn slow_daemon_overwrites_lpa_buffers() {
         fn on_connected(&mut self, ctx: &mut simos::ProcCtx<'_>, sock: simos::SocketId) {
             ctx.send(sock, 100, 1);
         }
-        fn on_message(&mut self, ctx: &mut simos::ProcCtx<'_>, sock: simos::SocketId, _m: simos::Message) {
+        fn on_message(
+            &mut self,
+            ctx: &mut simos::ProcCtx<'_>,
+            sock: simos::SocketId,
+            _m: simos::Message,
+        ) {
             self.n += 1;
             if self.n < 400 {
                 ctx.send(sock, 100, 1);
@@ -182,14 +195,23 @@ fn facade_installs_cpa_at_runtime() {
         .expect("valid E-Code");
     // Bad source is rejected with a typed error.
     assert!(sysprof
-        .install_cpa(&mut world, NodeId(1), "broken", "return nope;", EventMask::ALL)
+        .install_cpa(
+            &mut world,
+            NodeId(1),
+            "broken",
+            "return nope;",
+            EventMask::ALL
+        )
         .is_err());
     world.run_until(SimTime::from_secs(1));
     let analyzer = world
         .kprof(NodeId(1))
         .analyzer_as::<sysprof::CpaAnalyzer>(cpa)
         .expect("installed");
-    assert!(analyzer.output(0).unwrap_or(0.0) > 100.0, "packets counted in-kernel");
+    assert!(
+        analyzer.output(0).unwrap_or(0.0) > 100.0,
+        "packets counted in-kernel"
+    );
 }
 
 #[test]
