@@ -13,4 +13,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo test (release)"
+cargo test --release -q
+
+echo "==> examples"
+cargo build -q --examples
+for ex in examples/*.rs; do
+    name="$(basename "$ex" .rs)"
+    echo "--> example: $name"
+    cargo run -q --example "$name"
+done
+
 echo "CI OK"

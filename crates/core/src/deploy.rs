@@ -58,7 +58,12 @@ impl SysProf {
         config: MonitorConfig,
     ) -> SysProf {
         let gpa = Rc::new(RefCell::new(Gpa::new(config.gpa)));
-        world.install_sink(gpa_node, DATA_PORT, Box::new(GpaSink::new(gpa.clone())));
+        let gpa_ep = EndPoint::new(world.network().node_ip(gpa_node), DATA_PORT);
+        world.install_sink(
+            gpa_node,
+            DATA_PORT,
+            Box::new(GpaSink::new(gpa.clone(), gpa_ep)),
+        );
         world.install_sink(
             gpa_node,
             crate::query::QUERY_PORT,
@@ -83,15 +88,19 @@ impl SysProf {
             let hub = Rc::new(RefCell::new(Hub::new()));
             let daemon = Daemon::new(lpa_id, hub.clone(), config.daemon);
             let stats = daemon.stats_handle();
+            let tx = daemon.resend_handle();
             daemon_stats.insert(node, stats.clone());
             world.set_daemon_hook(node, Box::new(daemon));
-            world.install_sink(node, CONTROL_PORT, Box::new(ControlSink::new(hub, stats)));
+            world.install_sink(
+                node,
+                CONTROL_PORT,
+                Box::new(ControlSink::new(hub, stats, tx)),
+            );
             // Kick off the periodic flush cycle.
             world.schedule_daemon_wake(node, config.daemon.flush_interval);
         }
 
         // Subscribe the GPA to every daemon's channels, over the wire.
-        let gpa_ep = EndPoint::new(world.network().node_ip(gpa_node), DATA_PORT);
         for &node in monitored {
             let ctl_ep = EndPoint::new(world.network().node_ip(node), CONTROL_PORT);
             let sub_interactions = ControlMsg::Subscribe {

@@ -13,14 +13,16 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use pubsub::control::ControlMsg;
+use pubsub::reliable::{decode_batch, Offer, Reassembler};
 use pubsub::ChannelDecoder;
 use serde::{Deserialize, Serialize};
 use simcore::stats::OnlineStats;
 use simcore::{NodeId, SimDuration, SimTime};
 use simnet::{EndPoint, Port};
-use simos::{KernelOutput, KernelSink, Message};
+use simos::{KernelOutput, KernelSend, KernelSink, Message};
 
-use crate::daemon::split_frames;
+use crate::daemon::{split_frames, CONTROL_PORT};
 use crate::records::{InteractionRecord, LoadRecord};
 
 /// GPA configuration.
@@ -34,6 +36,21 @@ pub struct GpaConfig {
     pub per_record_cost: SimDuration,
     /// Cap on retained interaction records (oldest evicted first).
     pub max_records: usize,
+    /// How many NACKs to send for one gap before abandoning it (the
+    /// sender has evicted the range, or the path is dead). Abandoned
+    /// gaps are counted in [`GpaStats::gaps_abandoned`], never silent.
+    pub gap_nack_limit: u32,
+    /// Minimum wall-clock spacing between NACKs for the same gap. A
+    /// retransmit burst after a partition heals can deliver many batches
+    /// within microseconds; without pacing each one would burn a NACK
+    /// from the gap budget before the first NACK's retransmit has had a
+    /// round trip's chance to arrive. Must comfortably exceed the
+    /// network RTT.
+    pub nack_pace: SimDuration,
+    /// Record every in-order batch delivery `(source, seq)` for
+    /// test-harness monotonicity assertions. Off by default (unbounded
+    /// memory growth).
+    pub log_deliveries: bool,
 }
 
 impl Default for GpaConfig {
@@ -42,8 +59,48 @@ impl Default for GpaConfig {
             clock_error_bound: SimDuration::from_millis(1),
             per_record_cost: SimDuration::from_nanos(600),
             max_records: 1_000_000,
+            gap_nack_limit: 5,
+            nack_pace: SimDuration::from_millis(5),
+            log_deliveries: false,
         }
     }
+}
+
+/// Reliable-delivery counters on the GPA's receive side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpaStats {
+    /// Sequenced batches received (before dedup/reordering).
+    pub batches_received: u64,
+    /// Batches discarded as already-delivered duplicates.
+    pub duplicate_batches: u64,
+    /// Batches that arrived ahead of a gap and were buffered.
+    pub out_of_order: u64,
+    /// Distinct gaps observed (a missing sequence range opened).
+    pub gaps_detected: u64,
+    /// Gaps closed by a retransmission arriving.
+    pub gaps_recovered: u64,
+    /// Gaps given up on after [`GpaConfig::gap_nack_limit`] unanswered
+    /// NACKs; the stream skipped past them.
+    pub gaps_abandoned: u64,
+    /// Data NACKs sent back to daemons.
+    pub nacks_sent: u64,
+    /// Cumulative data ACKs sent back to daemons.
+    pub acks_sent: u64,
+    /// Batches that carried no sequence header (legacy/foreign senders);
+    /// ingested directly with no reliability guarantees.
+    pub unsequenced_batches: u64,
+}
+
+/// Receive-side state of one daemon→GPA stream.
+#[derive(Default)]
+struct StreamRx {
+    reasm: Reassembler,
+    /// Whether a gap is currently open (for detected/recovered edges).
+    gap_open: bool,
+    /// NACKs sent for the currently open gap.
+    nacks_for_gap: u32,
+    /// When the last NACK for the open gap went out, for pacing.
+    last_nack_at: Option<SimTime>,
 }
 
 /// Aggregate view of one service class on one node.
@@ -144,6 +201,9 @@ pub struct Gpa {
     load_stats: HashMap<NodeId, (OnlineStats, u64)>,
     load_history: Vec<LoadRecord>,
     decoders: HashMap<EndPoint, ChannelDecoder>,
+    streams: HashMap<EndPoint, StreamRx>,
+    gstats: GpaStats,
+    delivery_log: Vec<(EndPoint, u64)>,
     ingested: u64,
     decode_failures: u64,
     subscription_failures: Vec<SubscriptionFailure>,
@@ -160,10 +220,155 @@ impl Gpa {
             load_stats: HashMap::new(),
             load_history: Vec::new(),
             decoders: HashMap::new(),
+            streams: HashMap::new(),
+            gstats: GpaStats::default(),
+            delivery_log: Vec::new(),
             ingested: 0,
             decode_failures: 0,
             subscription_failures: Vec::new(),
         }
+    }
+
+    /// Runs one wire batch from a daemon through the reliability layer:
+    /// decodes the sequence header, delivers in-order batches exactly
+    /// once, and produces the control replies (cumulative ACK, plus a
+    /// gap NACK when a hole is visible) to send back to the daemon's
+    /// control port. `self_ep` is this GPA's data endpoint, named in
+    /// replies so the daemon knows which subscription stream they govern.
+    ///
+    /// Unsequenced input (no valid header) is ingested directly and
+    /// produces no replies.
+    ///
+    /// Returns `(records_decoded, replies)`.
+    pub fn ingest_wire(
+        &mut self,
+        now_wall: SimTime,
+        self_ep: EndPoint,
+        src: EndPoint,
+        data: &[u8],
+    ) -> (usize, Vec<ControlMsg>) {
+        let Some((seq, payload)) = decode_batch(data) else {
+            self.gstats.unsequenced_batches += 1;
+            return (self.ingest_batch(src, data), Vec::new());
+        };
+        self.gstats.batches_received += 1;
+        let offer = self
+            .streams
+            .entry(src)
+            .or_default()
+            .reasm
+            .offer(seq, payload.to_vec());
+        let mut count = 0;
+        match offer {
+            Offer::Delivered(batches) => {
+                for (dseq, p) in batches {
+                    if self.config.log_deliveries {
+                        self.delivery_log.push((src, dseq));
+                    }
+                    count += self.ingest_batch(src, &p);
+                }
+            }
+            Offer::Duplicate => self.gstats.duplicate_batches += 1,
+            Offer::Buffered => self.gstats.out_of_order += 1,
+        }
+
+        // Gap bookkeeping: NACK an open hole, or abandon it once the
+        // NACK budget is spent (the sender evicted the range).
+        let mut replies = Vec::new();
+        enum GapAction {
+            None,
+            Nack(u64, u64),
+            Abandon(u64),
+        }
+        let action = {
+            let st = self.streams.get_mut(&src).expect("stream just touched");
+            match st.reasm.gap() {
+                Some((from, to)) => {
+                    if !st.gap_open {
+                        st.gap_open = true;
+                        st.nacks_for_gap = 0;
+                        st.last_nack_at = None;
+                        self.gstats.gaps_detected += 1;
+                    }
+                    let paced_out = st
+                        .last_nack_at
+                        .is_some_and(|t| now_wall < t + self.config.nack_pace);
+                    if paced_out {
+                        // An outstanding NACK's retransmit may still be in
+                        // flight; don't burn budget on burst arrivals.
+                        GapAction::None
+                    } else if st.nacks_for_gap < self.config.gap_nack_limit {
+                        st.nacks_for_gap += 1;
+                        st.last_nack_at = Some(now_wall);
+                        GapAction::Nack(from, to)
+                    } else {
+                        GapAction::Abandon(to + 1)
+                    }
+                }
+                None => {
+                    if st.gap_open {
+                        st.gap_open = false;
+                        st.last_nack_at = None;
+                        self.gstats.gaps_recovered += 1;
+                    }
+                    GapAction::None
+                }
+            }
+        };
+        match action {
+            GapAction::None => {}
+            GapAction::Nack(from, to) => {
+                self.gstats.nacks_sent += 1;
+                replies.push(ControlMsg::DataNack {
+                    subscriber: self_ep,
+                    from_seq: from,
+                    to_seq: to,
+                });
+            }
+            GapAction::Abandon(skip_to) => {
+                let st = self.streams.get_mut(&src).expect("stream just touched");
+                let drained = st.reasm.skip_to(skip_to);
+                st.gap_open = false;
+                st.last_nack_at = None;
+                self.gstats.gaps_abandoned += 1;
+                for (dseq, p) in drained {
+                    if self.config.log_deliveries {
+                        self.delivery_log.push((src, dseq));
+                    }
+                    count += self.ingest_batch(src, &p);
+                }
+            }
+        }
+
+        // Cumulative ACK on every sequenced batch (duplicates included —
+        // a re-ACK is how a daemon retransmitting into an already-healed
+        // stream learns to stop).
+        self.gstats.acks_sent += 1;
+        replies.push(ControlMsg::DataAck {
+            subscriber: self_ep,
+            upto: self.streams[&src].reasm.ack_value(),
+        });
+        (count, replies)
+    }
+
+    /// Reliable-delivery counters.
+    pub fn gpa_stats(&self) -> GpaStats {
+        self.gstats
+    }
+
+    /// Whether every stream has fully converged: no open gaps and no
+    /// out-of-order batches still buffered. True once retransmissions
+    /// (or abandonments) have caught the GPA up after a fault episode.
+    pub fn streams_converged(&self) -> bool {
+        self.streams
+            .values()
+            .all(|st| st.reasm.gap().is_none() && st.reasm.pending_len() == 0)
+    }
+
+    /// In-order `(source, seq)` deliveries, when
+    /// [`GpaConfig::log_deliveries`] is set.
+    pub fn delivery_log(&self) -> &[(EndPoint, u64)] {
+        &self.delivery_log
     }
 
     /// Ingests one framed batch from a daemon. Returns records decoded.
@@ -348,6 +553,7 @@ impl Gpa {
     /// onto local disk" used for auditing and capacity planning.
     pub fn dump_json(&self) -> String {
         #[derive(Serialize)]
+        #[allow(dead_code)] // fields are read only through the Serialize derive
         struct Dump<'a> {
             interaction_count: u64,
             class_summaries: Vec<ClassSummary>,
@@ -362,32 +568,50 @@ impl Gpa {
     }
 }
 
-/// The kernel sink that feeds a shared [`Gpa`] from daemon publications.
+/// The kernel sink that feeds a shared [`Gpa`] from daemon publications,
+/// running every batch through the reliability layer and answering with
+/// ACK/NACK control messages to the publishing daemon.
 pub struct GpaSink {
     gpa: Rc<RefCell<Gpa>>,
+    /// This sink's own data endpoint, named in ACK/NACK replies so the
+    /// daemon knows which subscription stream they govern.
+    self_ep: EndPoint,
 }
 
 impl GpaSink {
-    /// A sink feeding `gpa`.
-    pub fn new(gpa: Rc<RefCell<Gpa>>) -> Self {
-        GpaSink { gpa }
+    /// A sink feeding `gpa`, listening at `self_ep`.
+    pub fn new(gpa: Rc<RefCell<Gpa>>, self_ep: EndPoint) -> Self {
+        GpaSink { gpa, self_ep }
     }
 }
 
 impl KernelSink for GpaSink {
     fn on_message(
         &mut self,
-        _now_wall: SimTime,
+        now_wall: SimTime,
         _node: NodeId,
         src: EndPoint,
         _msg: Message,
         data: Vec<u8>,
     ) -> KernelOutput {
-        let mut gpa = self.gpa.borrow_mut();
-        let n = gpa.ingest_batch(src, &data);
-        let cost = gpa.config.per_record_cost * (n as u64 + 1);
+        let (n, replies) = {
+            let mut gpa = self.gpa.borrow_mut();
+            gpa.ingest_wire(now_wall, self.self_ep, src, &data)
+        };
+        let cost = self.gpa.borrow().config.per_record_cost * (n as u64 + 1)
+            + SimDuration::from_micros(replies.len() as u64);
+        let sends = replies
+            .into_iter()
+            .map(|msg| KernelSend {
+                dst: EndPoint::new(src.ip, CONTROL_PORT),
+                src_port: self.self_ep.port,
+                kind: 0,
+                data: msg.encode(),
+            })
+            .collect();
         KernelOutput {
             cost,
+            sends,
             ..Default::default()
         }
     }
@@ -612,6 +836,128 @@ mod tests {
             s.p50_total_us,
             s.mean_total_us
         );
+    }
+
+    #[test]
+    fn sequenced_ingest_dedups_nacks_gaps_and_acks() {
+        use pubsub::reliable::encode_batch;
+        let mut g = Gpa::new(GpaConfig {
+            log_deliveries: true,
+            ..GpaConfig::default()
+        });
+        let me = EndPoint::new(Ip(99), Port(9999));
+        let src = EndPoint::new(Ip(1), Port(9997));
+        let t = SimTime::from_millis;
+        // An empty payload still counts as a delivered batch.
+        let b = |seq| encode_batch(seq, &[]);
+
+        let (_, replies) = g.ingest_wire(t(10), me, src, &b(1));
+        assert_eq!(
+            replies,
+            vec![ControlMsg::DataAck {
+                subscriber: me,
+                upto: 1
+            }]
+        );
+        // 2 lost; 3 arrives → buffered, NACK for [2,2], ACK still 1.
+        let (_, replies) = g.ingest_wire(t(20), me, src, &b(3));
+        assert_eq!(
+            replies,
+            vec![
+                ControlMsg::DataNack {
+                    subscriber: me,
+                    from_seq: 2,
+                    to_seq: 2
+                },
+                ControlMsg::DataAck {
+                    subscriber: me,
+                    upto: 1
+                },
+            ]
+        );
+        assert!(!g.streams_converged());
+        // A burst arrival 1 ms later is inside the NACK pace: no budget
+        // burned, just the cumulative ACK.
+        let (_, replies) = g.ingest_wire(t(21), me, src, &b(4));
+        assert_eq!(
+            replies,
+            vec![ControlMsg::DataAck {
+                subscriber: me,
+                upto: 1
+            }],
+            "paced out: no second NACK within nack_pace"
+        );
+        // Duplicate of 1 → counted, re-ACKed, never re-delivered; the
+        // pace has elapsed, so the still-open gap is NACKed again.
+        let (_, replies) = g.ingest_wire(t(30), me, src, &b(1));
+        assert_eq!(replies.len(), 2, "NACK for the still-open gap + ACK");
+        // Retransmit of 2 heals the gap and unblocks 3 and 4.
+        let (_, replies) = g.ingest_wire(t(40), me, src, &b(2));
+        assert_eq!(
+            replies,
+            vec![ControlMsg::DataAck {
+                subscriber: me,
+                upto: 4
+            }]
+        );
+        let s = g.gpa_stats();
+        assert_eq!(s.batches_received, 5);
+        assert_eq!(s.duplicate_batches, 1);
+        assert_eq!(s.out_of_order, 2);
+        assert_eq!(s.gaps_detected, 1);
+        assert_eq!(s.gaps_recovered, 1);
+        assert_eq!(s.gaps_abandoned, 0);
+        assert_eq!(s.nacks_sent, 2);
+        assert!(g.streams_converged());
+        // Delivery log is strictly monotonic per source.
+        assert_eq!(
+            g.delivery_log(),
+            &[(src, 1), (src, 2), (src, 3), (src, 4)],
+            "exactly-once, in order"
+        );
+    }
+
+    #[test]
+    fn unanswered_nacks_abandon_the_gap_with_counting() {
+        use pubsub::reliable::encode_batch;
+        let mut g = Gpa::new(GpaConfig {
+            gap_nack_limit: 2,
+            ..GpaConfig::default()
+        });
+        let me = EndPoint::new(Ip(99), Port(9999));
+        let src = EndPoint::new(Ip(1), Port(9997));
+        let t = SimTime::from_millis;
+        g.ingest_wire(t(10), me, src, &encode_batch(1, &[]));
+        // 2 is lost forever; each later (pace-spaced) arrival re-NACKs
+        // until the budget runs out, then the stream skips ahead.
+        for (i, seq) in [3u64, 4, 5].into_iter().enumerate() {
+            g.ingest_wire(t(20 + 10 * i as u64), me, src, &encode_batch(seq, &[]));
+        }
+        let s = g.gpa_stats();
+        assert_eq!(s.gaps_detected, 1);
+        assert_eq!(s.nacks_sent, 2, "budget of 2");
+        assert_eq!(s.gaps_abandoned, 1);
+        assert_eq!(s.gaps_recovered, 0);
+        assert!(g.streams_converged(), "stream moved past the dead gap");
+        // The skip delivered the buffered 3..=5.
+        let (_, replies) = g.ingest_wire(t(60), me, src, &encode_batch(6, &[]));
+        assert_eq!(
+            replies,
+            vec![ControlMsg::DataAck {
+                subscriber: me,
+                upto: 6
+            }]
+        );
+    }
+
+    #[test]
+    fn unsequenced_batches_still_ingest() {
+        let mut g = Gpa::new(GpaConfig::default());
+        let me = EndPoint::new(Ip(99), Port(9999));
+        let src = EndPoint::new(Ip(1), Port(9997));
+        let (_, replies) = g.ingest_wire(SimTime::from_millis(1), me, src, &[]);
+        assert!(replies.is_empty(), "no reliability chatter for legacy data");
+        assert_eq!(g.gpa_stats().unsequenced_batches, 1);
     }
 
     #[test]

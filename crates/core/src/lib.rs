@@ -69,13 +69,13 @@ mod records;
 pub use controller::{Controller, MonitorLevel};
 pub use cpa::{CpaAnalyzer, CpaError, EVENT_INPUTS};
 pub use daemon::{
-    split_frames, ControlSink, Daemon, DaemonConfig, DaemonStats, CONTROL_PORT, DAEMON_SRC_PORT,
-    DATA_PORT, LOAD_TOPIC,
+    split_frames, ControlSink, Daemon, DaemonConfig, DaemonStats, ReliableTx, CONTROL_PORT,
+    DAEMON_SRC_PORT, DATA_PORT, LOAD_TOPIC,
 };
 pub use deploy::{MonitorConfig, SysProf};
 pub use gpa::{
-    ClassSummary, ControlReplySink, CorrelatedPath, Gpa, GpaConfig, GpaSink, NodeLoadView,
-    SubscriptionFailure,
+    ClassSummary, ControlReplySink, CorrelatedPath, Gpa, GpaConfig, GpaSink, GpaStats,
+    NodeLoadView, SubscriptionFailure,
 };
 pub use lpa::{Lpa, LpaConfig};
 pub use query::{GpaAnswer, GpaQuery, GpaQuerySink, QueryClient, QUERY_PORT, QUERY_REPLY_PORT};

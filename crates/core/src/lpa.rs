@@ -1535,6 +1535,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(unused)] // a typecheck-only proptest elides macro bodies, orphaning these helpers
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -551,6 +551,7 @@ fn const_init(e: &Expr, ty: Type, line: u32) -> Result<GlobalInit, EcodeError> {
 }
 
 #[cfg(test)]
+#[allow(unused)] // a typecheck-only proptest elides macro bodies, orphaning these imports
 mod compile_fuzz {
     use super::*;
     use proptest::prelude::*;

@@ -453,6 +453,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(unused)] // a typecheck-only proptest elides macro bodies, orphaning these imports
 mod decode_fuzz {
     use super::*;
     use crate::{FieldType, Schema};

@@ -38,11 +38,33 @@ pub enum ControlMsg {
         /// Rendered verifier diagnostics (one string per finding).
         diagnostics: Vec<String>,
     },
+    /// Cumulative acknowledgement of sequenced data batches: the
+    /// subscriber has delivered (in order) every batch with sequence
+    /// number `<= upto`. Lets the daemon trim its resend buffer.
+    DataAck {
+        /// The subscriber's data endpoint (identifies the stream on the
+        /// daemon side).
+        subscriber: EndPoint,
+        /// Highest in-order sequence number delivered.
+        upto: u64,
+    },
+    /// A gap report: the subscriber is missing batches `from_seq..=to_seq`
+    /// and asks for their retransmission.
+    DataNack {
+        /// The subscriber's data endpoint (identifies the stream).
+        subscriber: EndPoint,
+        /// First missing sequence number.
+        from_seq: u64,
+        /// Last missing sequence number (inclusive).
+        to_seq: u64,
+    },
 }
 
 const TAG_SUBSCRIBE: u64 = 1;
 const TAG_UNSUBSCRIBE: u64 = 2;
 const TAG_SUBSCRIBE_NACK: u64 = 3;
+const TAG_DATA_ACK: u64 = 4;
+const TAG_DATA_NACK: u64 = 5;
 
 fn write_string(buf: &mut Vec<u8>, s: &str) {
     write_u64(buf, s.len() as u64);
@@ -112,6 +134,21 @@ impl ControlMsg {
                     write_string(&mut buf, d);
                 }
             }
+            ControlMsg::DataAck { subscriber, upto } => {
+                write_u64(&mut buf, TAG_DATA_ACK);
+                write_endpoint(&mut buf, *subscriber);
+                write_u64(&mut buf, *upto);
+            }
+            ControlMsg::DataNack {
+                subscriber,
+                from_seq,
+                to_seq,
+            } => {
+                write_u64(&mut buf, TAG_DATA_NACK);
+                write_endpoint(&mut buf, *subscriber);
+                write_u64(&mut buf, *from_seq);
+                write_u64(&mut buf, *to_seq);
+            }
         }
         buf
     }
@@ -164,6 +201,21 @@ impl ControlMsg {
                     topic,
                     reply_to,
                     diagnostics,
+                })
+            }
+            TAG_DATA_ACK => {
+                let subscriber = read_endpoint(&mut buf)?;
+                let upto = read_u64(&mut buf)?;
+                Ok(ControlMsg::DataAck { subscriber, upto })
+            }
+            TAG_DATA_NACK => {
+                let subscriber = read_endpoint(&mut buf)?;
+                let from_seq = read_u64(&mut buf)?;
+                let to_seq = read_u64(&mut buf)?;
+                Ok(ControlMsg::DataNack {
+                    subscriber,
+                    from_seq,
+                    to_seq,
                 })
             }
             _ => Err(PubSubError::Codec(PbioError::BadSchemaEncoding)),
@@ -222,6 +274,25 @@ mod tests {
     }
 
     #[test]
+    fn data_ack_round_trip() {
+        let msg = ControlMsg::DataAck {
+            subscriber: ep(),
+            upto: u64::MAX - 1,
+        };
+        assert_eq!(ControlMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn data_nack_round_trip() {
+        let msg = ControlMsg::DataNack {
+            subscriber: ep(),
+            from_seq: 17,
+            to_seq: 23,
+        };
+        assert_eq!(ControlMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
     fn garbage_rejected() {
         assert!(ControlMsg::decode(&[9, 9, 9]).is_err());
         assert!(ControlMsg::decode(&[]).is_err());
@@ -229,6 +300,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(unused)] // a typecheck-only proptest elides macro bodies, orphaning these imports
 mod control_fuzz {
     use super::*;
     use proptest::prelude::*;

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod control;
+pub mod reliable;
 
 use std::collections::HashMap;
 use std::fmt;
@@ -643,6 +644,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(unused)] // a typecheck-only proptest elides macro bodies, orphaning these imports
 mod wire_fuzz {
     use super::*;
     use proptest::prelude::*;

@@ -167,6 +167,74 @@ mod tests {
         }
     }
 
+    #[test]
+    fn zero_skew_spec_is_exactly_the_perfect_clock() {
+        let explicit = NtpClock::new(ClockSpec {
+            offset_ns: 0,
+            drift_ppm: 0.0,
+        });
+        for s in [0u64, 1, 60, 86_400] {
+            let t = SimTime::from_secs(s);
+            assert_eq!(explicit.wall(t), t);
+            assert_eq!(explicit.true_time(t), t);
+        }
+        assert_eq!(
+            explicit.max_error(SimDuration::from_secs(3_600)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn max_error_with_zero_drift_is_the_offset_magnitude() {
+        let c = NtpClock::new(ClockSpec {
+            offset_ns: -73_000,
+            drift_ppm: 0.0,
+        });
+        assert_eq!(
+            c.max_error(SimDuration::from_secs(100)),
+            SimDuration::from_nanos(73_000)
+        );
+    }
+
+    #[test]
+    fn negative_offset_true_time_of_early_wall_readings() {
+        let c = NtpClock::new(ClockSpec {
+            offset_ns: -500_000,
+            drift_ppm: 0.0,
+        });
+        // A wall reading of w maps back to w + 500 µs of true time.
+        assert_eq!(c.true_time(SimTime::from_millis(1)).as_nanos(), 1_500_000);
+        // And the saturated region stays well-defined (never underflows).
+        assert_eq!(c.true_time(SimTime::ZERO).as_nanos(), 500_000);
+    }
+
+    /// The cross-node guarantee GPA correlation relies on: a packet sent
+    /// at sender-wall time `ws` and delivered `d` later reads receiver-wall
+    /// time `wr` with `wr - ws` within `d ± (max_error_s + max_error_r)`.
+    #[test]
+    fn delivered_packet_timestamps_stay_within_documented_bound() {
+        let run = SimDuration::from_secs(120);
+        for si in 0..20u32 {
+            for ri in 20..40u32 {
+                let sender = NtpClock::new(ClockSpec::typical_ntp(si, 400));
+                let receiver = NtpClock::new(ClockSpec::typical_ntp(ri, 400));
+                let bound = sender.max_error(run) + receiver.max_error(run);
+                for (send_s, flight_us) in [(1u64, 80u64), (30, 250), (119, 999)] {
+                    let sent = SimTime::from_secs(send_s);
+                    let flight = SimDuration::from_micros(flight_us);
+                    let ws = sender.wall(sent).as_nanos() as i128;
+                    let wr = receiver.wall(sent + flight).as_nanos() as i128;
+                    let measured = wr - ws;
+                    let err = (measured - flight.as_nanos() as i128).unsigned_abs() as u64;
+                    assert!(
+                        err <= bound.as_nanos() + 1,
+                        "clocks {si}/{ri}: measured flight off by {err} ns > bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_true_time_inverts_wall(offset in -1_000_000i64..1_000_000,

@@ -14,7 +14,11 @@
 //!   schedules,
 //! * [`NtpClock`] — per-node wall clocks with bounded offset and drift, so
 //!   the global analyzer has to correlate timestamps the way real NTP-synced
-//!   clusters force it to.
+//!   clusters force it to,
+//! * [`FaultPlan`] / [`FaultInjector`] — deterministic, seeded fault
+//!   injection (loss, jitter, duplication, reordering, timed partitions,
+//!   crash schedules) applied after link serialization, so monitoring
+//!   traffic experiences realistic silent loss.
 //!
 //! # Example
 //!
@@ -36,12 +40,14 @@
 
 mod addr;
 mod clock;
+mod fault;
 mod link;
 mod network;
 mod packet;
 
 pub use addr::{EndPoint, FlowKey, Ip, Port};
 pub use clock::{ClockSpec, NtpClock};
+pub use fault::{CrashSchedule, FaultInjector, FaultPlan, FaultStats, LinkFaults, Partition};
 pub use link::{Link, LinkSpec, TransmitOutcome};
-pub use network::{Network, NetworkBuilder, NoRouteError, TopologyError};
+pub use network::{NetOutcome, Network, NetworkBuilder, NoRouteError, TopologyError};
 pub use packet::{Packet, PacketDirection, PacketId, PayloadTag};

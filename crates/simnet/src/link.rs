@@ -293,6 +293,56 @@ mod tests {
         assert!((mbps - 100.0).abs() < 1.0, "measured {mbps} Mbps");
     }
 
+    /// Deterministic generative sweep over the same properties the
+    /// proptest versions below state, so they are exercised even where
+    /// the proptest dev-dependency is a typecheck-only stand-in: FIFO
+    /// order, bandwidth-bounded throughput, and exact drop accounting.
+    #[test]
+    fn generative_sweep_fifo_bandwidth_and_drop_accounting() {
+        let mut rng = simcore::SimRng::seed(0xBEEF);
+        for case in 0..200 {
+            let spec = LinkSpec {
+                bandwidth_bps: rng.uniform_u64(1_000_000, 10_000_000_000),
+                propagation: SimDuration::from_micros(rng.uniform_u64(0, 500)),
+                queue_bytes: rng.uniform_u64(1_500, 64 * 1024),
+            };
+            let mut link = Link::new(spec);
+            let n = rng.uniform_u64(1, 200) as usize;
+            let mut now = SimTime::ZERO;
+            let mut last_arrival = SimTime::ZERO;
+            let mut last_departure = SimTime::ZERO;
+            let mut offered_bytes = 0u64;
+            let mut dropped_bytes = 0u64;
+            for _ in 0..n {
+                now += SimDuration::from_micros(rng.uniform_u64(0, 2_000));
+                let bytes = rng.uniform_u64(64, 9_000);
+                offered_bytes += bytes;
+                match link.transmit_forward(now, bytes) {
+                    TransmitOutcome::Sent { departure, arrival } => {
+                        // FIFO per direction.
+                        assert!(arrival >= last_arrival, "case {case}: reordered");
+                        last_arrival = arrival;
+                        last_departure = departure;
+                    }
+                    TransmitOutcome::Dropped => dropped_bytes += bytes,
+                }
+            }
+            // Drop-tail accounting is exact.
+            let (carried, _) = link.bytes_carried();
+            let (packets, _) = link.packets_carried();
+            let (drops, _) = link.drops();
+            assert_eq!(packets + drops, n as u64, "case {case}");
+            assert_eq!(carried + dropped_bytes, offered_bytes, "case {case}");
+            // The wire never beat its bit rate.
+            let budget_bits =
+                last_departure.as_nanos() as u128 * spec.bandwidth_bps as u128 / 1_000_000_000;
+            assert!(
+                (carried as u128) * 8 <= budget_bits + 8,
+                "case {case}: carried {carried} B > {budget_bits} bits of wire time"
+            );
+        }
+    }
+
     proptest! {
         /// Arrivals in one direction are monotone in submission order (FIFO
         /// — no reordering on a point-to-point link).
@@ -307,6 +357,71 @@ mod tests {
                     last = arrival;
                 }
             }
+        }
+
+        /// Carried bytes never exceed what the configured bandwidth could
+        /// have serialized by the last departure: the wire cannot run
+        /// faster than its bit rate.
+        #[test]
+        fn prop_bytes_bounded_by_bandwidth_times_time(
+            bps in 1_000_000u64..10_000_000_000,
+            sizes in proptest::collection::vec(64u64..9000, 1..200),
+            gaps in proptest::collection::vec(0u64..5_000, 1..200),
+        ) {
+            let spec = LinkSpec {
+                bandwidth_bps: bps,
+                propagation: SimDuration::from_micros(10),
+                queue_bytes: 64 * 1024,
+            };
+            let mut link = Link::new(spec);
+            let mut now = SimTime::ZERO;
+            let mut last_departure = SimTime::ZERO;
+            for (i, &s) in sizes.iter().enumerate() {
+                now = now + SimDuration::from_micros(gaps[i % gaps.len()]);
+                if let TransmitOutcome::Sent { departure, .. } = link.transmit_forward(now, s) {
+                    last_departure = departure;
+                }
+            }
+            let (carried, _) = link.bytes_carried();
+            // bits ≤ bps × elapsed seconds, with one byte of slack for
+            // integer rounding in the serialization-delay division.
+            let budget_bits = last_departure.as_nanos() as u128 * bps as u128 / 1_000_000_000;
+            prop_assert!(
+                (carried as u128) * 8 <= budget_bits + 8,
+                "carried {carried} B > {budget_bits} bits of wire time"
+            );
+        }
+
+        /// Drop-tail accounting is exact: every offered packet is either
+        /// carried or counted in `drops`, and byte totals agree.
+        #[test]
+        fn prop_drops_are_exactly_offered_minus_carried(
+            queue in 1_500u64..20_000,
+            sizes in proptest::collection::vec(64u64..9000, 1..300),
+        ) {
+            let spec = LinkSpec {
+                bandwidth_bps: 10_000_000, // slow enough to overflow the queue
+                propagation: SimDuration::ZERO,
+                queue_bytes: queue,
+            };
+            let mut link = Link::new(spec);
+            let mut offered_bytes = 0u64;
+            let mut dropped_bytes = 0u64;
+            for &s in &sizes {
+                offered_bytes += s;
+                // Everything offered at t=0: maximal queue pressure.
+                if matches!(link.transmit_forward(SimTime::ZERO, s), TransmitOutcome::Dropped) {
+                    dropped_bytes += s;
+                }
+            }
+            let (carried, _) = link.bytes_carried();
+            let (packets, _) = link.packets_carried();
+            let (drops, _) = link.drops();
+            prop_assert_eq!(packets + drops, sizes.len() as u64);
+            prop_assert_eq!(carried + dropped_bytes, offered_bytes);
+            // The reverse direction was never touched.
+            prop_assert_eq!(link.drops().1, 0);
+            prop_assert_eq!(link.bytes_carried().1, 0);
         }
     }
 }

@@ -3,9 +3,29 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use simcore::{NodeId, SimTime};
+use simcore::{NodeId, SimRng, SimTime};
 
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::{ClockSpec, Ip, Link, LinkSpec, NtpClock, TransmitOutcome};
+
+/// Outcome of a fault-aware transmit ([`Network::transmit_with_faults`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetOutcome {
+    /// The packet was serialized onto the wire. `arrivals` holds the
+    /// arrival time of every copy actually delivered: empty means it was
+    /// lost in flight (injected loss or partition — the sender still paid
+    /// for serialization and gets no signal), more than one means it was
+    /// duplicated.
+    Sent {
+        /// When the sender's NIC finishes serializing the packet.
+        departure: SimTime,
+        /// Arrival time of each delivered copy, possibly perturbed by
+        /// jitter or reordering.
+        arrivals: Vec<SimTime>,
+    },
+    /// Dropped at the sender's drop-tail queue; never serialized.
+    QueueDrop,
+}
 
 /// Error building a topology.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,7 +165,11 @@ impl NetworkBuilder {
                 clock: NtpClock::new(clock),
             })
             .collect();
-        Ok(Network { nodes, links })
+        Ok(Network {
+            nodes,
+            links,
+            injector: None,
+        })
     }
 }
 
@@ -153,6 +177,7 @@ impl NetworkBuilder {
 pub struct Network {
     nodes: Vec<NodeInfo>,
     links: HashMap<(NodeId, NodeId), Link>,
+    injector: Option<FaultInjector>,
 }
 
 impl Network {
@@ -216,6 +241,54 @@ impl Network {
         } else {
             link.transmit_reverse(now, bytes)
         })
+    }
+
+    /// Like [`transmit`](Network::transmit), but runs the outcome through
+    /// the installed [`FaultInjector`] (if any): the result distinguishes
+    /// queue drops (sender-visible) from in-flight losses, duplication and
+    /// delay perturbations (sender-invisible). Without an injector this is
+    /// exactly `transmit` and consumes no randomness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoRouteError`] if the nodes are not directly linked.
+    pub fn transmit_with_faults(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+    ) -> Result<NetOutcome, NoRouteError> {
+        let outcome = self.transmit(now, from, to, bytes)?;
+        Ok(match outcome {
+            TransmitOutcome::Dropped => NetOutcome::QueueDrop,
+            TransmitOutcome::Sent { departure, arrival } => {
+                let arrivals = match &mut self.injector {
+                    Some(inj) => inj.deliveries(now, from, to, arrival),
+                    None => vec![arrival],
+                };
+                NetOutcome::Sent {
+                    departure,
+                    arrivals,
+                }
+            }
+        })
+    }
+
+    /// Installs a fault injector driven by the given (forked) RNG. All
+    /// subsequent [`transmit_with_faults`](Network::transmit_with_faults)
+    /// calls run through it. Replaces any previous injector.
+    pub fn install_faults(&mut self, plan: FaultPlan, rng: SimRng) {
+        self.injector = Some(FaultInjector::new(plan, rng));
+    }
+
+    /// Counters from the installed fault injector (all zero when none is
+    /// installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector
+            .as_ref()
+            .map(|inj| inj.stats())
+            .unwrap_or_default()
     }
 
     /// Immutable access to the link between two nodes, if any.
@@ -356,6 +429,49 @@ mod tests {
         let rtt = net.estimated_rtt(NodeId(0), NodeId(1)).unwrap();
         // The paper reports network RTT < 0.3 ms on its testbed.
         assert!(rtt < SimDuration::from_micros(300), "rtt {rtt}");
+    }
+
+    #[test]
+    fn transmit_with_faults_without_injector_matches_raw_transmit() {
+        let mut net = two_node_net();
+        let raw = {
+            let mut probe = two_node_net();
+            probe
+                .transmit(SimTime::ZERO, NodeId(0), NodeId(1), 1500)
+                .unwrap()
+                .arrival_time()
+                .unwrap()
+        };
+        match net
+            .transmit_with_faults(SimTime::ZERO, NodeId(0), NodeId(1), 1500)
+            .unwrap()
+        {
+            NetOutcome::Sent { arrivals, .. } => assert_eq!(arrivals, vec![raw]),
+            NetOutcome::QueueDrop => panic!("unexpected drop"),
+        }
+        assert_eq!(net.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn installed_loss_plan_loses_in_flight_not_at_queue() {
+        let mut net = two_node_net();
+        net.install_faults(
+            FaultPlan::new().with_default_link(crate::LinkFaults::lossy(1.0)),
+            SimRng::seed(1),
+        );
+        match net
+            .transmit_with_faults(SimTime::ZERO, NodeId(0), NodeId(1), 1500)
+            .unwrap()
+        {
+            NetOutcome::Sent { arrivals, .. } => {
+                assert!(arrivals.is_empty(), "lost in flight");
+            }
+            NetOutcome::QueueDrop => panic!("loss must not look like a queue drop"),
+        }
+        // The sender still paid: the link carried the bytes.
+        let link = net.link_between(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(link.bytes_carried(), (1500, 0));
+        assert_eq!(net.fault_stats().injected_losses, 1);
     }
 
     #[test]

@@ -57,6 +57,8 @@ pub struct NodeStats {
     pub ring_drops: u64,
     /// Packets dropped at socket receive buffers.
     pub socket_drops: u64,
+    /// Packets that arrived while this node was crashed.
+    pub crash_drops: u64,
     /// Complete application messages delivered.
     pub messages_delivered: u64,
     /// Context switches performed.

@@ -13,8 +13,8 @@ use std::collections::HashMap;
 use kprof::{AnalyzerId, BlockReason, EventPayload, GroupId, Kprof, NetPoint, Pid, SyscallKind};
 use simcore::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
 use simnet::{
-    ClockSpec, EndPoint, FlowKey, LinkSpec, Network, NetworkBuilder, Packet, PacketId, PayloadTag,
-    Port, TopologyError, TransmitOutcome,
+    ClockSpec, EndPoint, FaultPlan, FlowKey, LinkSpec, NetOutcome, Network, NetworkBuilder, Packet,
+    PacketId, PayloadTag, Port, TopologyError,
 };
 
 use crate::node::{Node, NodeStats, RunningQuantum};
@@ -89,6 +89,33 @@ enum Ev {
         node: NodeId,
         analyzer: Option<AnalyzerId>,
     },
+    NodeCrash {
+        node: NodeId,
+    },
+    NodeRestart {
+        node: NodeId,
+    },
+}
+
+impl Ev {
+    /// The node an event acts on (used to gate events against crashed
+    /// nodes).
+    fn target(&self) -> NodeId {
+        match self {
+            Ev::Dispatch { node }
+            | Ev::QuantumEnd { node }
+            | Ev::PacketArrival { node, .. }
+            | Ev::RxStackDone { node, .. }
+            | Ev::NicTxDone { node, .. }
+            | Ev::DiskDone { node, .. }
+            | Ev::TimerFire { node, .. }
+            | Ev::ConnEstablished { node, .. }
+            | Ev::ConnRetry { node, .. }
+            | Ev::DaemonWake { node, .. }
+            | Ev::NodeCrash { node }
+            | Ev::NodeRestart { node } => *node,
+        }
+    }
 }
 
 /// A message a kernel component (sink or daemon) wants sent.
@@ -167,6 +194,7 @@ pub struct WorldBuilder {
     seed: u64,
     net: NetworkBuilder,
     configs: Vec<NodeConfig>,
+    faults: Option<FaultPlan>,
 }
 
 impl WorldBuilder {
@@ -176,7 +204,18 @@ impl WorldBuilder {
             seed,
             net: NetworkBuilder::new(),
             configs: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Installs a deterministic fault plan: link loss/jitter/duplication/
+    /// reordering, timed partitions, and node crash/restart schedules. The
+    /// injector draws from an RNG forked off the experiment seed, so two
+    /// builds with the same seed and plan replay bit-identically.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Adds a node with default OS config and a perfect clock.
@@ -215,18 +254,34 @@ impl WorldBuilder {
     ///
     /// Returns [`TopologyError`] for invalid topologies.
     pub fn build(self) -> Result<World, TopologyError> {
-        let net = self.net.build()?;
-        let nodes = self
+        let mut net = self.net.build()?;
+        let nodes: Vec<Node> = self
             .configs
             .into_iter()
             .enumerate()
             .map(|(i, cfg)| Node::new(NodeId(i as u32), cfg))
             .collect();
+        let mut rng = SimRng::seed(self.seed);
+        let mut queue = EventQueue::new();
+        if let Some(plan) = self.faults {
+            for cs in &plan.crashes {
+                queue.schedule(cs.crash_at, Ev::NodeCrash { node: cs.node });
+                if let Some(t) = cs.restart_at {
+                    queue.schedule(t, Ev::NodeRestart { node: cs.node });
+                }
+            }
+            // Fork the injector's stream before any process forks so the
+            // per-process streams stay aligned across fault configurations.
+            let fault_rng = rng.fork(0xFA17_7BAD);
+            net.install_faults(plan, fault_rng);
+        }
+        let down = vec![false; nodes.len()];
         Ok(World {
-            queue: EventQueue::new(),
+            queue,
             net,
             nodes,
-            rng: SimRng::seed(self.seed),
+            down,
+            rng,
             next_pid: 1,
             next_packet: 1,
             sinks: HashMap::new(),
@@ -242,6 +297,8 @@ pub struct World {
     queue: EventQueue<Ev>,
     net: Network,
     nodes: Vec<Node>,
+    /// Per-node crashed flag; events targeting a down node are discarded.
+    down: Vec<bool>,
     rng: SimRng,
     next_pid: u32,
     next_packet: u64,
@@ -472,6 +529,90 @@ impl World {
             transfer_bps: ((nominal.transfer_bps as f64 / factor) as u64).max(1),
             overhead: nominal.overhead.mul_f64(factor),
         });
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.down[node.0 as usize]
+    }
+
+    /// Fail-stop crash of `node` at the current instant: the CPU halts
+    /// mid-quantum, every process dies without running exit handlers, and
+    /// all kernel state (sockets, listeners, partially assembled messages,
+    /// device queues) is lost. In-flight packets addressed to the node are
+    /// discarded on arrival and counted in
+    /// [`NodeStats::crash_drops`](crate::NodeStats). No-op if already down.
+    ///
+    /// Crashes can also be scheduled declaratively via
+    /// [`FaultPlan`](simnet::FaultPlan) and [`WorldBuilder::faults`].
+    pub fn crash_node(&mut self, node: NodeId) {
+        let now = self.now();
+        self.do_crash(node, now);
+    }
+
+    /// Restarts a crashed `node` at the current instant: the node comes
+    /// back with empty kernel tables but its Kprof registry and daemon
+    /// hook intact (a warm monitoring-stack restart), and the daemon's
+    /// periodic wake chain is re-kicked. No-op if the node is up.
+    pub fn restart_node(&mut self, node: NodeId) {
+        let now = self.now();
+        self.do_restart(node, now);
+    }
+
+    fn do_crash(&mut self, node: NodeId, now: SimTime) {
+        if self.down[node.0 as usize] {
+            return;
+        }
+        self.down[node.0 as usize] = true;
+        let ip = self.net.node_ip(node);
+        let running = self.nodes[node.0 as usize].running.take();
+        if let Some(rq) = running {
+            self.queue.cancel(rq.end_handle);
+        }
+        let n = &mut self.nodes[node.0 as usize];
+        n.runq.clear();
+        n.dispatch_pending = false;
+        n.last_pid = None;
+        for p in n.procs.values_mut() {
+            if !p.is_exited() {
+                // Power loss: no exit events, no reaping — the process
+                // just stops existing.
+                p.state = ProcState::Exited;
+                p.ops.clear();
+                p.pending.clear();
+                p.remaining_compute = SimDuration::ZERO;
+                p.exited_at = Some(now);
+            }
+        }
+        n.sockets.clear();
+        n.flows.clear();
+        n.listeners.clear();
+        n.sink_socks.clear();
+        n.tx_waiters.clear();
+        n.tx_queue_bytes = 0;
+        n.rx_backlog = 0;
+        n.softirq_busy_until = SimTime::ZERO;
+        n.cpu_busy_until = SimTime::ZERO;
+        // Partially received sink payloads vanish with the node's memory.
+        self.inflight_data.retain(|(flow, _), _| flow.dst.ip != ip);
+    }
+
+    fn do_restart(&mut self, node: NodeId, now: SimTime) {
+        if !self.down[node.0 as usize] {
+            return;
+        }
+        self.down[node.0 as usize] = false;
+        // The daemon's periodic wake chain died with the node; re-kick it
+        // after a short boot delay so dissemination resumes.
+        if self.daemon_hooks.contains_key(&node) {
+            self.queue.schedule(
+                now + SimDuration::from_millis(1),
+                Ev::DaemonWake {
+                    node,
+                    analyzer: None,
+                },
+            );
+        }
     }
 
     /// Sends a message from kernel context (no process) on `node` to a
@@ -1356,6 +1497,10 @@ impl World {
         now: SimTime,
         kernel: bool,
     ) {
+        if self.down[node.0 as usize] {
+            // A crashed node transmits nothing.
+            return;
+        }
         let Some(dst_node) = self.net.node_by_ip(flow.dst.ip) else {
             return;
         };
@@ -1420,22 +1565,30 @@ impl World {
 
             match self
                 .net
-                .transmit(now, node, dst_node, packet.size as u64)
+                .transmit_with_faults(now, node, dst_node, packet.size as u64)
                 .expect("topology routes all app traffic")
             {
-                TransmitOutcome::Sent { departure, arrival } => {
+                NetOutcome::Sent {
+                    departure,
+                    arrivals,
+                } => {
                     self.nodes[node.0 as usize].tx_queue_bytes += packet.size as u64;
                     self.queue
                         .schedule(departure, Ev::NicTxDone { node, packet });
-                    self.queue.schedule(
-                        arrival,
-                        Ev::PacketArrival {
-                            node: dst_node,
-                            packet,
-                        },
-                    );
+                    // One arrival per surviving copy. An empty list is a
+                    // silent in-flight loss: the sender paid the full
+                    // transmit cost and learns nothing.
+                    for arrival in arrivals {
+                        self.queue.schedule(
+                            arrival,
+                            Ev::PacketArrival {
+                                node: dst_node,
+                                packet,
+                            },
+                        );
+                    }
                 }
-                TransmitOutcome::Dropped => {
+                NetOutcome::QueueDrop => {
                     self.emit_ev(
                         node,
                         EventPayload::Net {
@@ -1678,6 +1831,20 @@ impl World {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
+        if self.down[ev.target().0 as usize] {
+            match ev {
+                // Restarts (and only restarts) act on a down node.
+                Ev::NodeRestart { node } => self.do_restart(node, now),
+                // The NIC is powered off: packets addressed to a crashed
+                // node vanish, observable only via the counter.
+                Ev::PacketArrival { node, .. } => {
+                    self.nodes[node.0 as usize].stats.crash_drops += 1;
+                }
+                // Everything else scheduled before the crash is stale.
+                _ => {}
+            }
+            return;
+        }
         match ev {
             Ev::Dispatch { node } => self.dispatch(node, now),
             Ev::QuantumEnd { node } => self.quantum_end(node, now),
@@ -1749,6 +1916,8 @@ impl World {
                     self.apply_kernel_output(node, out, now);
                 }
             }
+            Ev::NodeCrash { node } => self.do_crash(node, now),
+            Ev::NodeRestart { node } => self.do_restart(node, now),
         }
     }
 
@@ -2359,6 +2528,84 @@ mod tests {
                 assert!(seen.iter().all(|a| a.is_none()), "black-box by default");
             }
         }
+    }
+
+    #[test]
+    fn crash_kills_processes_then_restart_brings_node_back() {
+        use simnet::FaultPlan;
+        let plan = FaultPlan::default().with_crash(
+            NodeId(1),
+            SimTime::from_millis(50),
+            Some(SimTime::from_millis(200)),
+        );
+        let mut w = WorldBuilder::new(30)
+            .node("a")
+            .node("b")
+            .link(NodeId(0), NodeId(1), LinkSpec::gigabit_lan())
+            .faults(plan)
+            .build()
+            .unwrap();
+        let sink = w.spawn(NodeId(1), "sink", Box::new(SinkServer::new(Port(80))));
+        w.spawn(
+            NodeId(0),
+            "blaster",
+            Box::new(BulkSender::new(
+                NodeId(1),
+                Port(80),
+                32 * 1024,
+                SimDuration::from_millis(150),
+            )),
+        );
+        w.run_until(SimTime::from_millis(100));
+        assert!(w.node_is_down(NodeId(1)), "crashed at 50ms");
+        assert!(w.process_exited(NodeId(1), sink), "fail-stop killed it");
+        assert!(
+            w.node_stats(NodeId(1)).crash_drops > 0,
+            "in-flight packets to a dead node are counted"
+        );
+        w.run_until(SimTime::from_secs(1));
+        assert!(!w.node_is_down(NodeId(1)), "restarted at 200ms");
+    }
+
+    #[test]
+    fn fault_injection_is_lossy_and_replays_bit_identically() {
+        use simnet::{FaultPlan, LinkFaults};
+        let run = || {
+            let plan = FaultPlan::default().with_default_link(LinkFaults::lossy(0.05));
+            let mut w = WorldBuilder::new(31)
+                .node("a")
+                .node("b")
+                .link(NodeId(0), NodeId(1), LinkSpec::gigabit_lan())
+                .faults(plan)
+                .build()
+                .unwrap();
+            w.spawn(NodeId(1), "sink", Box::new(SinkServer::new(Port(80))));
+            w.spawn(
+                NodeId(0),
+                "sender",
+                Box::new(OneShotSender::new(NodeId(1), Port(80), 200_000)),
+            );
+            w.run_until(SimTime::from_secs(1));
+            let s = w.node_stats(NodeId(1));
+            let f = w.network().fault_stats();
+            (s.bytes_received, s.packets_in, f.injected_losses)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same plan, same outcome");
+        assert!(a.2 > 0, "5% loss over ~140 packets must hit at least once");
+        let no_faults = {
+            let mut w = two_nodes(31);
+            w.spawn(NodeId(1), "sink", Box::new(SinkServer::new(Port(80))));
+            w.spawn(
+                NodeId(0),
+                "sender",
+                Box::new(OneShotSender::new(NodeId(1), Port(80), 200_000)),
+            );
+            w.run_until(SimTime::from_secs(1));
+            w.node_stats(NodeId(1)).packets_in
+        };
+        assert!(a.1 < no_faults, "loss reduced arrivals");
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Reusable chaos-test harness for the SysProf stack.
+//!
+//! Runs a deployed [`SysProf`] world under a [`FaultPlan`] and checks the
+//! reliability invariants the dissemination protocol promises:
+//!
+//! * **exactly-once** — no interaction record is delivered to the GPA
+//!   twice, no matter how much the network duplicates or retransmits,
+//! * **in-order** — per-subscription sequence numbers observed by the GPA
+//!   are strictly increasing,
+//! * **convergence** — once the network heals and retransmits drain, no
+//!   stream is left with an open gap or buffered out-of-order batches,
+//! * **determinism** — the same seed and fault plan produce a
+//!   byte-identical [`chaos_report`] on every run.
+//!
+//! The harness is intentionally thin: scenarios build their own worlds
+//! and workloads, then call [`check_invariants`] and compare
+//! [`chaos_report`] strings across same-seed runs.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use simnet::{FaultPlan, LinkFaults};
+use simos::World;
+use sysprof::{Gpa, SysProf};
+
+/// A [`FaultPlan`] that drops each packet on every link with probability
+/// `loss` — the simplest useful chaos configuration.
+pub fn uniform_loss(loss: f64) -> FaultPlan {
+    FaultPlan::default().with_default_link(LinkFaults::lossy(loss))
+}
+
+/// Renders a deterministic, human-readable digest of everything the run
+/// produced: per-node kernel counters, per-daemon dissemination counters,
+/// injected-fault totals, and the GPA's view of the world. Two runs from
+/// the same seed must produce byte-identical reports; any divergence is a
+/// determinism bug.
+pub fn chaos_report(world: &World, sysprof: &SysProf) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("sim_now_us={}\n", world.now().as_micros()));
+
+    let mut monitored: Vec<_> = sysprof.monitored().to_vec();
+    monitored.sort();
+    for node in 0..world.node_count() {
+        let node = simcore::NodeId(node as u32);
+        let s = world.node_stats(node);
+        out.push_str(&format!(
+            "node[{}] tx={} rx={} pkts_in={} pkts_out={} ring_drops={} \
+             socket_drops={} crash_drops={}\n",
+            node.0,
+            s.bytes_sent,
+            s.bytes_received,
+            s.packets_in,
+            s.packets_out,
+            s.ring_drops,
+            s.socket_drops,
+            s.crash_drops,
+        ));
+    }
+    for &node in &monitored {
+        if let Some(d) = sysprof.daemon_stats(node) {
+            out.push_str(&format!("daemon[{}] {:?}\n", node.0, d));
+        }
+    }
+    out.push_str(&format!("faults {:?}\n", world.network().fault_stats()));
+
+    let gpa = sysprof.gpa();
+    let gpa = gpa.borrow();
+    out.push_str(&format!(
+        "gpa interactions={} decode_failures={} {:?}\n",
+        gpa.interaction_count(),
+        gpa.decode_failures(),
+        gpa.gpa_stats(),
+    ));
+    // Per-subscription stream positions, keyed by (sorted) source endpoint.
+    let mut last: BTreeMap<_, (u64, u64)> = BTreeMap::new();
+    for &(src, seq) in gpa.delivery_log() {
+        let e = last.entry(src).or_insert((0, 0));
+        e.0 = seq;
+        e.1 += 1;
+    }
+    for (src, (seq, count)) in &last {
+        out.push_str(&format!(
+            "stream[{:?}] last_seq={} delivered={}\n",
+            src, seq, count
+        ));
+    }
+    out
+}
+
+/// Asserts no interaction record reached the GPA twice. Records are keyed
+/// by everything that identifies a measurement (node, flow, class, pid,
+/// start/end timestamps); the dissemination layer may retransmit batches,
+/// but the reassembly layer must deduplicate them. Returns the number of
+/// distinct records checked.
+pub fn assert_no_duplicate_interactions(gpa: &Gpa) -> usize {
+    let mut keys: Vec<String> = gpa
+        .interactions()
+        .iter()
+        .map(|r| {
+            format!(
+                "{:?}|{:?}|{:?}|{}|{}|{}",
+                r.node, r.flow, r.class_port, r.pid, r.start_us, r.end_us
+            )
+        })
+        .collect();
+    keys.sort();
+    for w in keys.windows(2) {
+        assert_ne!(
+            w[0], w[1],
+            "duplicate interaction record delivered: {}",
+            w[0]
+        );
+    }
+    keys.len()
+}
+
+/// Asserts the GPA's delivery log is strictly monotonic per source
+/// endpoint: sequence `n` is never delivered after `m >= n` from the same
+/// subscription stream.
+pub fn assert_monotonic_delivery(gpa: &Gpa) {
+    let mut last: BTreeMap<_, u64> = BTreeMap::new();
+    for &(src, seq) in gpa.delivery_log() {
+        let prev = last.insert(src, seq).unwrap_or(0);
+        assert!(
+            seq > prev,
+            "stream {:?} delivered seq {} after {}",
+            src,
+            seq,
+            prev
+        );
+    }
+}
+
+/// Asserts every subscription stream has fully converged: no open gaps
+/// and nothing buffered out of order. Call after the fault window has
+/// closed and retransmits have had time to drain.
+pub fn assert_streams_converged(gpa: &Gpa) {
+    assert!(
+        gpa.streams_converged(),
+        "GPA streams did not converge: {:?}",
+        gpa.gpa_stats()
+    );
+}
+
+/// Runs every delivery invariant in one call; returns the number of
+/// distinct interaction records seen, for scenario-level assertions.
+pub fn check_invariants(gpa: &Gpa) -> usize {
+    assert_monotonic_delivery(gpa);
+    assert_streams_converged(gpa);
+    assert_no_duplicate_interactions(gpa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{NodeId, SimDuration, SimTime};
+    use simnet::{LinkSpec, Port};
+    use simos::programs::{EchoServer, OneShotSender};
+    use simos::WorldBuilder;
+    use sysprof::MonitorConfig;
+
+    fn run(seed: u64) -> String {
+        let mut world = WorldBuilder::new(seed)
+            .node("client")
+            .node("server")
+            .node("gpa")
+            .full_mesh(LinkSpec::gigabit_lan())
+            .faults(uniform_loss(0.02))
+            .build()
+            .unwrap();
+        let sysprof = SysProf::deploy(
+            &mut world,
+            &[NodeId(1)],
+            NodeId(2),
+            MonitorConfig::default(),
+        );
+        world.spawn(
+            NodeId(1),
+            "echo",
+            Box::new(EchoServer::new(
+                Port(80),
+                256,
+                SimDuration::from_micros(100),
+            )),
+        );
+        world.spawn(
+            NodeId(0),
+            "client",
+            Box::new(OneShotSender::new(NodeId(1), Port(80), 100_000)),
+        );
+        world.run_until(SimTime::from_secs(2));
+
+        let gpa = sysprof.gpa();
+        check_invariants(&gpa.borrow());
+        chaos_report(&world, &sysprof)
+    }
+
+    #[test]
+    fn smoke_report_is_deterministic_under_loss() {
+        let a = run(7);
+        assert!(a.contains("faults"), "report has a fault section:\n{a}");
+        assert_eq!(a, run(7), "same seed, same report");
+    }
+
+    #[test]
+    fn uniform_loss_plan_perturbs() {
+        assert!(uniform_loss(0.05).perturbs_network());
+        assert!(!FaultPlan::default().perturbs_network());
+    }
+}

@@ -1,0 +1,272 @@
+//! Chaos tests: the dissemination path (daemon → wire → GPA) must
+//! survive packet loss, duplication, reordering and timed partitions on
+//! the monitoring links without ever delivering a record twice — and the
+//! whole degraded run must replay bit-identically from its seed.
+
+use simcore::{NodeId, SimDuration, SimTime};
+use simnet::{LinkFaults, LinkSpec, Port};
+use simos::programs::EchoServer;
+use simos::{Message, ProcCtx, Program, SocketId, WorldBuilder};
+use sysprof::{GpaConfig, MonitorConfig, SysProf};
+use testkit::{chaos_report, check_invariants, uniform_loss};
+
+/// A client issuing `count` sequential requests (NFS-proxy-style load).
+struct SerialClient {
+    server: NodeId,
+    port: Port,
+    bytes: u64,
+    count: u32,
+    done: std::rc::Rc<std::cell::Cell<u32>>,
+}
+
+impl Program for SerialClient {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.connect(self.server, self.port);
+    }
+    fn on_connected(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId) {
+        ctx.send(sock, self.bytes, 1);
+    }
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId, _m: Message) {
+        self.done.set(self.done.get() + 1);
+        if self.done.get() < self.count {
+            ctx.send(sock, self.bytes, 1);
+        } else {
+            ctx.exit();
+        }
+    }
+}
+
+/// The NFS-proxy middle tier: forwards requests, relays replies.
+struct Relay {
+    listen: Port,
+    backend: NodeId,
+    backend_port: Port,
+    backend_sock: Option<SocketId>,
+    client: Option<SocketId>,
+}
+
+impl Program for Relay {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.listen(self.listen);
+        self.backend_sock = Some(ctx.connect(self.backend, self.backend_port));
+    }
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId, msg: Message) {
+        if Some(sock) == self.backend_sock {
+            if let Some(client) = self.client {
+                ctx.compute(SimDuration::from_micros(30));
+                ctx.send(client, msg.bytes, 2);
+            }
+        } else {
+            self.client = Some(sock);
+            ctx.compute(SimDuration::from_micros(50));
+            ctx.send(self.backend_sock.expect("connected"), msg.bytes, 1);
+        }
+    }
+}
+
+/// Runs the proxy scenario with a hostile monitoring path: every
+/// daemon→GPA link loses, duplicates, reorders and jitters packets, and
+/// the relay's link to the GPA is partitioned outright for 600ms
+/// mid-run. Application links stay clean (the app itself has no
+/// transport-level retry), so lost monitoring traffic is purely the
+/// reliability protocol's problem. Returns the deterministic report.
+fn proxy_under_chaos(seed: u64) -> String {
+    let client = NodeId(0);
+    let relay = NodeId(1);
+    let backend = NodeId(2);
+    let gpa_node = NodeId(3);
+
+    let monitoring = LinkFaults {
+        loss: 0.03,
+        duplicate: 0.02,
+        reorder: 0.02,
+        jitter: SimDuration::from_micros(200),
+        reorder_delay: SimDuration::from_millis(1),
+    };
+    let plan = uniform_loss(0.0)
+        .with_link(relay, gpa_node, monitoring)
+        .with_link(backend, gpa_node, monitoring)
+        .with_partition(
+            vec![relay],
+            vec![gpa_node],
+            SimTime::from_millis(600),
+            SimTime::from_millis(1200),
+        );
+
+    let mut world = WorldBuilder::new(seed)
+        .node("client")
+        .node("relay")
+        .node("backend")
+        .node("gpa")
+        .full_mesh(LinkSpec::gigabit_lan())
+        .faults(plan)
+        .build()
+        .unwrap();
+    let mc = MonitorConfig {
+        gpa: GpaConfig {
+            log_deliveries: true,
+            ..GpaConfig::default()
+        },
+        ..MonitorConfig::default()
+    };
+    let sysprof = SysProf::deploy(&mut world, &[relay, backend], gpa_node, mc);
+
+    world.spawn(
+        backend,
+        "backend",
+        Box::new(EchoServer::new(
+            Port(90),
+            512,
+            SimDuration::from_micros(200),
+        )),
+    );
+    world.spawn(
+        relay,
+        "relay",
+        Box::new(Relay {
+            listen: Port(80),
+            backend,
+            backend_port: Port(90),
+            backend_sock: None,
+            client: None,
+        }),
+    );
+    let done = std::rc::Rc::new(std::cell::Cell::new(0));
+    world.spawn(
+        client,
+        "client",
+        Box::new(SerialClient {
+            server: relay,
+            port: Port(80),
+            bytes: 2_000,
+            count: 120,
+            done: done.clone(),
+        }),
+    );
+    // Long tail after the partition heals so backed-off retransmits and
+    // the final ACK exchange drain completely.
+    world.run_until(SimTime::from_secs(6));
+    assert_eq!(done.get(), 120, "application finished despite the chaos");
+
+    let gpa = sysprof.gpa();
+    {
+        let g = gpa.borrow();
+
+        // The network really was hostile.
+        let faults = world.network().fault_stats();
+        assert!(faults.injected_losses > 0, "losses injected: {faults:?}");
+        assert!(faults.partition_drops > 0, "partition dropped: {faults:?}");
+        assert!(faults.duplicates > 0, "duplicates injected: {faults:?}");
+
+        // The protocol noticed and repaired it.
+        let gs = g.gpa_stats();
+        assert!(gs.gaps_detected > 0, "loss opened gaps: {gs:?}");
+        assert_eq!(
+            gs.gaps_detected,
+            gs.gaps_recovered + gs.gaps_abandoned,
+            "every gap was retransmitted or explicitly abandoned: {gs:?}"
+        );
+        assert!(gs.duplicate_batches > 0, "dedup exercised: {gs:?}");
+        let retransmits: u64 = [relay, backend]
+            .iter()
+            .filter_map(|&n| sysprof.daemon_stats(n))
+            .map(|d| d.retransmits)
+            .sum();
+        assert!(retransmits > 0, "daemons retransmitted");
+
+        // Delivery invariants: exactly-once, in-order, fully converged.
+        let distinct = check_invariants(&g);
+        assert!(
+            distinct >= 100,
+            "GPA saw most interactions despite 3% loss + partition: {distinct}"
+        );
+        assert_eq!(g.decode_failures(), 0, "no corrupted batches ingested");
+    }
+    chaos_report(&world, &sysprof)
+}
+
+#[test]
+fn nfs_proxy_survives_loss_duplication_and_partition() {
+    let report = proxy_under_chaos(1234);
+    assert!(report.contains("gaps_detected"), "report digest:\n{report}");
+}
+
+#[test]
+fn chaos_run_replays_bit_identically_from_the_same_seed() {
+    assert_eq!(
+        proxy_under_chaos(99),
+        proxy_under_chaos(99),
+        "same seed + same fault plan = byte-identical run"
+    );
+}
+
+#[test]
+fn crashed_and_restarted_node_resumes_publishing() {
+    let run = |seed: u64| {
+        let client = NodeId(0);
+        let server = NodeId(1);
+        let gpa_node = NodeId(2);
+        // 2% loss on the monitoring link, plus the monitored server
+        // fail-stops at 800ms and comes back at 1.2s.
+        let plan = uniform_loss(0.0)
+            .with_link(server, gpa_node, LinkFaults::lossy(0.02))
+            .with_crash(
+                server,
+                SimTime::from_millis(800),
+                Some(SimTime::from_millis(1200)),
+            );
+        let mut world = WorldBuilder::new(seed)
+            .node("client")
+            .node("server")
+            .node("gpa")
+            .full_mesh(LinkSpec::gigabit_lan())
+            .faults(plan)
+            .build()
+            .unwrap();
+        let mc = MonitorConfig {
+            gpa: GpaConfig {
+                log_deliveries: true,
+                ..GpaConfig::default()
+            },
+            ..MonitorConfig::default()
+        };
+        let sysprof = SysProf::deploy(&mut world, &[server], gpa_node, mc);
+        world.spawn(
+            server,
+            "echo",
+            Box::new(EchoServer::new(
+                Port(80),
+                256,
+                SimDuration::from_micros(100),
+            )),
+        );
+        let done = std::rc::Rc::new(std::cell::Cell::new(0));
+        world.spawn(
+            client,
+            "client",
+            Box::new(SerialClient {
+                server,
+                port: Port(80),
+                bytes: 2_000,
+                count: 1_000, // will be cut short by the crash
+                done,
+            }),
+        );
+        world.run_until(SimTime::from_millis(900));
+        assert!(world.node_is_down(server), "server is mid-outage");
+        world.run_until(SimTime::from_secs(4));
+        assert!(!world.node_is_down(server), "server restarted");
+        let gpa = sysprof.gpa();
+        {
+            let g = gpa.borrow();
+            check_invariants(&g);
+            // The warm-restarted daemon kept its streams going: load
+            // reports span the outage.
+            let d = sysprof.daemon_stats(server).expect("daemon stats");
+            assert!(d.loads_published > 0, "daemon resumed publishing: {d:?}");
+            assert!(g.node_load(server).is_some(), "GPA heard from the server");
+        }
+        chaos_report(&world, &sysprof)
+    };
+    assert_eq!(run(7), run(7), "crash/restart replays deterministically");
+}

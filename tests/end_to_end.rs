@@ -4,8 +4,20 @@
 use simcore::{NodeId, SimDuration, SimTime};
 use simnet::{ClockSpec, LinkSpec, Port};
 use simos::programs::EchoServer;
-use simos::{Message, NodeConfig, ProcCtx, Program, SocketId, WorldBuilder};
+use simos::{Message, NodeConfig, ProcCtx, Program, SocketId, World, WorldBuilder};
 use sysprof::{procfs, GpaConfig, MonitorConfig, SysProf};
+
+/// In a happy-path run on an uncongested LAN no link queue should ever
+/// overflow — monitoring traffic included.
+fn assert_no_link_drops(world: &World, nodes: u32) {
+    for a in 0..nodes {
+        for b in (a + 1)..nodes {
+            if let Some(link) = world.network().link_between(NodeId(a), NodeId(b)) {
+                assert_eq!(link.drops(), (0, 0), "queue drops on link {a}-{b}");
+            }
+        }
+    }
+}
 
 /// A client issuing `count` sequential requests.
 struct SerialClient {
@@ -122,6 +134,7 @@ fn gpa_receives_interactions_over_the_wire() {
     assert!(summary.mean_total_us > summary.mean_user_us);
     // Load reports flowed too.
     assert!(gpa.node_load(NodeId(1)).is_some(), "load reports arrived");
+    assert_no_link_drops(&world, 3);
 }
 
 #[test]
@@ -205,6 +218,7 @@ fn gpa_correlates_across_tiers_with_clock_skew() {
     // The backend share explains part of the parent latency.
     let parent_us = p.parent.end_us - p.parent.start_us;
     assert!(p.downstream_us() > 0 && p.downstream_us() <= parent_us + 2_000);
+    assert_no_link_drops(&world, 4);
 }
 
 #[test]
