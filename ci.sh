@@ -16,6 +16,14 @@ cargo test --workspace -q
 echo "==> cargo test (release)"
 cargo test --release -q
 
+echo "==> bench smoke (hot path)"
+# Short hot-path run: exercises the emit->dispatch->VM->encode pipeline in
+# release mode and self-validates the JSON report it writes (the binary
+# exits nonzero on a malformed file). Uses a scratch path so the committed
+# BENCH_hotpath.json baseline is only ever refreshed deliberately.
+cargo run -q --release -p sysprof-bench --bin hotpath -- --smoke --out target/BENCH_hotpath_smoke.json
+test -s target/BENCH_hotpath_smoke.json
+
 echo "==> examples"
 cargo build -q --examples
 for ex in examples/*.rs; do

@@ -369,7 +369,7 @@ impl KernelSink for LoadFeed {
         _node: NodeId,
         src: EndPoint,
         _msg: Message,
-        data: Vec<u8>,
+        data: simos::Bytes,
     ) -> KernelOutput {
         let decoder = self.decoders.entry(src).or_default();
         for frame in sysprof::split_frames(&data) {

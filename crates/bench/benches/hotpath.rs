@@ -1,0 +1,39 @@
+//! Criterion hot-path suite: events/sec through the emit → dispatch →
+//! E-Code VM → encode pipeline, plus E1/E2/F6 end-to-end wall-clock.
+//!
+//! The `hotpath` binary drives the same [`sysprof_bench::hotpath`]
+//! pipeline and records the committed `BENCH_hotpath.json` baseline; this
+//! suite is for statistically careful local comparisons (`cargo bench
+//! --bench hotpath`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::SimDuration;
+use sysprof_bench::hotpath::HotPipeline;
+use sysprof_bench::{exp_e1_linpack, exp_e2_iperf, exp_f6_dwcs};
+
+const BLOCK: u64 = 4096;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.bench_function("emit_dispatch_vm_encode", |b| {
+        let mut pipe = HotPipeline::new();
+        b.iter(|| pipe.pump(BLOCK));
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("e1_linpack", |b| b.iter(|| exp_e1_linpack(42)));
+    g.bench_function("e2_iperf_200ms", |b| {
+        b.iter(|| exp_e2_iperf(SimDuration::from_millis(200), 42))
+    });
+    g.bench_function("f6_dwcs_2s", |b| {
+        b.iter(|| exp_f6_dwcs(SimDuration::from_secs(2), 42))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_end_to_end);
+criterion_main!(benches);

@@ -103,7 +103,7 @@ fn bench_ecode(c: &mut Criterion) {
             Int(40000),
             Int(2049),
         ];
-        b.iter(|| std::hint::black_box(inst.run(&inputs, 10_000).expect("runs")));
+        b.iter(|| std::hint::black_box(inst.run(&inputs, 10_000).expect("runs").fuel_used));
     });
     g.finish();
 }

@@ -1,0 +1,166 @@
+//! Measures the per-event hot path (emit → dispatch → E-Code VM → PBIO
+//! encode → batch seal) plus E1/E2/F6 end-to-end wall-clock, and writes
+//! `BENCH_hotpath.json` at the repo root.
+//!
+//! ```text
+//! hotpath [--smoke] [--events N] [--seed N] [--out PATH]
+//! ```
+//!
+//! `--smoke` shortens everything ~10× for CI (`ci.sh bench-smoke`); the
+//! default run is what the committed baseline was produced with. The
+//! binary re-reads and validates the JSON it wrote, so a malformed file
+//! fails the process (and therefore CI).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use serde::Serialize;
+use simcore::SimDuration;
+use sysprof_bench::hotpath::{HotPipeline, HotpathCounters, BASELINE_EVENTS_PER_SEC};
+use sysprof_bench::{exp_e1_linpack, exp_e2_iperf, exp_f6_dwcs};
+
+#[derive(Serialize)]
+struct EndToEndWallMs {
+    e1_linpack: f64,
+    e2_iperf: f64,
+    f6_dwcs: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    mode: &'static str,
+    seed: u64,
+    events: u64,
+    events_per_sec: f64,
+    ns_per_event: f64,
+    baseline_events_per_sec: f64,
+    speedup_vs_baseline: f64,
+    end_to_end_wall_ms: EndToEndWallMs,
+    counters: HotpathCounters,
+}
+
+struct Opts {
+    smoke: bool,
+    events: Option<u64>,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        events: None,
+        seed: 42,
+        out: "BENCH_hotpath.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--events" => opts.events = args.next().and_then(|s| s.parse().ok()),
+            "--seed" => opts.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(42),
+            "--out" => opts.out = args.next().unwrap_or_else(|| "BENCH_hotpath.json".into()),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: hotpath [--smoke] [--events N] [--seed N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let events = opts
+        .events
+        .unwrap_or(if opts.smoke { 400_000 } else { 4_000_000 });
+
+    // Warm up a throwaway pipeline (fills allocator pools, JITs nothing —
+    // this is Rust — but stabilizes caches), then measure a fresh one.
+    let mut warm = HotPipeline::new();
+    warm.pump(events / 10);
+
+    let mut pipe = HotPipeline::new();
+    let t0 = Instant::now();
+    pipe.pump(events);
+    let elapsed = t0.elapsed();
+    let counters = pipe.counters();
+    let events_per_sec = events as f64 / elapsed.as_secs_f64();
+    let ns_per_event = elapsed.as_nanos() as f64 / events as f64;
+
+    println!(
+        "hot path: {events} events in {:.3} s -> {:.0} events/sec ({:.1} ns/event)",
+        elapsed.as_secs_f64(),
+        events_per_sec,
+        ns_per_event
+    );
+    println!(
+        "  vs committed baseline {BASELINE_EVENTS_PER_SEC:.0} events/sec: {:.2}x",
+        events_per_sec / BASELINE_EVENTS_PER_SEC
+    );
+
+    // End-to-end wall-clock: the paper experiments, timed as whole
+    // simulations (simulated durations fixed per mode, so the simulated
+    // results are seed-deterministic while wall-clock tracks our speed).
+    let wall = |label: &str, f: &dyn Fn()| {
+        let t = Instant::now();
+        f();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!("  e2e {label}: {ms:.0} ms");
+        ms
+    };
+    let seed = opts.seed;
+    let e1_ms = wall("e1_linpack", &|| {
+        let _ = exp_e1_linpack(seed);
+    });
+    let e2_dur = SimDuration::from_millis(if opts.smoke { 200 } else { 2_000 });
+    let e2_ms = wall("e2_iperf", &|| {
+        let _ = exp_e2_iperf(e2_dur, seed);
+    });
+    let f6_dur = SimDuration::from_secs(if opts.smoke { 2 } else { 20 });
+    let f6_ms = wall("f6_dwcs", &|| {
+        let _ = exp_f6_dwcs(f6_dur, seed);
+    });
+
+    let report = BenchReport {
+        bench: "hotpath",
+        mode: if opts.smoke { "smoke" } else { "full" },
+        seed: opts.seed,
+        events,
+        events_per_sec,
+        ns_per_event,
+        baseline_events_per_sec: BASELINE_EVENTS_PER_SEC,
+        speedup_vs_baseline: events_per_sec / BASELINE_EVENTS_PER_SEC,
+        end_to_end_wall_ms: EndToEndWallMs {
+            e1_linpack: e1_ms,
+            e2_iperf: e2_ms,
+            f6_dwcs: f6_ms,
+        },
+        counters,
+    };
+    let pretty = serde_json::to_string_pretty(&report).expect("serializes");
+    let mut f = std::fs::File::create(&opts.out).expect("create output file");
+    f.write_all(pretty.as_bytes()).expect("write output file");
+    f.write_all(b"\n").expect("write output file");
+    drop(f);
+
+    // Validate what we wrote: re-read, parse, and check the keys CI (and
+    // future PRs comparing against the baseline) depend on.
+    let back = std::fs::read_to_string(&opts.out).expect("re-read output file");
+    let parsed: serde_json::Value = serde_json::from_str(&back).expect("output file is valid JSON");
+    for key in [
+        "events_per_sec",
+        "baseline_events_per_sec",
+        "speedup_vs_baseline",
+        "counters",
+    ] {
+        assert!(
+            parsed.get(key).is_some(),
+            "{} is missing key {key}",
+            opts.out
+        );
+    }
+    println!("wrote {}", opts.out);
+}

@@ -1,0 +1,258 @@
+//! The isolated per-event hot path: emit → mask/predicate dispatch →
+//! E-Code VM → PBIO encode → sealed batch, without the discrete-event
+//! scheduler around it.
+//!
+//! Both the Criterion suite (`benches/hotpath.rs`) and the `hotpath`
+//! binary (which writes `BENCH_hotpath.json` at the repo root) drive this
+//! exact pipeline, so the committed throughput numbers and the tracked
+//! bench measure the same code. The pipeline is fully deterministic: every
+//! event is derived from the loop counter, so the counters it returns are
+//! a fingerprint that must not change when the hot path is optimized.
+
+use kprof::{CountingAnalyzer, EventMask, EventPayload, FileId, Kprof, NetPoint, Pid, Predicate};
+use pubsub::reliable::{encode_batch, ResendBuffer, ResendConfig};
+use pubsub::Hub;
+use serde::Serialize;
+use simcore::{NodeId, SimTime};
+use simnet::{EndPoint, FlowKey, Ip, PacketId, Port};
+use sysprof::{CpaAnalyzer, InteractionRecord};
+
+/// Throughput of the unoptimized hot path (events/sec, release mode) on
+/// the reference machine, measured at the seed commit of this PR before
+/// the dispatch-table / block-fuel / shared-buffer changes landed
+/// (median of three 4M-event runs: 11.6–12.7M events/sec). The `hotpath`
+/// binary reports current throughput relative to this number.
+pub const BASELINE_EVENTS_PER_SEC: f64 = 12_000_000.0;
+
+/// The E-Code program the pipeline's CPA runs on every matching event.
+const CPA_PROGRAM: &str = r#"
+    static int n = 0;
+    static double acc = 0.0;
+    n = n + 1;
+    acc = acc + size;
+    if (size > 800 && port_dst == 80) {
+        out(0, acc / n);
+        return 1;
+    }
+    return 0;
+"#;
+
+/// The E-Code data filter installed on the pipeline's subscriber.
+const SUB_FILTER: &str = "return resp_bytes > 150;";
+
+/// How many emitted events make one published record / sealed batch.
+const EVENTS_PER_RECORD: u64 = 64;
+
+/// Deterministic counters the pipeline accumulates — a fingerprint of
+/// observable behavior. Optimizations must leave these bit-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct HotpathCounters {
+    /// Events pushed through `Kprof::emit`.
+    pub events_emitted: u64,
+    /// Analyzer deliveries (`KprofStats::events_delivered`).
+    pub events_delivered: u64,
+    /// Predicate rejections (`KprofStats::predicate_rejections`).
+    pub predicate_rejections: u64,
+    /// Suppressed (disabled-hook) emissions.
+    pub events_suppressed: u64,
+    /// Total simulated monitoring overhead, ns.
+    pub overhead_ns: u64,
+    /// Events the CPA flagged (nonzero program return).
+    pub cpa_flagged: u64,
+    /// Records the subscription filter suppressed.
+    pub records_filtered: u64,
+    /// Wire bytes sealed into batches (including retransmits).
+    pub bytes_sealed: u64,
+}
+
+/// The emit→dispatch→VM→encode pipeline, assembled once and pumped with
+/// synthetic events.
+pub struct HotPipeline {
+    kprof: Kprof,
+    cpa_id: kprof::AnalyzerId,
+    hub: Hub,
+    topic: pubsub::TopicId,
+    schema: pbio::Schema,
+    resend: ResendBuffer,
+    subscriber: EndPoint,
+    next_seq: u64,
+    emitted: u64,
+    bytes_sealed: u64,
+}
+
+impl HotPipeline {
+    /// Builds the pipeline: a Kprof with a scheduling-class counting
+    /// analyzer and a pid-filtered network CPA, plus a pub/sub hub with
+    /// one filtered subscriber feeding a reliable resend buffer.
+    pub fn new() -> HotPipeline {
+        let mut kprof = Kprof::new(NodeId(0));
+        kprof.register(Box::new(CountingAnalyzer::new(EventMask::SCHEDULING)));
+        let cpa = CpaAnalyzer::compile("hotpath-cpa", CPA_PROGRAM, EventMask::NETWORK)
+            .expect("static program verifies")
+            .with_predicate(Predicate::new().pids([Pid(1), Pid(2), Pid(3)]));
+        let cpa_id = kprof.register(Box::new(cpa));
+
+        let mut hub = Hub::new();
+        let topic = hub.topic(sysprof::INTERACTION_TOPIC);
+        let schema = InteractionRecord::schema();
+        let subscriber = EndPoint::new(Ip(9), Port(9999));
+        hub.subscribe_with_schema(topic, subscriber, Some(SUB_FILTER), &schema)
+            .expect("static filter verifies");
+
+        HotPipeline {
+            kprof,
+            cpa_id,
+            hub,
+            topic,
+            schema,
+            resend: ResendBuffer::new(ResendConfig::default()),
+            subscriber,
+            next_seq: 0,
+            emitted: 0,
+            bytes_sealed: 0,
+        }
+    }
+
+    fn payload_for(i: u64) -> EventPayload {
+        // Cycles through pids 1..=4 across record windows; the CPA's
+        // predicate admits 1..=3, so pid 4 exercises the rejection path.
+        let pid = Pid(1 + ((i >> 3) % 4) as u32);
+        match i % 8 {
+            0 | 4 => EventPayload::Net {
+                point: NetPoint::RxNic,
+                flow: FlowKey::new(
+                    EndPoint::new(Ip(1), Port(5000 + (i % 16) as u16)),
+                    EndPoint::new(Ip(2), Port(80)),
+                ),
+                packet: PacketId(i),
+                size: 200 + (i % 8) as u32 * 180,
+                pid: Some(pid),
+                arm: None,
+            },
+            1 | 5 => EventPayload::ProcessWake { pid },
+            2 => EventPayload::Net {
+                point: NetPoint::TxFromUser,
+                flow: FlowKey::new(
+                    EndPoint::new(Ip(2), Port(80)),
+                    EndPoint::new(Ip(1), Port(5000 + (i % 16) as u16)),
+                ),
+                packet: PacketId(i),
+                size: 1200,
+                pid: Some(pid),
+                arm: None,
+            },
+            3 => EventPayload::ContextSwitch {
+                from: Some(pid),
+                to: Some(Pid(1 + ((i + 1) % 4) as u32)),
+            },
+            // No FILESYSTEM subscriber: these exercise the suppressed
+            // (disabled-hook) path.
+            _ => EventPayload::FileRead {
+                pid,
+                file: FileId(3),
+                bytes: 4096,
+            },
+        }
+    }
+
+    fn record_for(&self, i: u64) -> InteractionRecord {
+        InteractionRecord {
+            node: NodeId(0),
+            flow: FlowKey::new(
+                EndPoint::new(Ip(1), Port(5000 + (i % 16) as u16)),
+                EndPoint::new(Ip(2), Port(80)),
+            ),
+            class_port: Port(80),
+            pid: 1 + (i % 4) as u32,
+            start_us: i,
+            end_us: i + 350,
+            req_packets: 3,
+            req_bytes: 2_400,
+            resp_packets: 1,
+            resp_bytes: 100 + (i % 3) * 60,
+            kernel_in_us: 120,
+            user_us: 80,
+            kernel_out_us: 40,
+            blocked_us: 0,
+            blocked_io_us: 0,
+        }
+    }
+
+    /// Emits `n` more events through the full pipeline.
+    pub fn pump(&mut self, n: u64) {
+        for _ in 0..n {
+            let i = self.emitted;
+            self.emitted += 1;
+            let ev = self.kprof.make_event(
+                SimTime::from_micros(i),
+                (i % 2) as u16,
+                Self::payload_for(i),
+            );
+            let _ = self.kprof.emit(&ev);
+
+            if i % EVENTS_PER_RECORD == EVENTS_PER_RECORD - 1 {
+                self.seal_record(i);
+            }
+        }
+    }
+
+    /// Publishes one record, seals the resulting wire bytes into a
+    /// sequenced batch, and exercises the resend buffer (push, periodic
+    /// NACK-style retransmit, cumulative ack).
+    fn seal_record(&mut self, i: u64) {
+        let record = self.record_for(i);
+        let now = SimTime::from_micros(i);
+        let sends = self
+            .hub
+            .publish(self.topic, &self.schema, &record.to_values())
+            .expect("record matches schema");
+        for (_, wire) in sends {
+            self.next_seq += 1;
+            let seq = self.next_seq;
+            let batch = encode_batch(seq, &wire);
+            self.bytes_sealed += batch.len() as u64;
+            self.resend.push(now, seq, batch);
+        }
+        // Every 16th record: retransmit the last couple of batches (the
+        // NACK path) and then ack everything but the tail.
+        if i % (16 * EVENTS_PER_RECORD) == 16 * EVENTS_PER_RECORD - 1 && self.next_seq >= 2 {
+            for (_, wire) in self
+                .resend
+                .retransmit_range(now, self.next_seq - 1, self.next_seq)
+            {
+                self.bytes_sealed += wire.len() as u64;
+            }
+            self.resend.ack_upto(self.next_seq.saturating_sub(2));
+        }
+    }
+
+    /// The deterministic fingerprint accumulated so far.
+    pub fn counters(&self) -> HotpathCounters {
+        let stats = *self.kprof.stats();
+        let (_, filtered) = self
+            .hub
+            .delivery_stats(self.topic, self.subscriber)
+            .unwrap_or((0, 0));
+        let flagged = self
+            .kprof
+            .analyzer_as::<CpaAnalyzer>(self.cpa_id)
+            .map(|c| c.flagged())
+            .unwrap_or(0);
+        HotpathCounters {
+            events_emitted: self.emitted,
+            events_delivered: stats.events_delivered,
+            predicate_rejections: stats.predicate_rejections,
+            events_suppressed: stats.events_suppressed,
+            overhead_ns: stats.total_overhead.as_nanos(),
+            cpa_flagged: flagged,
+            records_filtered: filtered,
+            bytes_sealed: self.bytes_sealed,
+        }
+    }
+}
+
+impl Default for HotPipeline {
+    fn default() -> Self {
+        HotPipeline::new()
+    }
+}

@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod hotpath;
+
 use kprof::EventMask;
 use serde::Serialize;
 use simcore::{NodeId, SimDuration, SimTime};

@@ -13,7 +13,7 @@
 //! flag events by returning nonzero, and publish computed metrics with
 //! `out(slot, value)`.
 
-use ecode::{Instance, RunOutcome, Type, Value, VerifyError, VerifyLimits, VerifyReport};
+use ecode::{Instance, Type, Value, VerifyError, VerifyLimits, VerifyReport};
 use kprof::{Analyzer, AnalyzerOutcome, Event, EventMask, EventPayload, Interest, Predicate};
 use simcore::SimDuration;
 
@@ -196,22 +196,23 @@ impl Analyzer for CpaAnalyzer {
     fn on_event(&mut self, event: &Event) -> AnalyzerOutcome {
         self.events += 1;
         let inputs = Self::inputs_for(event);
-        let (fuel_used, outcome): (u64, Option<RunOutcome>) =
-            match self.instance.run(&inputs, self.fuel_budget) {
-                Ok(out) => (out.fuel_used, Some(out)),
-                Err(_) => {
-                    self.aborted += 1;
-                    (self.fuel_budget, None)
+        // The outcome borrows the instance's output arena; fold it into
+        // the persistent per-slot map before the next run overwrites it.
+        let fuel_used = match self.instance.run(&inputs, self.fuel_budget) {
+            Ok(out) => {
+                if out.ret != 0 {
+                    self.flagged += 1;
                 }
-            };
-        if let Some(out) = outcome {
-            if out.ret != 0 {
-                self.flagged += 1;
+                for &(slot, value) in out.outputs {
+                    self.outputs.insert(slot, value);
+                }
+                out.fuel_used
             }
-            for (slot, value) in out.outputs {
-                self.outputs.insert(slot, value);
+            Err(_) => {
+                self.aborted += 1;
+                self.fuel_budget
             }
-        }
+        };
         AnalyzerOutcome {
             cost: SimDuration::from_nanos((fuel_used as f64 * self.ns_per_instr) as u64),
             buffer_full: false,

@@ -536,12 +536,12 @@ impl Gpa {
                 let nests =
                     child.start_us + eps >= parent.start_us && child.end_us <= parent.end_us + eps;
                 if nests {
-                    children.push(child.clone());
+                    children.push(*child);
                 }
             }
             if !children.is_empty() {
                 paths.push(CorrelatedPath {
-                    parent: parent.clone(),
+                    parent: *parent,
                     children,
                 });
             }
@@ -592,7 +592,7 @@ impl KernelSink for GpaSink {
         _node: NodeId,
         src: EndPoint,
         _msg: Message,
-        data: Vec<u8>,
+        data: simos::Bytes,
     ) -> KernelOutput {
         let (n, replies) = {
             let mut gpa = self.gpa.borrow_mut();
@@ -606,7 +606,7 @@ impl KernelSink for GpaSink {
                 dst: EndPoint::new(src.ip, CONTROL_PORT),
                 src_port: self.self_ep.port,
                 kind: 0,
-                data: msg.encode(),
+                data: msg.encode().into(),
             })
             .collect();
         KernelOutput {
@@ -640,7 +640,7 @@ impl KernelSink for ControlReplySink {
         _node: NodeId,
         src: EndPoint,
         _msg: Message,
-        data: Vec<u8>,
+        data: simos::Bytes,
     ) -> KernelOutput {
         if let Ok(pubsub::control::ControlMsg::SubscribeNack {
             topic,
@@ -729,7 +729,7 @@ mod tests {
         let child = rec(2, 20, 30, 2049, 2_000, 8_000);
         let stranger = rec(2, 99, 30, 2049, 2_000, 8_000); // wrong initiator
         let late = rec(2, 20, 30, 2049, 2_000, 20_000); // doesn't nest
-        let g = gpa_with(vec![parent.clone(), child.clone(), stranger, late]);
+        let g = gpa_with(vec![parent, child, stranger, late]);
         let paths = g.correlate();
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].parent, parent);

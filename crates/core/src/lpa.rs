@@ -615,7 +615,7 @@ impl Lpa {
         let _ = now;
 
         // Recent-history window.
-        self.window.push_back(record.clone());
+        self.window.push_back(record);
         while self.window.len() > self.config.window {
             self.window.pop_front();
         }
@@ -1134,7 +1134,7 @@ mod tests {
         // Next request closes the response message.
         l.on_event(&net(5_000, NetPoint::RxNic, req_flow(), 800, None));
         assert_eq!(l.records_completed(), 1);
-        let rec = l.window_snapshot().next().unwrap().clone();
+        let rec = l.window_snapshot().next().unwrap();
         assert_eq!(rec.class_port, Port(2049));
         assert_eq!(rec.pid, 7);
         assert_eq!(rec.req_packets, 2);

@@ -95,7 +95,7 @@ impl KernelSink for GpaQuerySink {
         _node: NodeId,
         _src: EndPoint,
         _msg: Message,
-        data: Vec<u8>,
+        data: simos::Bytes,
     ) -> KernelOutput {
         let cost = SimDuration::from_micros(10); // lookup + encode
         let Ok(envelope) = serde_json::from_slice::<QueryEnvelope>(&data) else {
@@ -123,7 +123,9 @@ impl KernelSink for GpaQuerySink {
                 dst: envelope.reply_to,
                 src_port: QUERY_PORT,
                 kind: 0,
-                data: serde_json::to_vec(&reply).expect("answers serialize"),
+                data: serde_json::to_vec(&reply)
+                    .expect("answers serialize")
+                    .into(),
             }],
             rearm_after: None,
         }
@@ -153,7 +155,7 @@ impl KernelSink for ReplySink {
         _node: NodeId,
         _src: EndPoint,
         _msg: Message,
-        data: Vec<u8>,
+        data: simos::Bytes,
     ) -> KernelOutput {
         if let Ok(envelope) = serde_json::from_slice::<AnswerEnvelope>(&data) {
             self.answers

@@ -13,7 +13,7 @@ pub const INTERACTION_TOPIC: &str = "sysprof.interactions";
 ///
 /// All timestamps are the **measuring node's wall clock** in microseconds
 /// — the GPA must absorb NTP error when correlating across nodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InteractionRecord {
     /// Node that measured this interaction.
     pub node: NodeId,

@@ -46,7 +46,8 @@ mod tests {
     #[test]
     fn straight_line_bound_is_exact() {
         let (p, bound) = bound_of("return 2 + 3;", &[]);
-        let used = Instance::new(&p).run(&[], 1_000).unwrap().fuel_used;
+        let mut inst = Instance::new(&p);
+        let used = inst.run(&[], 1_000).unwrap().fuel_used;
         assert_eq!(bound, used, "no branches: bound is the exact cost");
     }
 
@@ -58,10 +59,12 @@ mod tests {
             return y;
         "#;
         let (p, bound) = bound_of(src, &[("x", Type::Int)]);
-        let costly = Instance::new(&p).run(&[Value::Int(5)], 1_000).unwrap();
-        let cheap = Instance::new(&p).run(&[Value::Int(-5)], 1_000).unwrap();
-        assert!(costly.fuel_used > cheap.fuel_used);
-        assert_eq!(bound, costly.fuel_used, "bound equals the longest path");
+        let mut costly_inst = Instance::new(&p);
+        let costly = costly_inst.run(&[Value::Int(5)], 1_000).unwrap().fuel_used;
+        let mut cheap_inst = Instance::new(&p);
+        let cheap = cheap_inst.run(&[Value::Int(-5)], 1_000).unwrap().fuel_used;
+        assert!(costly > cheap);
+        assert_eq!(bound, costly, "bound equals the longest path");
     }
 
     #[test]
@@ -69,7 +72,8 @@ mod tests {
         let src = "static int n = 0; if (x > 10 && x < 100) { n = n + 1; } return n;";
         let (p, bound) = bound_of(src, &[("x", Type::Int)]);
         for x in [-5i64, 0, 11, 50, 99, 100, 1_000] {
-            let r = Instance::new(&p).run(&[Value::Int(x)], bound);
+            let mut inst = Instance::new(&p);
+            let r = inst.run(&[Value::Int(x)], bound);
             assert!(r.is_ok(), "bound fuel must always suffice (x={x}): {r:?}");
         }
     }

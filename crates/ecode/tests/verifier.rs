@@ -431,6 +431,35 @@ fn check_soundness(src: &str, history: &[(i64, i64)]) {
             (o, p) => panic!("trap divergence on inputs ({a}, {b}): {o:?} vs {p:?}\n{src}"),
         }
     }
+
+    // Block-fuel exactness: `run` meters fuel per basic block (precharging
+    // blocks that fit the remaining budget) while `run_per_op` is the
+    // reference per-op path. Over the same history — at the full bound and
+    // at starved budgets that force mid-program aborts — both must report
+    // identical fuel, results, and trap behavior.
+    for budget in [orig_bound, orig_bound / 2 + 1, 3, 1] {
+        let mut blk_inst = Instance::new(&orig);
+        let mut ref_inst = Instance::new(&orig);
+        for &(a, b) in history {
+            let inputs = [Value::Int(a), Value::Int(b)];
+            let r_blk = blk_inst.run(&inputs, budget);
+            let r_ref = ref_inst.run_per_op(&inputs, budget);
+            match (r_blk, r_ref) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(
+                        x.fuel_used, y.fuel_used,
+                        "block metering must be fuel-exact (budget {budget}, inputs ({a}, {b})) on\n{src}"
+                    );
+                    assert_eq!(x.ret, y.ret, "budget {budget} on\n{src}");
+                    assert_eq!(x.outputs, y.outputs, "budget {budget} on\n{src}");
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y, "budget {budget} on\n{src}"),
+                (x, y) => panic!(
+                    "metering divergence (budget {budget}, inputs ({a}, {b})): {x:?} vs {y:?}\n{src}"
+                ),
+            }
+        }
+    }
 }
 
 #[test]

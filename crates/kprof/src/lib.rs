@@ -56,6 +56,6 @@ pub use analyzer::{Analyzer, AnalyzerId, AnalyzerOutcome, CountingAnalyzer, Inte
 pub use buffer::{BufferSide, DoubleBuffer, PerCpuBuffers};
 pub use event::{Event, EventClass, EventKind, EventMask, EventPayload, NetPoint};
 pub use ids::{BlockReason, DiskId, Fd, FileId, GroupId, Pid, SyscallKind};
-pub use predicate::Predicate;
+pub use predicate::{CompiledPredicate, Predicate};
 pub use registry::{CostModel, EmitResult, Kprof, KprofStats};
 pub use trace::TraceAnalyzer;

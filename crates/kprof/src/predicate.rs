@@ -90,6 +90,77 @@ impl Predicate {
     }
 }
 
+/// A [`Predicate`] compiled to flat sorted slices for allocation-free,
+/// cache-friendly evaluation on the emit hot path.
+///
+/// [`Kprof`](crate::Kprof) compiles each analyzer's predicate once at
+/// registration (and again on
+/// [`update_interest`](crate::Kprof::update_interest)), so the per-event
+/// dispatch loop probes sorted slices instead of cloning `HashSet`-backed
+/// predicates. Accept/reject behavior is **identical** to
+/// [`Predicate::matches`] — a property test in `tests/matcher_equiv.rs`
+/// pins the equivalence.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledPredicate {
+    pids: Option<Box<[Pid]>>,
+    gids: Option<Box<[GroupId]>>,
+    ports: Option<Box<[Port]>>,
+}
+
+fn sorted_slice<T: Ord + Copy>(set: &Option<HashSet<T>>) -> Option<Box<[T]>> {
+    set.as_ref().map(|s| {
+        let mut v: Vec<T> = s.iter().copied().collect();
+        v.sort_unstable();
+        v.into_boxed_slice()
+    })
+}
+
+impl CompiledPredicate {
+    /// Compiles a predicate. An empty dimension stays "unconstrained";
+    /// constrained dimensions become sorted slices probed by binary
+    /// search.
+    pub fn compile(p: &Predicate) -> CompiledPredicate {
+        CompiledPredicate {
+            pids: sorted_slice(&p.pids),
+            gids: sorted_slice(&p.gids),
+            ports: sorted_slice(&p.ports),
+        }
+    }
+
+    /// True if this predicate has no constraints.
+    pub fn is_match_all(&self) -> bool {
+        self.pids.is_none() && self.gids.is_none() && self.ports.is_none()
+    }
+
+    /// Evaluates the compiled predicate; exact same semantics as
+    /// [`Predicate::matches`], without touching the heap.
+    #[inline]
+    pub fn matches(&self, event: &Event, gid_of: impl Fn(Pid) -> Option<GroupId>) -> bool {
+        if let Some(pids) = &self.pids {
+            match event.payload.pid() {
+                Some(pid) if pids.binary_search(&pid).is_ok() => {}
+                _ => return false,
+            }
+        }
+        if let Some(gids) = &self.gids {
+            match event.payload.pid().and_then(&gid_of) {
+                Some(gid) if gids.binary_search(&gid).is_ok() => {}
+                _ => return false,
+            }
+        }
+        if let Some(ports) = &self.ports {
+            if let EventPayload::Net { flow, .. } = &event.payload {
+                let touches = ports.binary_search(&flow.src.port).is_ok()
+                    || ports.binary_search(&flow.dst.port).is_ok();
+                if !touches {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +232,43 @@ mod tests {
         assert!(!p.matches(&net_ev(777, 888), NO_GID));
         // Non-network events are unaffected by the port dimension.
         assert!(p.matches(&ev(EventPayload::ProcessWake { pid: Pid(1) }), NO_GID));
+    }
+
+    #[test]
+    fn compiled_predicate_mirrors_interpreted() {
+        let table = |pid: Pid| (pid == Pid(7)).then_some(GroupId(3));
+        let preds = [
+            Predicate::new(),
+            Predicate::new().pids([Pid(5)]),
+            Predicate::new().gids([GroupId(3)]),
+            Predicate::new().ports([Port(2049)]),
+            Predicate::new().pids([Pid(7)]).gids([GroupId(3)]),
+            Predicate::new().pids([Pid(1)]).ports([Port(80)]),
+        ];
+        let events = [
+            ev(EventPayload::ProcessWake { pid: Pid(5) }),
+            ev(EventPayload::ProcessWake { pid: Pid(7) }),
+            ev(EventPayload::ContextSwitch {
+                from: None,
+                to: None,
+            }),
+            net_ev(2049, 777),
+            net_ev(777, 2049),
+            net_ev(777, 888),
+            net_ev(80, 5),
+        ];
+        for p in &preds {
+            let c = CompiledPredicate::compile(p);
+            assert_eq!(c.is_match_all(), p.is_match_all());
+            for e in &events {
+                assert_eq!(
+                    c.matches(e, table),
+                    p.matches(e, table),
+                    "{p:?} vs compiled on {:?}",
+                    e.payload
+                );
+            }
+        }
     }
 
     #[test]

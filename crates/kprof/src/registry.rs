@@ -5,7 +5,10 @@ use std::collections::HashMap;
 
 use simcore::{NodeId, SimDuration, SimTime};
 
-use crate::{Analyzer, AnalyzerId, CountingAnalyzer, Event, EventMask, EventPayload, GroupId, Pid};
+use crate::{
+    Analyzer, AnalyzerId, CompiledPredicate, CountingAnalyzer, Event, EventKind, EventMask,
+    EventPayload, GroupId, Pid,
+};
 
 /// How much CPU time each piece of the monitoring path costs. All overhead
 /// in the simulation flows through this model, so experiments can quantify
@@ -50,6 +53,9 @@ struct Slot {
     id: AnalyzerId,
     active: bool,
     mask: EventMask,
+    /// The analyzer's predicate, compiled to sorted slices at registration
+    /// so the emit loop never clones the `HashSet`-backed [`Interest`].
+    compiled: CompiledPredicate,
     analyzer: Box<dyn Analyzer>,
 }
 
@@ -76,6 +82,15 @@ pub struct Kprof {
     global_mask: EventMask,
     slots: Vec<Slot>,
     effective_mask: EventMask,
+    /// Per-kind dispatch table: `dispatch[kind as usize]` holds the slot
+    /// indices of the active analyzers interested in that kind, in
+    /// registration order. Rebuilt on every (de)registration, activation
+    /// toggle, interest update, or global-mask change — so `emit` walks
+    /// exactly the interested analyzers instead of scanning every slot.
+    dispatch: Vec<Vec<u32>>,
+    /// Scratch for buffer-full notifications, reused across emissions so
+    /// the hot path performs no heap allocation.
+    full_scratch: Vec<AnalyzerId>,
     next_analyzer: u32,
     next_seq: u64,
     cost_model: CostModel,
@@ -92,6 +107,8 @@ impl Kprof {
             global_mask: EventMask::ALL,
             slots: Vec::new(),
             effective_mask: EventMask::NONE,
+            dispatch: vec![Vec::new(); EventKind::ALL.len()],
+            full_scratch: Vec::new(),
             next_analyzer: 0,
             next_seq: 0,
             cost_model: CostModel::default(),
@@ -120,11 +137,12 @@ impl Kprof {
     pub fn register(&mut self, analyzer: Box<dyn Analyzer>) -> AnalyzerId {
         let id = AnalyzerId(self.next_analyzer);
         self.next_analyzer += 1;
-        let mask = analyzer.interest().mask;
+        let interest = analyzer.interest();
         self.slots.push(Slot {
             id,
             active: true,
-            mask,
+            mask: interest.mask,
+            compiled: CompiledPredicate::compile(&interest.predicate),
             analyzer,
         });
         self.recompute_mask();
@@ -156,7 +174,9 @@ impl Kprof {
         let Some(slot) = self.slots.iter_mut().find(|s| s.id == id) else {
             return false;
         };
-        slot.mask = slot.analyzer.interest().mask;
+        let interest = slot.analyzer.interest();
+        slot.mask = interest.mask;
+        slot.compiled = CompiledPredicate::compile(&interest.predicate);
         self.recompute_mask();
         true
     }
@@ -174,12 +194,22 @@ impl Kprof {
         self.effective_mask
     }
 
+    /// Recomputes the effective mask and rebuilds the per-kind dispatch
+    /// table. Called on every registry mutation; `emit` only reads.
     fn recompute_mask(&mut self) {
         let mut m = EventMask::NONE;
         for slot in self.slots.iter().filter(|s| s.active) {
             m |= slot.mask;
         }
         self.effective_mask = m.intersect(self.global_mask);
+        for (kind, table) in EventKind::ALL.iter().zip(self.dispatch.iter_mut()) {
+            table.clear();
+            for (idx, slot) in self.slots.iter().enumerate() {
+                if slot.active && slot.mask.contains(*kind) {
+                    table.push(idx as u32);
+                }
+            }
+        }
     }
 
     /// Builds an event stamped with this node's identity and the given
@@ -227,20 +257,18 @@ impl Kprof {
         }
 
         let mut cost = self.cost_model.enabled_hook;
-        let mut buffer_full = Vec::new();
         self.stats.events_generated += 1;
 
-        // Split borrows: the pid table is read by predicates while slots
-        // are iterated mutably.
+        // Split borrows: the dispatch table and pid table are read while
+        // slots are borrowed mutably; buffer-full ids go to the reusable
+        // scratch so the common path never touches the heap.
+        debug_assert!(self.full_scratch.is_empty());
         let pid_groups = &self.pid_groups;
-        for slot in self.slots.iter_mut().filter(|s| s.active) {
-            if !slot.mask.contains(kind) {
-                continue;
-            }
+        for &idx in &self.dispatch[kind as usize] {
+            let slot = &mut self.slots[idx as usize];
             cost += self.cost_model.per_delivery;
-            let interest = slot.analyzer.interest();
-            if !interest
-                .predicate
+            if !slot
+                .compiled
                 .matches(event, |pid| pid_groups.get(&pid).copied())
             {
                 self.stats.predicate_rejections += 1;
@@ -250,11 +278,19 @@ impl Kprof {
             cost += outcome.cost;
             self.stats.events_delivered += 1;
             if outcome.buffer_full {
-                buffer_full.push(slot.id);
+                self.full_scratch.push(slot.id);
             }
         }
 
         self.stats.total_overhead += cost;
+        let buffer_full = if self.full_scratch.is_empty() {
+            Vec::new()
+        } else {
+            // Rare path: hand the accumulated ids to the caller. The
+            // scratch is left empty (and re-grows its small capacity on
+            // the next buffer-full emission).
+            std::mem::take(&mut self.full_scratch)
+        };
         EmitResult { cost, buffer_full }
     }
 
@@ -493,6 +529,46 @@ mod tests {
         assert_eq!(kprof.stats().events_delivered, 2);
         wake(&mut kprof, 2); // unknown pid -> rejected
         assert_eq!(kprof.stats().predicate_rejections, 1);
+    }
+
+    #[test]
+    fn buffer_full_ids_survive_scratch_reuse() {
+        struct AlwaysFull;
+        impl Analyzer for AlwaysFull {
+            fn name(&self) -> &str {
+                "always-full"
+            }
+            fn interest(&self) -> Interest {
+                Interest {
+                    mask: EventMask::SCHEDULING,
+                    predicate: Predicate::new(),
+                }
+            }
+            fn on_event(&mut self, _e: &Event) -> AnalyzerOutcome {
+                AnalyzerOutcome {
+                    cost: SimDuration::ZERO,
+                    buffer_full: true,
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut kprof = Kprof::new(NodeId(0));
+        let quiet = kprof.register(Box::new(CountingAnalyzer::new(EventMask::SCHEDULING)));
+        let full = kprof.register(Box::new(AlwaysFull));
+        // The scratch is drained into each result, never carried over.
+        for _ in 0..3 {
+            let r = wake(&mut kprof, 1);
+            assert_eq!(r.buffer_full, vec![full]);
+        }
+        kprof.set_active(full, false);
+        let r = wake(&mut kprof, 1);
+        assert!(r.buffer_full.is_empty());
+        let _ = quiet;
     }
 
     #[test]

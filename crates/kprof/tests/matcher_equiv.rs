@@ -1,0 +1,198 @@
+//! Pins the equivalence promised by [`kprof::CompiledPredicate`]: the
+//! flat sorted-slice matchers the registry probes on the emit hot path
+//! accept and reject exactly the events the `HashSet`-backed
+//! [`kprof::Predicate`] interpreter does — including the registry-level
+//! consequence that `KprofStats::predicate_rejections` is unchanged by
+//! the compiled dispatch path.
+
+use kprof::{
+    Analyzer, AnalyzerOutcome, CompiledPredicate, CountingAnalyzer, Event, EventMask, EventPayload,
+    GroupId, Interest, Kprof, NetPoint, Pid, Predicate,
+};
+use proptest::prelude::*;
+use simcore::{NodeId, SimRng, SimTime};
+use simnet::{EndPoint, FlowKey, Ip, PacketId, Port};
+
+fn random_predicate(rng: &mut SimRng) -> Predicate {
+    let mut p = Predicate::new();
+    if rng.chance(0.5) {
+        let n = rng.uniform_u64(0, 5) as usize;
+        p = p.pids((0..n).map(|_| Pid(rng.uniform_u64(1, 9) as u32)));
+    }
+    if rng.chance(0.5) {
+        let n = rng.uniform_u64(0, 4) as usize;
+        p = p.gids((0..n).map(|_| GroupId(rng.uniform_u64(1, 6) as u32)));
+    }
+    if rng.chance(0.5) {
+        let n = rng.uniform_u64(0, 4) as usize;
+        p = p.ports((0..n).map(|_| Port(rng.uniform_u64(1, 100) as u16)));
+    }
+    p
+}
+
+fn random_payload(rng: &mut SimRng) -> EventPayload {
+    match rng.index(5) {
+        0 => EventPayload::ProcessWake {
+            pid: Pid(rng.uniform_u64(1, 9) as u32),
+        },
+        1 => EventPayload::ContextSwitch {
+            from: None,
+            to: None,
+        },
+        2 | 3 => {
+            let src = Port(rng.uniform_u64(1, 100) as u16);
+            let dst = Port(rng.uniform_u64(1, 100) as u16);
+            let pid = if rng.chance(0.7) {
+                Some(Pid(rng.uniform_u64(1, 9) as u32))
+            } else {
+                None
+            };
+            EventPayload::Net {
+                point: NetPoint::RxNic,
+                flow: FlowKey::new(EndPoint::new(Ip(1), src), EndPoint::new(Ip(2), dst)),
+                packet: PacketId(0),
+                size: 64,
+                pid,
+                arm: None,
+            }
+        }
+        _ => EventPayload::ContextSwitch {
+            from: Some(Pid(rng.uniform_u64(1, 9) as u32)),
+            to: Some(Pid(rng.uniform_u64(1, 9) as u32)),
+        },
+    }
+}
+
+fn event(payload: EventPayload) -> Event {
+    Event {
+        seq: 0,
+        node: NodeId(0),
+        cpu: 0,
+        wall: SimTime::ZERO,
+        payload,
+    }
+}
+
+/// Executable generative sweep: 300 random predicates, each probed with
+/// 64 random events against a random pid→gid table.
+#[test]
+fn compiled_matcher_equals_interpreter_on_random_predicates() {
+    let mut rng = SimRng::seed(0xC0_11EC7);
+    let mut agree = 0u64;
+    for case in 0..300 {
+        let pred = random_predicate(&mut rng);
+        let compiled = CompiledPredicate::compile(&pred);
+        assert_eq!(compiled.is_match_all(), pred.is_match_all());
+        // A random partial pid→gid table, like the registry's.
+        let table: Vec<Option<GroupId>> = (0..10)
+            .map(|_| {
+                rng.chance(0.6)
+                    .then(|| GroupId(rng.uniform_u64(1, 6) as u32))
+            })
+            .collect();
+        let gid_of = |pid: Pid| table.get(pid.0 as usize).copied().flatten();
+        for _ in 0..64 {
+            let ev = event(random_payload(&mut rng));
+            let interpreted = pred.matches(&ev, gid_of);
+            let fast = compiled.matches(&ev, gid_of);
+            assert_eq!(
+                fast, interpreted,
+                "case {case}: {pred:?} disagrees on {:?}",
+                ev.payload
+            );
+            agree += 1;
+        }
+    }
+    assert_eq!(agree, 300 * 64);
+}
+
+struct Filtered {
+    predicate: Predicate,
+}
+
+impl Analyzer for Filtered {
+    fn name(&self) -> &str {
+        "filtered"
+    }
+    fn interest(&self) -> Interest {
+        Interest {
+            mask: EventMask::ALL,
+            predicate: self.predicate.clone(),
+        }
+    }
+    fn on_event(&mut self, _e: &Event) -> AnalyzerOutcome {
+        AnalyzerOutcome::default()
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Registry-level consequence: `predicate_rejections` through the
+/// compiled dispatch path equals a manual count made with the
+/// interpreted `Predicate::matches` over the same event stream.
+#[test]
+fn registry_rejection_counts_match_interpreter() {
+    let mut rng = SimRng::seed(0xD15BA7C);
+    for case in 0..50 {
+        let pred = random_predicate(&mut rng);
+        let mut kprof = Kprof::new(NodeId(0));
+        kprof.register(Box::new(CountingAnalyzer::new(EventMask::ALL)));
+        kprof.register(Box::new(Filtered {
+            predicate: pred.clone(),
+        }));
+
+        let mut expected_rejections = 0u64;
+        let mut expected_delivered = 0u64;
+        for _ in 0..256 {
+            let payload = random_payload(&mut rng);
+            let ev = kprof.make_event(SimTime::ZERO, 0, payload);
+            // The registry table is empty here (no ProcessCreate events),
+            // mirroring `gid_of = |_| None`.
+            if pred.matches(&ev, |_| None) {
+                expected_delivered += 1;
+            } else {
+                expected_rejections += 1;
+            }
+            kprof.emit(&ev);
+        }
+        let stats = kprof.stats();
+        assert_eq!(
+            stats.predicate_rejections, expected_rejections,
+            "case {case}: {pred:?}"
+        );
+        // CountingAnalyzer (match-all) sees every event; Filtered sees
+        // the interpreter-accepted subset.
+        assert_eq!(stats.events_delivered, 256 + expected_delivered);
+    }
+}
+
+proptest! {
+    /// Documentation of the property the seeded sweeps above execute:
+    /// for every predicate built from arbitrary pid/gid/port sets and
+    /// every event, `CompiledPredicate::compile(&p).matches(e, t) ==
+    /// p.matches(e, t)`.
+    #[test]
+    fn prop_compiled_matches_interpreted(
+        pids in collection::vec(1u32..9, 0..5),
+        gids in collection::vec(1u32..6, 0..4),
+        ports in collection::vec(1u16..100, 0..4),
+    ) {
+        let p = Predicate::new()
+            .pids(pids.iter().map(|&x| Pid(x)))
+            .gids(gids.iter().map(|&x| GroupId(x)))
+            .ports(ports.iter().map(|&x| Port(x)));
+        let c = CompiledPredicate::compile(&p);
+        let e = Event {
+            seq: 0,
+            node: NodeId(0),
+            cpu: 0,
+            wall: SimTime::ZERO,
+            payload: EventPayload::ProcessWake { pid: Pid(1) },
+        };
+        prop_assert_eq!(c.matches(&e, |_| None), p.matches(&e, |_| None));
+    }
+}

@@ -51,7 +51,7 @@ pub mod reliable;
 use std::collections::HashMap;
 use std::fmt;
 
-use ecode::{Instance, Program, Type, Value as EValue, VerifyLimits};
+use ecode::{Instance, Type, Value as EValue, VerifyLimits};
 use pbio::{
     read_u64, write_u64, FieldType, PbioError, RecordReader, RecordWriter, Schema, SchemaId,
     SchemaRegistry, Value,
@@ -104,9 +104,14 @@ pub const FILTER_FUEL_BUDGET: u64 = 10_000;
 /// and boolean fields as E-Code inputs by field name; string/bytes fields
 /// are not visible to filters.
 struct Filter {
-    program: Program,
+    /// Persistent VM instance, reused (with fresh statics via
+    /// `reset_globals`) across evaluations so the publish hot path does
+    /// not clone the program per record.
+    instance: Instance,
     /// Indices of the record fields that are filter inputs, in input order.
     field_indices: Vec<usize>,
+    /// Reusable input scratch, rebuilt from the record each evaluation.
+    inputs: Vec<EValue>,
     /// Statically proven worst-case fuel per evaluation.
     fuel_bound: u64,
 }
@@ -133,29 +138,31 @@ impl Filter {
         .map_err(PubSubError::BadFilter)?;
         let (program, report) = verified.into_parts();
         Ok(Filter {
-            program,
+            instance: Instance::new(&program),
             field_indices,
+            inputs: Vec::new(),
             fuel_bound: report.fuel_bound,
         })
     }
 
     /// Returns whether the record passes, plus the fuel spent deciding.
-    fn passes(&self, values: &[Value]) -> (bool, u64) {
-        let inputs: Vec<EValue> = self
-            .field_indices
-            .iter()
-            .map(|&i| match &values[i] {
+    fn passes(&mut self, values: &[Value]) -> (bool, u64) {
+        self.inputs.clear();
+        for &i in &self.field_indices {
+            self.inputs.push(match &values[i] {
                 Value::U64(v) => EValue::Int(*v as i64),
                 Value::I64(v) => EValue::Int(*v),
                 Value::F64(v) => EValue::Double(*v),
                 Value::Bool(v) => EValue::Bool(*v),
                 Value::Str(_) | Value::Bytes(_) => unreachable!("filtered out at compile"),
-            })
-            .collect();
-        let mut inst = Instance::new(&self.program);
+            });
+        }
+        // Filters keep the original fresh-statics-per-evaluation
+        // semantics: reset, then run the persistent instance.
+        self.instance.reset_globals();
         // The verifier proved `fuel_bound` suffices, so granting exactly
         // that much can never abort with OutOfFuel.
-        match inst.run(&inputs, self.fuel_bound) {
+        match self.instance.run(&self.inputs, self.fuel_bound) {
             Ok(out) => (out.ret != 0, out.fuel_used),
             // Defense in depth: a runtime trap (e.g. an input-dependent
             // division by zero, which verification only warns about) fails
@@ -369,7 +376,7 @@ impl Hub {
         let subs = self.subs.get_mut(&topic).expect("checked");
         let mut out = Vec::new();
         for sub in subs.iter_mut() {
-            if let Some(filter) = &sub.filter {
+            if let Some(filter) = sub.filter.as_mut() {
                 let (pass, fuel) = filter.passes(values);
                 self.filter_fuel += fuel;
                 if !pass {

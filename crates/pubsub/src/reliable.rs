@@ -19,6 +19,7 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
+use bytes::Bytes;
 use pbio::{read_u64, write_u64};
 use simcore::{SimDuration, SimTime};
 
@@ -29,9 +30,17 @@ pub const MAX_SEQ_HEADER_BYTES: usize = 10;
 /// (varint-encoded, like all pbio integers).
 pub fn encode_batch(seq: u64, payload: &[u8]) -> Vec<u8> {
     let mut wire = Vec::with_capacity(MAX_SEQ_HEADER_BYTES + payload.len());
-    write_u64(&mut wire, seq);
-    wire.extend_from_slice(payload);
+    encode_batch_into(seq, payload, &mut wire);
     wire
+}
+
+/// [`encode_batch`] into a caller-owned buffer (cleared first), so batch
+/// encoding on the hot path can reuse one allocation across batches.
+pub fn encode_batch_into(seq: u64, payload: &[u8], wire: &mut Vec<u8>) {
+    wire.clear();
+    wire.reserve(MAX_SEQ_HEADER_BYTES + payload.len());
+    write_u64(wire, seq);
+    wire.extend_from_slice(payload);
 }
 
 /// Splits a wire batch into `(seq, payload)`. Returns `None` on truncated
@@ -68,7 +77,9 @@ impl Default for ResendConfig {
 #[derive(Debug, Clone)]
 struct ResendEntry {
     seq: u64,
-    wire: Vec<u8>,
+    /// Immutable, refcounted wire bytes: retransmission hands out cheap
+    /// shared views instead of copying the payload.
+    wire: Bytes,
     last_sent: SimTime,
     retries: u32,
 }
@@ -107,7 +118,12 @@ impl ResendBuffer {
     /// increasing order. Evicts oldest entries beyond the byte cap —
     /// an evicted batch can never be retransmitted, so evictions are
     /// counted (the stream's receiver will eventually abandon that gap).
-    pub fn push(&mut self, now: SimTime, seq: u64, wire: Vec<u8>) {
+    ///
+    /// Accepts anything convertible to [`Bytes`]; a `Vec<u8>` converts
+    /// without copying, and a `Bytes` already shared with the original
+    /// send is stored refcounted.
+    pub fn push(&mut self, now: SimTime, seq: u64, wire: impl Into<Bytes>) {
+        let wire = wire.into();
         debug_assert!(
             self.entries.back().map(|e| e.seq < seq).unwrap_or(true),
             "resend buffer requires increasing sequence numbers"
@@ -141,10 +157,11 @@ impl ResendBuffer {
         freed
     }
 
-    /// Clones the wire bytes of every held batch in `[from, to]` for a
+    /// Shares the wire bytes of every held batch in `[from, to]` for a
     /// NACK-triggered retransmit, marking them as re-sent at `now`.
     /// Batches already evicted (or already acked) are simply absent.
-    pub fn retransmit_range(&mut self, now: SimTime, from: u64, to: u64) -> Vec<(u64, Vec<u8>)> {
+    /// The returned [`Bytes`] are refcounted views — no payload copies.
+    pub fn retransmit_range(&mut self, now: SimTime, from: u64, to: u64) -> Vec<(u64, Bytes)> {
         let mut out = Vec::new();
         for e in &mut self.entries {
             if e.seq >= from && e.seq <= to {
@@ -158,8 +175,8 @@ impl ResendBuffer {
 
     /// Batches whose retransmit deadline has passed at `now`: each is
     /// marked re-sent (doubling its next backoff) and returned for the
-    /// caller to put back on the wire.
-    pub fn due(&mut self, now: SimTime) -> Vec<(u64, Vec<u8>)> {
+    /// caller to put back on the wire as refcounted shared views.
+    pub fn due(&mut self, now: SimTime) -> Vec<(u64, Bytes)> {
         let config = self.config;
         let mut out = Vec::new();
         for e in &mut self.entries {
@@ -388,6 +405,27 @@ mod tests {
     }
 
     #[test]
+    fn retransmits_share_payload_allocation() {
+        let mut buf = ResendBuffer::new(ResendConfig::default());
+        let wire = Bytes::from(encode_batch(1, &[7u8; 64]));
+        buf.push(t(0), 1, wire.clone());
+        let rt = buf.retransmit_range(t(5), 1, 1);
+        assert_eq!(rt.len(), 1);
+        // Same backing allocation as the original send — a refcounted
+        // view, not a copy.
+        assert!(std::ptr::eq(
+            rt[0].1.as_ref().as_ptr(),
+            wire.as_ref().as_ptr()
+        ));
+        let due = buf.due(t(10_000));
+        assert_eq!(due.len(), 1);
+        assert!(std::ptr::eq(
+            due[0].1.as_ref().as_ptr(),
+            wire.as_ref().as_ptr()
+        ));
+    }
+
+    #[test]
     fn byte_cap_evicts_oldest_and_counts() {
         let config = ResendConfig {
             cap_bytes: 250,
@@ -442,12 +480,12 @@ mod tests {
             });
             let mut receiver = Reassembler::new();
             let mut delivered: Vec<u64> = Vec::new();
-            let mut in_flight: Vec<(u64, Vec<u8>)> = Vec::new();
+            let mut in_flight: Vec<(u64, Bytes)> = Vec::new();
             let mut now = SimTime::ZERO;
 
             for seq in 1..=total {
                 now += SimDuration::from_millis(1);
-                let wire = encode_batch(seq, &[case as u8]);
+                let wire = Bytes::from(encode_batch(seq, &[case as u8]));
                 sender.push(now, seq, wire.clone());
                 if !rng.chance(loss_p) {
                     in_flight.push((seq, wire.clone()));

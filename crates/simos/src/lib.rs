@@ -54,6 +54,7 @@ pub mod programs;
 mod socket;
 mod world;
 
+pub use bytes::Bytes;
 pub use config::{CostConfig, NodeConfig};
 pub use disk::{Disk, DiskSpec};
 pub use node::{CpuUsage, NodeStats};

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
 use kprof::{AnalyzerId, BlockReason, EventPayload, GroupId, Kprof, NetPoint, Pid, SyscallKind};
 use simcore::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
 use simnet::{
@@ -127,8 +128,10 @@ pub struct KernelSend {
     pub src_port: Port,
     /// Application-level kind discriminant.
     pub kind: u32,
-    /// Payload carried out-of-band to the receiving sink.
-    pub data: Vec<u8>,
+    /// Payload carried out-of-band to the receiving sink. A refcounted
+    /// [`Bytes`], so a sender that also buffers the wire for
+    /// retransmission shares one allocation with the in-flight copy.
+    pub data: Bytes,
 }
 
 /// Output of a kernel sink or daemon-hook invocation.
@@ -153,7 +156,7 @@ pub trait KernelSink {
         node: NodeId,
         src: EndPoint,
         msg: Message,
-        data: Vec<u8>,
+        data: Bytes,
     ) -> KernelOutput;
 }
 
@@ -306,7 +309,7 @@ pub struct World {
     daemon_hooks: HashMap<NodeId, Box<dyn DaemonHook>>,
     /// Out-of-band payloads for sink-bound messages, keyed by (rx flow,
     /// msg id).
-    inflight_data: HashMap<(FlowKey, u64), Vec<Vec<u8>>>,
+    inflight_data: HashMap<(FlowKey, u64), Vec<Bytes>>,
     conn_setup_delay: SimDuration,
 }
 
@@ -625,8 +628,9 @@ impl World {
         src_port: Port,
         dst: EndPoint,
         kind: u32,
-        data: Vec<u8>,
+        data: impl Into<Bytes>,
     ) -> u64 {
+        let data = data.into();
         let now = self.now();
         let n = &mut self.nodes[node.0 as usize];
         let msg_id = n.next_msg;
@@ -2194,7 +2198,7 @@ mod tests {
 
     #[test]
     fn kernel_send_reaches_sink_with_data() {
-        type Got = std::rc::Rc<std::cell::RefCell<Vec<(u32, Vec<u8>)>>>;
+        type Got = std::rc::Rc<std::cell::RefCell<Vec<(u32, Bytes)>>>;
         struct Recorder {
             got: Got,
         }
@@ -2205,7 +2209,7 @@ mod tests {
                 _node: NodeId,
                 _src: EndPoint,
                 msg: Message,
-                data: Vec<u8>,
+                data: Bytes,
             ) -> KernelOutput {
                 self.got.borrow_mut().push((msg.kind, data));
                 KernelOutput {

@@ -173,6 +173,15 @@ fn proxy_under_chaos(seed: u64) -> String {
             .map(|d| d.retransmits)
             .sum();
         assert!(retransmits > 0, "daemons retransmitted");
+        let shared_bytes: u64 = [relay, backend]
+            .iter()
+            .filter_map(|&n| sysprof.daemon_stats(n))
+            .map(|d| d.resend_bytes_shared)
+            .sum();
+        assert!(
+            shared_bytes > 0,
+            "every retransmit was served from the shared resend buffers"
+        );
 
         // Delivery invariants: exactly-once, in-order, fully converged.
         let distinct = check_invariants(&g);
