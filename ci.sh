@@ -1,8 +1,24 @@
 #!/usr/bin/env bash
-# Local CI: formatting, lints (deny warnings), and the full test suite.
-# Run from the repo root. Mirrors what a hosted pipeline would do.
+# Local CI: formatting, lints (deny warnings), static analysis, and the
+# full test suite. Run from the repo root. Mirrors what a hosted
+# pipeline would do.
+#
+#   ./ci.sh            full pipeline
+#   ./ci.sh --analyze  only the static-analysis gate (fast pre-commit check)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+run_analyzer() {
+    echo "==> sysprof-analyzer (determinism + unsafe hygiene, hard gate)"
+    # Exit 1 = unwaived findings, 2 = bad analyzer.toml; both fail CI.
+    cargo run -q -p sysprof-analyzer -- --quiet
+}
+
+if [[ "${1:-}" == "--analyze" ]]; then
+    run_analyzer
+    echo "ANALYZE OK"
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -10,11 +26,24 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+run_analyzer
+
 echo "==> cargo test"
 cargo test --workspace -q
 
 echo "==> cargo test (release)"
 cargo test --release -q
+
+echo "==> miri (VM unsafe-path smoke)"
+# The VM is the one crate with unsafe code; run its dedicated suite under
+# Miri when a nightly toolchain with Miri is available. The container
+# image is offline, so absence is tolerated — the same suite already ran
+# natively as part of the workspace tests above.
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="${MIRIFLAGS:-}" cargo +nightly miri test -p ecode --test miri_vm
+else
+    echo "--> miri not installed; skipping (suite ran natively in cargo test)"
+fi
 
 echo "==> bench smoke (hot path)"
 # Short hot-path run: exercises the emit->dispatch->VM->encode pipeline in

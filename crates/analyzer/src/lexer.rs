@@ -1,0 +1,327 @@
+//! A small Rust lexer: just enough to walk real workspace sources
+//! without being fooled by strings or comments.
+//!
+//! The analyzer has no `syn` available (offline build), so rules work
+//! on a token stream of identifiers and punctuation with line numbers.
+//! String and character literals are dropped entirely (their content
+//! must never trigger a rule); comments are dropped from the token
+//! stream but collected separately so the `U0001` rule can look for
+//! adjacent `// SAFETY:` comments.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unsafe`, `iter`, `HashMap`, ...).
+    Ident(String),
+    /// Single punctuation character (`.`, `:`, `<`, `(`, ...).
+    Punct(char),
+    /// Integer/float literal (content irrelevant to the rules).
+    Number,
+    /// String, raw-string, char, or byte literal (content dropped).
+    Literal,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment plus the 1-based line it starts on. Block comments produce
+/// one entry per line they cover so adjacency checks stay line-based.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<SpannedTok>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Whether any comment on `line` (or a block comment covering it)
+    /// contains `needle`.
+    pub fn comment_on_line_contains(&self, line: u32, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line == line && c.text.contains(needle))
+    }
+}
+
+/// Lexes Rust source. Unterminated constructs simply end at EOF — the
+/// workspace compiles, so malformed input only occurs in fixtures.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Consumes up to and including index `end`, counting newlines.
+    macro_rules! advance_to {
+        ($end:expr) => {{
+            while i < $end {
+                if b[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                let mut end = i;
+                while end < b.len() && b[end] != b'\n' {
+                    end += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..end].to_string(),
+                });
+                advance_to!(end);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment (nesting respected); one Comment entry
+                // per covered line.
+                let mut depth = 1usize;
+                let mut end = i + 2;
+                while end < b.len() && depth > 0 {
+                    if b[end] == b'/' && b.get(end + 1) == Some(&b'*') {
+                        depth += 1;
+                        end += 2;
+                    } else if b[end] == b'*' && b.get(end + 1) == Some(&b'/') {
+                        depth -= 1;
+                        end += 2;
+                    } else {
+                        end += 1;
+                    }
+                }
+                for (k, part) in src[i..end].lines().enumerate() {
+                    out.comments.push(Comment {
+                        line: line + k as u32,
+                        text: part.to_string(),
+                    });
+                }
+                advance_to!(end);
+            }
+            b'"' => {
+                let end = scan_string(b, i);
+                out.toks.push(SpannedTok {
+                    tok: Tok::Literal,
+                    line,
+                });
+                advance_to!(end);
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let end = scan_raw_or_byte_string(b, i);
+                out.toks.push(SpannedTok {
+                    tok: Tok::Literal,
+                    line,
+                });
+                advance_to!(end);
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime is `'ident` not
+                // followed by a closing quote.
+                if let Some(end) = scan_char_literal(b, i) {
+                    out.toks.push(SpannedTok {
+                        tok: Tok::Literal,
+                        line,
+                    });
+                    advance_to!(end);
+                } else {
+                    // Lifetime: emit the quote as punct, idents follow.
+                    out.toks.push(SpannedTok {
+                        tok: Tok::Punct('\''),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                let mut end = i;
+                while end < b.len() && (b[end] == b'_' || b[end].is_ascii_alphanumeric()) {
+                    end += 1;
+                }
+                out.toks.push(SpannedTok {
+                    tok: Tok::Ident(src[start..end].to_string()),
+                    line,
+                });
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i;
+                while end < b.len()
+                    && (b[end] == b'_'
+                        || b[end] == b'.' && b.get(end + 1).is_some_and(u8::is_ascii_digit)
+                        || b[end].is_ascii_alphanumeric())
+                {
+                    end += 1;
+                }
+                out.toks.push(SpannedTok {
+                    tok: Tok::Number,
+                    line,
+                });
+                i = end;
+            }
+            c => {
+                out.toks.push(SpannedTok {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn scan_string(b: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    // r"..." | r#"..."# | br"..." | b"..." handled here only when the
+    // prefix really starts a string; `r` / `b` as identifiers fall
+    // through to ident lexing.
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match b.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(b.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn scan_raw_or_byte_string(b: &[u8], start: usize) -> usize {
+    let mut i = start;
+    // Skip the b/r prefix characters.
+    while i < b.len() && (b[i] == b'b' || b[i] == b'r') {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'\'') {
+        // Byte char literal b'x'.
+        return scan_char_literal(b, i).unwrap_or(b.len());
+    }
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return i; // not actually a string; be permissive
+    }
+    i += 1;
+    let raw = hashes > 0 || b[start] == b'r' || (b[start] == b'b' && b[start + 1] == b'r');
+    while i < b.len() {
+        match b[i] {
+            b'\\' if !raw => i += 2,
+            b'"' => {
+                let mut k = 0usize;
+                while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn scan_char_literal(b: &[u8], start: usize) -> Option<usize> {
+    // start points at the opening quote. Returns None for lifetimes.
+    let mut i = start + 1;
+    if i >= b.len() {
+        return None;
+    }
+    if b[i] == b'\\' {
+        i += 2;
+        while i < b.len() && b[i] != b'\'' {
+            i += 1; // \u{...} escapes
+        }
+        return (i < b.len()).then_some(i + 1);
+    }
+    // One (possibly multi-byte) character then a closing quote.
+    let mut j = i + 1;
+    while j < b.len() && (b[j] & 0xC0) == 0x80 {
+        j += 1; // UTF-8 continuation bytes
+    }
+    (b.get(j) == Some(&b'\'')).then_some(j + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_leak_tokens() {
+        let src = r##"
+// Instant::now in a comment
+let x = "Instant::now in a string";
+let y = r#"unsafe in a raw string"#;
+let z = 'u'; // char
+"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert_eq!(ids, vec!["let", "x", "let", "y", "let", "z"]);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "fn f() {\n    // SAFETY: fine\n    unsafe { op() }\n}\n";
+        let lexed = lex(src);
+        assert!(lexed.comment_on_line_contains(2, "SAFETY"));
+        assert!(!lexed.comment_on_line_contains(3, "SAFETY"));
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.tok == Tok::Ident("unsafe".into()) && t.line == 3));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) {}");
+        assert!(ids.contains(&"a".to_string()));
+        assert!(ids.contains(&"str".to_string()));
+    }
+}

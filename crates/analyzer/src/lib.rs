@@ -1,0 +1,156 @@
+//! sysprof-analyzer: workspace determinism and unsafe-code hygiene.
+//!
+//! The reproduction's headline property is that a scenario seed fully
+//! determines every trace, dump, and wire byte. That property is easy
+//! to lose one innocuous line at a time — a `HashMap` iterated into a
+//! report here, an `Instant::now()` there — and such regressions are
+//! invisible to `cargo test` until two runs happen to disagree. This
+//! crate makes the property checkable: a token-level static pass over
+//! the whole workspace with a small rule catalog, run by `ci.sh` as a
+//! hard gate.
+//!
+//! Rule catalog (see [`rules`] for the heuristics):
+//!
+//! | code  | guards against |
+//! |-------|----------------|
+//! | D0001 | wall-clock time sources outside bench/CLI code |
+//! | D0002 | hash-ordered iteration observable in output/wire/scheduling |
+//! | D0003 | OS entropy bypassing the seeded `SimRng` streams |
+//! | D0004 | real threads/atomics outside the simulation model |
+//! | U0001 | `unsafe` without an adjacent `// SAFETY:` comment |
+//! | U0002 | raw-pointer arithmetic outside the E-Code VM |
+//!
+//! Findings are fixed, not silenced; the rare genuinely-sound site is
+//! waived in `analyzer.toml` with a written justification ([`waiver`]).
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+pub mod waiver;
+
+use std::io;
+use std::path::Path;
+
+use diag::Diagnostic;
+use waiver::Waiver;
+
+/// The outcome of analyzing a workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Every finding, waived ones included, in (file, line) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Waivers that matched nothing — stale config worth cleaning up.
+    pub unused_waivers: Vec<Waiver>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that fail the CI gate (errors without a waiver).
+    pub fn blocking(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_blocking())
+    }
+
+    pub fn waived_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.waived_by.is_some())
+            .count()
+    }
+}
+
+/// Analyzes a single file's source text (workspace-relative `rel` path
+/// decides path-based rule exemptions). Excerpts are captured; waivers
+/// are applied by the caller.
+pub fn analyze_source(rel: &Path, src: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut diags = rules::run_all(rel, &lexed, src);
+    for d in &mut diags {
+        d.excerpt = lines
+            .get(d.line.saturating_sub(1) as usize)
+            .map(|l| l.to_string());
+    }
+    diags
+}
+
+/// Runs the full pass: discover sources under `root`, analyze each,
+/// then apply `waivers` (first matching waiver wins per finding).
+pub fn analyze_workspace(root: &Path, waivers: &[Waiver]) -> io::Result<Report> {
+    let files = scan::rust_sources(root)?;
+    let files_scanned = files.len();
+    let mut diagnostics = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        diagnostics.extend(analyze_source(rel, &src));
+    }
+    let mut used = vec![false; waivers.len()];
+    for d in &mut diagnostics {
+        if let Some((i, w)) = waivers.iter().enumerate().find(|(_, w)| w.covers(d)) {
+            d.waived_by = Some(w.label());
+            used[i] = true;
+        }
+    }
+    let unused_waivers = waivers
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(w, _)| w.clone())
+        .collect();
+    Ok(Report {
+        diagnostics,
+        unused_waivers,
+        files_scanned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn analyze_source_captures_excerpts() {
+        let src = "fn f() {\n    let t = Instant::now();\n}\n";
+        let diags = analyze_source(&PathBuf::from("crates/x/src/lib.rs"), src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "D0001");
+        assert_eq!(
+            diags[0].excerpt.as_deref(),
+            Some("    let t = Instant::now();")
+        );
+    }
+
+    #[test]
+    fn waiver_application_marks_used_and_unused() {
+        let src = "fn f() {\n    let t = Instant::now();\n}\n";
+        let dir = std::env::temp_dir().join("analyzer-lib-test");
+        let crate_dir = dir.join("src");
+        std::fs::create_dir_all(&crate_dir).unwrap();
+        std::fs::write(crate_dir.join("lib.rs"), src).unwrap();
+        let waivers = vec![
+            Waiver {
+                rule: "D0001".into(),
+                file: "src/lib.rs".into(),
+                context: Some("Instant::now".into()),
+                justification: "test".into(),
+                defined_at: 1,
+            },
+            Waiver {
+                rule: "D0003".into(),
+                file: "nope.rs".into(),
+                context: None,
+                justification: "stale".into(),
+                defined_at: 5,
+            },
+        ];
+        let report = analyze_workspace(&dir, &waivers).unwrap();
+        assert_eq!(report.blocking().count(), 0);
+        assert_eq!(report.waived_count(), 1);
+        assert_eq!(report.unused_waivers.len(), 1);
+        assert_eq!(report.unused_waivers[0].rule, "D0003");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,103 @@
+//! CLI for the workspace analyzer.
+//!
+//! ```text
+//! cargo run -p sysprof-analyzer             # analyze ., waivers from ./analyzer.toml
+//! cargo run -p sysprof-analyzer -- --root DIR [--config FILE] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean (all findings waived), 1 unwaived findings,
+//! 2 configuration or I/O error. `ci.sh` treats nonzero as a hard
+//! failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config = Some(PathBuf::from(v)),
+                None => return usage("--config needs a value"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "sysprof-analyzer [--root DIR] [--config FILE] [--quiet]\n\
+                     Static determinism (D-rules) and unsafe-hygiene (U-rules) pass.\n\
+                     Exit: 0 clean, 1 unwaived findings, 2 config/I-O error."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let config_path = config.unwrap_or_else(|| root.join("analyzer.toml"));
+    let waivers = match std::fs::read_to_string(&config_path) {
+        Ok(text) => match sysprof_analyzer::waiver::parse(&text) {
+            Ok(ws) => ws,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        // No waiver file is a valid (stricter) configuration.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => {
+            eprintln!("error: reading {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match sysprof_analyzer::analyze_workspace(&root, &waivers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let blocking: Vec<_> = report.blocking().collect();
+    if !quiet {
+        for d in &report.diagnostics {
+            println!("{}", d.render());
+        }
+        for w in &report.unused_waivers {
+            println!(
+                "warning: unused waiver analyzer.toml:{} ({} @ {}) — remove or fix it\n",
+                w.defined_at, w.rule, w.file
+            );
+        }
+    } else {
+        for d in &blocking {
+            println!("{d}");
+        }
+    }
+
+    println!(
+        "analyzer: {} files scanned, {} findings ({} waived), {} unwaived",
+        report.files_scanned,
+        report.diagnostics.len(),
+        report.waived_count(),
+        blocking.len()
+    );
+    if blocking.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}\nusage: sysprof-analyzer [--root DIR] [--config FILE] [--quiet]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,81 @@
+//! Workspace file discovery.
+//!
+//! Walks the repository for `.rs` sources, skipping build output,
+//! version control, the offline dependency shims (stand-ins for
+//! third-party crates, not workspace code), and the analyzer's own
+//! rule-violation fixtures. Paths come back sorted so diagnostics are
+//! emitted in a stable order regardless of directory-entry order.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names skipped anywhere in the tree.
+const SKIP_DIRS: &[&str] = &["target", ".git", "shims", "node_modules"];
+
+/// Workspace-relative path prefixes skipped (deliberate rule
+/// violations used by the analyzer's own golden tests).
+const SKIP_PREFIXES: &[&str] = &["crates/analyzer/tests/fixtures"];
+
+/// Returns all analyzable `.rs` files under `root`, workspace-relative,
+/// sorted.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, Path::new(""), &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(root.join(rel))?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let rel_child = rel.join(name);
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            if SKIP_PREFIXES
+                .iter()
+                .any(|p| rel_child.to_string_lossy().as_ref() == *p)
+            {
+                continue;
+            }
+            walk(root, &rel_child, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_child);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_workspace_sources_and_skips_fixtures() {
+        // The crate lives at crates/analyzer; the workspace root is two
+        // levels up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = rust_sources(&root).unwrap();
+        assert!(files.iter().any(|f| f.ends_with("src/lib.rs")));
+        assert!(files
+            .iter()
+            .any(|f| f.to_string_lossy().contains("crates/core/src/lpa.rs")));
+        assert!(!files.iter().any(|f| {
+            let s = f.to_string_lossy();
+            s.contains("fixtures") || s.contains("target/") || s.contains("shims/")
+        }));
+        // Sorted.
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

@@ -1,0 +1,270 @@
+//! `analyzer.toml` waivers.
+//!
+//! A waiver silences one rule at one site and must say *why* the site
+//! is sound despite the rule. The parser is a deliberate TOML subset —
+//! `[[waiver]]` array-of-tables with `key = "string"` entries and `#`
+//! comments — so the analyzer stays dependency-free. Anything outside
+//! the subset is a configuration error (exit code 2), not a silent
+//! skip: a typoed waiver that silently matched nothing would let a real
+//! finding through... or keep one suppressed.
+//!
+//! ```toml
+//! [[waiver]]
+//! rule = "D0004"                              # required
+//! file = "crates/kprof/tests/zero_alloc.rs"   # required, path suffix match
+//! context = "AtomicU64"                       # optional, substring of the flagged line
+//! justification = "allocation counter for the zero-alloc regression test"  # required, non-empty
+//! ```
+
+use crate::diag::Diagnostic;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    pub rule: String,
+    /// Suffix-matched against the workspace-relative path.
+    pub file: String,
+    /// If set, must be a substring of the flagged source line.
+    pub context: Option<String>,
+    pub justification: String,
+    /// 1-based line in analyzer.toml, for error messages.
+    pub defined_at: u32,
+}
+
+impl Waiver {
+    /// Whether this waiver covers `d` (whose captured excerpt is used
+    /// for the `context` check).
+    pub fn covers(&self, d: &Diagnostic) -> bool {
+        self.rule == d.code
+            && d.file.to_string_lossy().ends_with(&self.file)
+            && self
+                .context
+                .as_ref()
+                .is_none_or(|c| d.excerpt.as_ref().is_some_and(|line| line.contains(c)))
+    }
+
+    /// Short label recorded on waived diagnostics.
+    pub fn label(&self) -> String {
+        format!("analyzer.toml:{}: {}", self.defined_at, self.justification)
+    }
+}
+
+/// A configuration error: malformed file, unknown key, or a waiver
+/// missing its justification.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "analyzer.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// A `[[waiver]]` table mid-parse: every key optional until the table
+/// closes, at which point the required ones are checked.
+#[derive(Default)]
+struct Draft {
+    rule: Option<String>,
+    file: Option<String>,
+    context: Option<String>,
+    justification: Option<String>,
+    defined_at: u32,
+}
+
+impl Draft {
+    fn finish(self) -> Result<Waiver, ConfigError> {
+        let at = self.defined_at;
+        let missing = |k: &str| ConfigError {
+            line: at,
+            message: format!("waiver is missing required key `{k}`"),
+        };
+        let justification = self.justification.ok_or_else(|| missing("justification"))?;
+        if justification.trim().is_empty() {
+            return Err(ConfigError {
+                line: at,
+                message: "waiver justification must not be empty — say why the \
+                          site is sound despite the rule"
+                    .into(),
+            });
+        }
+        Ok(Waiver {
+            rule: self.rule.ok_or_else(|| missing("rule"))?,
+            file: self.file.ok_or_else(|| missing("file"))?,
+            context: self.context,
+            justification,
+            defined_at: at,
+        })
+    }
+}
+
+/// Parses the waiver list from `analyzer.toml` text.
+pub fn parse(text: &str) -> Result<Vec<Waiver>, ConfigError> {
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut cur: Option<Draft> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            if let Some(done) = cur.take() {
+                waivers.push(done.finish()?);
+            }
+            cur = Some(Draft {
+                defined_at: lineno,
+                ..Draft::default()
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("unknown table `{line}` (only [[waiver]] is supported)"),
+            });
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("expected `key = \"value\"`, got `{line}`"),
+            });
+        };
+        let key = key.trim();
+        let value = parse_string(value.trim()).ok_or_else(|| ConfigError {
+            line: lineno,
+            message: format!("value for `{key}` must be a double-quoted string"),
+        })?;
+        let Some(slots) = cur.as_mut() else {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("`{key}` outside a [[waiver]] table"),
+            });
+        };
+        let slot = match key {
+            "rule" => &mut slots.rule,
+            "file" => &mut slots.file,
+            "context" => &mut slots.context,
+            "justification" => &mut slots.justification,
+            _ => {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!(
+                        "unknown key `{key}` (expected rule/file/context/justification)"
+                    ),
+                })
+            }
+        };
+        if slot.replace(value).is_some() {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("duplicate key `{key}` in waiver"),
+            });
+        }
+    }
+    if let Some(done) = cur.take() {
+        waivers.push(done.finish()?);
+    }
+    Ok(waivers)
+}
+
+/// Strips a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a double-quoted TOML basic string (supporting `\"` and `\\`).
+fn parse_string(v: &str) -> Option<String> {
+    let inner = v.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => {
+                    out.push('\\');
+                    out.push(other);
+                }
+            }
+        } else if c == '"' {
+            return None; // unescaped quote mid-string
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_waivers_with_comments() {
+        let text = r#"
+# global comment
+[[waiver]]
+rule = "D0004"  # trailing comment
+file = "crates/kprof/tests/zero_alloc.rs"
+context = "AtomicU64"
+justification = "allocation counter"
+
+[[waiver]]
+rule = "D0002"
+file = "crates/simos/src/socket.rs"
+justification = "min key includes the id, so the minimum is unique"
+"#;
+        let ws = parse(text).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].rule, "D0004");
+        assert_eq!(ws[0].context.as_deref(), Some("AtomicU64"));
+        assert_eq!(ws[1].context, None);
+        assert_eq!(ws[1].defined_at, 9);
+    }
+
+    #[test]
+    fn empty_justification_is_a_config_error() {
+        let text = "[[waiver]]\nrule = \"D0001\"\nfile = \"x.rs\"\njustification = \"  \"\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.message.contains("justification must not be empty"));
+    }
+
+    #[test]
+    fn missing_justification_is_a_config_error() {
+        let text = "[[waiver]]\nrule = \"D0001\"\nfile = \"x.rs\"\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.message.contains("missing required key `justification`"));
+    }
+
+    #[test]
+    fn unknown_key_is_a_config_error() {
+        let text = "[[waiver]]\nrule = \"D0001\"\nfiel = \"x.rs\"\njustification = \"j\"\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.message.contains("unknown key `fiel`"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let text =
+            "[[waiver]]\nrule = \"D0002\"\nfile = \"x.rs\"\njustification = \"see issue #42\"\n";
+        let ws = parse(text).unwrap();
+        assert_eq!(ws[0].justification, "see issue #42");
+    }
+}

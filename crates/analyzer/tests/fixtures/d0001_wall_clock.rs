@@ -1,0 +1,18 @@
+// Fixture: D0001 — wall-clock time sources in simulation code.
+// Exact expected (code, line) pairs live in tests/golden.rs; the decoy
+// string/comment at the bottom must stay silent.
+
+use std::time::Instant;
+
+fn elapsed() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_micros() as u64
+}
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn decoy() {
+    let _ = "Instant::now is fine inside a string"; // and SystemTime here
+}

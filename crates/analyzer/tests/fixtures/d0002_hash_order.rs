@@ -1,0 +1,46 @@
+// Fixture: D0002 — observable HashMap/HashSet iteration order.
+// Exact expected (code, line) pairs live in tests/golden.rs.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Stats {
+    per_port: HashMap<u16, u64>,
+    seen: HashSet<u64>,
+}
+
+impl Stats {
+    // BAD: unsorted collect escapes to the caller.
+    fn dump_unsorted(&self) -> Vec<(u16, u64)> {
+        let rows: Vec<(u16, u64)> = self.per_port.iter().map(|(p, c)| (*p, *c)).collect();
+        rows
+    }
+
+    // GOOD: collect then sort by a stable key.
+    fn dump_sorted(&self) -> Vec<(u16, u64)> {
+        let mut ordered: Vec<(u16, u64)> = self.per_port.iter().map(|(p, c)| (*p, *c)).collect();
+        ordered.sort_by_key(|(p, _)| *p);
+        ordered
+    }
+
+    // GOOD: order-free terminal.
+    fn total(&self) -> u64 {
+        self.per_port.values().sum()
+    }
+
+    // BAD: first-match depends on iteration order.
+    fn any_busy(&self) -> Option<u16> {
+        self.per_port.iter().find(|(_, c)| **c > 10).map(|(p, _)| *p)
+    }
+
+    // BAD: direct for-loop in hash order.
+    fn emit_all(&self, out: &mut Vec<u64>) {
+        for v in &self.seen {
+            out.push(*v);
+        }
+    }
+
+    // GOOD: rehomed into an ordered map before iteration.
+    fn as_btree(&self) -> BTreeMap<u16, u64> {
+        self.per_port.iter().map(|(p, c)| (*p, *c)).collect::<BTreeMap<u16, u64>>()
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: D0003 — OS entropy bypassing the seeded SimRng streams.
+// Exact expected (code, line) pairs live in tests/golden.rs.
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn hasher() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}
+
+fn decoy() {
+    // thread_rng mentioned in a comment is fine.
+    let _ = "OsRng in a string is fine";
+}

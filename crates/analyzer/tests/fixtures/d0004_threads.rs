@@ -1,0 +1,18 @@
+// Fixture: D0004 — real threads/atomics outside the simulation model.
+// Exact expected (code, line) pairs live in tests/golden.rs.
+
+use std::sync::atomic::AtomicU64;
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn go() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}
+
+fn decoy() {
+    // A simos process spawn is not a thread spawn.
+    spawn_process();
+}
+
+fn spawn_process() {}

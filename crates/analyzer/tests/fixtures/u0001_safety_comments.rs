@@ -1,0 +1,18 @@
+// Fixture: U0001 — `unsafe` without an adjacent `// SAFETY:` comment.
+// Exact expected (code, line) pairs live in tests/golden.rs.
+
+fn read_undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+fn read_documented(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points to a live byte.
+    unsafe { *p }
+}
+
+// An `unsafe fn` declaration is a contract, not a use: exempt.
+unsafe fn contract_only() {}
+
+fn same_line(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: caller contract, stated on the same line.
+}

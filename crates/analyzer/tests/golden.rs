@@ -1,0 +1,117 @@
+//! Golden diagnostics per rule: each fixture under `tests/fixtures/`
+//! must produce exactly the expected (code, line) pairs — no more, no
+//! fewer. The fixtures also carry decoys (strings, comments, look-alike
+//! method names) that must stay silent, so these tests pin both the
+//! hit and the miss behavior of every rule.
+
+use std::path::PathBuf;
+
+use sysprof_analyzer::analyze_source;
+
+/// Analyzes a fixture as if it lived at a normal workspace path (rule
+/// path-exemptions must not apply to it).
+fn findings(fixture: &str, src: &str) -> Vec<(String, u32)> {
+    let rel = PathBuf::from("crates/fixture/src").join(fixture);
+    analyze_source(&rel, src)
+        .into_iter()
+        .map(|d| (d.code.to_string(), d.line))
+        .collect()
+}
+
+fn expect(fixture: &str, src: &str, want: &[(&str, u32)]) {
+    let got = findings(fixture, src);
+    let want: Vec<(String, u32)> = want.iter().map(|(c, l)| (c.to_string(), *l)).collect();
+    assert_eq!(
+        got, want,
+        "fixture {fixture}: expected {want:?}, got {got:?}"
+    );
+}
+
+#[test]
+fn d0001_wall_clock_golden() {
+    expect(
+        "d0001.rs",
+        include_str!("fixtures/d0001_wall_clock.rs"),
+        &[("D0001", 5), ("D0001", 8), ("D0001", 12), ("D0001", 13)],
+    );
+}
+
+#[test]
+fn d0002_hash_order_golden() {
+    expect(
+        "d0002.rs",
+        include_str!("fixtures/d0002_hash_order.rs"),
+        &[("D0002", 14), ("D0002", 32), ("D0002", 37)],
+    );
+}
+
+#[test]
+fn d0003_entropy_golden() {
+    expect(
+        "d0003.rs",
+        include_str!("fixtures/d0003_entropy.rs"),
+        &[("D0003", 5), ("D0003", 9), ("D0003", 10)],
+    );
+}
+
+#[test]
+fn d0004_threads_golden() {
+    expect(
+        "d0004.rs",
+        include_str!("fixtures/d0004_threads.rs"),
+        &[("D0004", 4), ("D0004", 6), ("D0004", 9)],
+    );
+}
+
+#[test]
+fn u0001_safety_comments_golden() {
+    expect(
+        "u0001.rs",
+        include_str!("fixtures/u0001_safety_comments.rs"),
+        &[("U0001", 5)],
+    );
+}
+
+#[test]
+fn u0002_ptr_math_golden() {
+    expect(
+        "u0002.rs",
+        include_str!("fixtures/u0002_ptr_math.rs"),
+        &[("U0002", 7), ("U0002", 12)],
+    );
+}
+
+#[test]
+fn u0002_is_silent_inside_the_vm() {
+    // The same pointer arithmetic is sanctioned in the VM interpreter.
+    let src = include_str!("fixtures/u0002_ptr_math.rs");
+    let diags = analyze_source(&PathBuf::from("crates/ecode/src/vm.rs"), src);
+    assert!(diags.iter().all(|d| d.code != "U0002"), "{diags:?}");
+}
+
+#[test]
+fn d0001_is_silent_in_bench_and_bin_paths() {
+    let src = include_str!("fixtures/d0001_wall_clock.rs");
+    for path in [
+        "crates/bench/src/lib.rs",
+        "crates/bench/src/bin/hotpath.rs",
+        "src/bin/cli.rs",
+    ] {
+        let diags = analyze_source(&PathBuf::from(path), src);
+        assert!(diags.iter().all(|d| d.code != "D0001"), "{path}: {diags:?}");
+    }
+}
+
+#[test]
+fn excerpts_point_at_the_offending_line() {
+    let src = include_str!("fixtures/u0001_safety_comments.rs");
+    let diags = analyze_source(&PathBuf::from("crates/fixture/src/u0001.rs"), src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].excerpt.as_deref(), Some("    unsafe { *p }"));
+    // Rendered output carries code, span, rationale, and fix hint.
+    let rendered = diags[0].render();
+    assert!(rendered.contains("error[U0001]"));
+    assert!(rendered.contains("--> crates/fixture/src/u0001.rs:5"));
+    assert!(rendered.contains("= why:"));
+    assert!(rendered.contains("= fix:"));
+}

@@ -1,0 +1,45 @@
+//! The analyzer eats its own dog food: the whole workspace — this
+//! crate included — must analyze clean against the checked-in
+//! `analyzer.toml`. This is the same invocation `ci.sh` gates on, so a
+//! regression shows up in `cargo test` before it ever reaches CI.
+
+use std::path::PathBuf;
+
+use sysprof_analyzer::{analyze_workspace, waiver};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_has_zero_unwaived_findings() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("analyzer.toml")).unwrap();
+    let waivers = waiver::parse(&text).unwrap();
+    let report = analyze_workspace(&root, &waivers).unwrap();
+
+    let blocking: Vec<String> = report.blocking().map(|d| d.to_string()).collect();
+    assert!(
+        blocking.is_empty(),
+        "unwaived analyzer findings in the workspace:\n{}",
+        blocking.join("\n")
+    );
+    assert!(
+        report.unused_waivers.is_empty(),
+        "stale waivers in analyzer.toml: {:?}",
+        report.unused_waivers
+    );
+    // Sanity: the scan actually covered the workspace.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    // Every waiver is exercised (they matched, or unused_waivers would
+    // be non-empty) and every waived finding keeps its justification.
+    for d in &report.diagnostics {
+        if let Some(label) = &d.waived_by {
+            assert!(label.contains("analyzer.toml:"), "{label}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Waiver round-trip: parse a config, apply it to real findings from a
+//! fixture, and check the used/unused bookkeeping plus rejection of
+//! bad configs.
+
+use std::path::PathBuf;
+
+use sysprof_analyzer::{analyze_source, waiver};
+
+#[test]
+fn waiver_round_trip_covers_findings() {
+    let toml = r#"
+[[waiver]]
+rule = "U0002"
+file = "src/u0002.rs"
+context = "base.add"
+justification = "bounds proven by the caller in this fixture"
+"#;
+    let waivers = waiver::parse(toml).unwrap();
+    let src = include_str!("fixtures/u0002_ptr_math.rs");
+    let mut diags = analyze_source(&PathBuf::from("crates/fixture/src/u0002.rs"), src);
+    assert_eq!(diags.len(), 2);
+    for d in &mut diags {
+        if let Some(w) = waivers.iter().find(|w| w.covers(d)) {
+            d.waived_by = Some(w.label());
+        }
+    }
+    // Context "base.add" covers line 7 but not the p.offset at line 12.
+    let covered: Vec<u32> = diags
+        .iter()
+        .filter(|d| d.waived_by.is_some())
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(covered, vec![7]);
+    assert!(diags.iter().any(|d| d.is_blocking() && d.line == 12));
+    // The waiver label carries the justification for the report.
+    let label = diags[0].waived_by.as_deref().unwrap();
+    assert!(label.contains("bounds proven by the caller"));
+}
+
+#[test]
+fn file_suffix_must_match() {
+    let toml = r#"
+[[waiver]]
+rule = "U0002"
+file = "some/other/file.rs"
+justification = "does not apply here"
+"#;
+    let waivers = waiver::parse(toml).unwrap();
+    let src = include_str!("fixtures/u0002_ptr_math.rs");
+    let diags = analyze_source(&PathBuf::from("crates/fixture/src/u0002.rs"), src);
+    assert!(diags.iter().all(|d| !waivers[0].covers(d)));
+}
+
+#[test]
+fn config_errors_are_loud() {
+    // Empty justification.
+    assert!(
+        waiver::parse("[[waiver]]\nrule = \"D0001\"\nfile = \"a.rs\"\njustification = \"\"\n")
+            .is_err()
+    );
+    // Unquoted value.
+    assert!(waiver::parse("[[waiver]]\nrule = D0001\n").is_err());
+    // Key outside a table.
+    assert!(waiver::parse("rule = \"D0001\"\n").is_err());
+    // Unknown table name.
+    assert!(waiver::parse("[waivers]\nrule = \"D0001\"\n").is_err());
+}
+
+#[test]
+fn checked_in_analyzer_toml_parses() {
+    // The real config at the workspace root must always be loadable and
+    // every entry fully justified.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = std::fs::read_to_string(root.join("analyzer.toml")).unwrap();
+    let waivers = waiver::parse(&text).unwrap();
+    assert!(!waivers.is_empty());
+    for w in &waivers {
+        assert!(
+            w.justification.split_whitespace().count() >= 5,
+            "waiver at analyzer.toml:{} needs a real justification, not a token gesture",
+            w.defined_at
+        );
+    }
+}

@@ -19,6 +19,7 @@
 //! by the examples, the integration tests, and the `figures` harness in
 //! `sysprof-bench`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod iperf;

@@ -326,8 +326,14 @@ impl Program for RubisDriver {
     }
 
     fn on_message(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId, msg: Message) {
-        // A response frees capacity on its server.
-        if let Some((&server, _)) = self.socks.iter().find(|(_, &s)| s == sock) {
+        // A response frees capacity on its server. Reverse-map the socket
+        // through the deployment-ordered server list rather than scanning
+        // the HashMap, so lookups never depend on hash iteration order.
+        if let Some(&server) = self
+            .servers
+            .iter()
+            .find(|n| self.socks.get(n) == Some(&sock))
+        {
             if let Some(o) = self.outstanding.get_mut(&server) {
                 *o = o.saturating_sub(1);
             }

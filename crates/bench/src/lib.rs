@@ -12,6 +12,7 @@
 //! | F6 | Figure 6: plain DWCS throughput | [`exp_f6_dwcs`] |
 //! | F7 | Figure 7: RA-DWCS throughput | [`exp_f7_ra_dwcs`] |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hotpath;

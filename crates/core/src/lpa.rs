@@ -287,7 +287,7 @@ impl Lpa {
     /// daemon's periodic wake (the "window contents are evicted … after
     /// some time" behavior of §2).
     pub fn flush_idle(&mut self, now: SimTime) -> usize {
-        let stale: Vec<FlowKey> = self
+        let mut stale: Vec<FlowKey> = self
             .flows
             .iter()
             .filter(|(_, st)| {
@@ -298,6 +298,9 @@ impl Lpa {
             })
             .map(|(k, _)| *k)
             .collect();
+        // Close in key order: each close emits a record, and record order
+        // must be identical across replays of the same seed.
+        stale.sort();
         let mut closed = 0;
         for canon in stale {
             let Some(state) = self.flows.get_mut(&canon) else {
@@ -363,8 +366,10 @@ impl Lpa {
     /// Takes and resets the per-flush-window class aggregates (daemon
     /// flush). The cumulative aggregates behind
     /// [`class_summaries`](Lpa::class_summaries) are unaffected.
-    pub fn take_class_aggregates(&mut self) -> HashMap<Port, (u64, f64, f64, f64)> {
-        let out = self
+    pub fn take_class_aggregates(&mut self) -> Vec<(Port, (u64, f64, f64, f64))> {
+        // Sorted by port: consumers fold these with f64 accumulators, so
+        // the iteration order must not depend on HashMap hash state.
+        let mut out: Vec<_> = self
             .class_window
             .iter()
             .map(|(p, a)| {
@@ -379,6 +384,7 @@ impl Lpa {
                 )
             })
             .collect();
+        out.sort_by_key(|(p, _)| *p);
         self.class_window.clear();
         out
     }
@@ -939,7 +945,7 @@ impl Lpa {
     /// response (a packet of a different id means their response run is
     /// over). Returns whether any record completed.
     fn arm_complete_others(&mut self, canon: FlowKey, current: u64, cpu: u16) -> bool {
-        let ready: Vec<(FlowKey, u64)> = self
+        let mut ready: Vec<(FlowKey, u64)> = self
             .arm_flows
             .iter()
             .filter(|((f, id), st)| {
@@ -947,6 +953,8 @@ impl Lpa {
             })
             .map(|(k, _)| *k)
             .collect();
+        // arm_finish emits records; finish in key order, not hash order.
+        ready.sort();
         let mut any = false;
         for key in ready {
             any |= self.arm_finish(key, cpu);
@@ -985,12 +993,14 @@ impl Lpa {
     /// Flushes idle ARM states: completed pairs emit records; stale
     /// request-only states are evicted. Returns completions.
     fn flush_idle_arm(&mut self, now: SimTime) -> usize {
-        let stale: Vec<((FlowKey, u64), bool)> = self
+        let mut stale: Vec<((FlowKey, u64), bool)> = self
             .arm_flows
             .iter()
             .filter(|(_, st)| now.saturating_since(st.last_wall) >= self.config.idle_close)
             .map(|(k, st)| (*k, st.req.is_some() && st.resp.is_some()))
             .collect();
+        // Completions emit records; flush in key order, not hash order.
+        stale.sort_by_key(|&(k, _)| k);
         let mut completed = 0;
         for (key, finishable) in stale {
             if finishable {
@@ -1642,8 +1652,10 @@ mod proptests {
         ) {
             // Deliver in wall order (the kernel emits in order).
             events.sort_by_key(|e| e.wall);
-            let mut cfg = LpaConfig::default();
-            cfg.use_arm_hints = use_arm;
+            let cfg = LpaConfig {
+                use_arm_hints: use_arm,
+                ..LpaConfig::default()
+            };
             let mut lpa = Lpa::new(NodeId(1), ME, cfg);
             for (i, ev) in events.iter().enumerate() {
                 let out = lpa.on_event(ev);

@@ -50,6 +50,7 @@
 //! assert_eq!((stream, req), (bids, 1001));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ra;

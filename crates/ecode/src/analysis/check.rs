@@ -463,7 +463,12 @@ impl Checker {
         if then_ret && !else_ret {
             return; // only the else state survives
         }
-        for (name, t_var) in then_env {
+        // Merge in name order: join() is commutative today, but keeping
+        // the walk deterministic means future diagnostics emitted from
+        // here can never depend on hash-map iteration order.
+        let mut merged: Vec<(String, Var)> = then_env.into_iter().collect();
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, t_var) in merged {
             match self.env.get_mut(&name) {
                 Some(e_var) => {
                     if else_ret {

@@ -565,13 +565,12 @@ impl Instance {
         let code = program.code.as_ptr();
         let fcode = fast.as_ptr();
 
-        // SAFETY of every `unsafe` below: `validate` proved at instance
-        // creation that control flow stays inside `code`, that the
-        // operand stack depth at each pc is consistent, never underflows,
-        // and never exceeds `max_stack` (the capacity reserved above),
-        // and that all input/global/local indices are in bounds. `sp`
-        // tracks the live depth; slots below it were written by a
-        // matching push on this run.
+        // Every `unsafe` below carries its own SAFETY argument; all of
+        // them lean on the same foundation: `validate` proved at program
+        // load that control flow stays inside `code`, that the operand
+        // stack depth at each pc is consistent (never underflows, never
+        // exceeds `max_stack`), and that every input/global/local index
+        // is in bounds of the counts these buffers were sized with.
         let sbase = stack.as_mut_ptr();
         let mut sp = 0usize;
         let gbase = globals.as_mut_ptr();
@@ -581,12 +580,18 @@ impl Instance {
         macro_rules! popi {
             () => {{
                 sp -= 1;
+                // SAFETY: `validate` proved no pc pops an empty stack, so
+                // `sp` was >= 1 and slot `sp - 1` was written by a prior
+                // matching push inside the reserved capacity.
                 unsafe { *sbase.add(sp) }
             }};
         }
         macro_rules! pushi {
             ($v:expr) => {{
                 let v: i64 = $v;
+                // SAFETY: `validate` bounds the depth at every pc by
+                // `max_stack` and the Vec reserved exactly that capacity,
+                // so slot `sp` is inside the allocation.
                 unsafe { *sbase.add(sp) = v };
                 sp += 1;
             }};
@@ -619,15 +624,25 @@ impl Instance {
             match $op {
                 Op::ConstI(v) => pushi!(v),
                 Op::ConstF(v) => pushf!(v),
+                // SAFETY: `validate` checked this input index against the
+                // input count `raw_inputs` was marshaled to.
                 Op::LoadInput(i) => pushi!(unsafe { *ibase.add(i as usize) }),
+                // SAFETY: `validate` checked this global index against the
+                // schema's global count, which sized `globals`.
                 Op::LoadGlobal(i) => pushi!(unsafe { *gbase.add(i as usize) }),
+                // SAFETY: `validate` checked this local index against
+                // `n_locals`, which sized `locals` above.
                 Op::LoadLocal(i) => pushi!(unsafe { *lbase.add(i as usize) }),
                 Op::StoreGlobal(i) => {
                     let v = popi!();
+                    // SAFETY: same bound as LoadGlobal — `i` is within the
+                    // global count that sized `globals`.
                     unsafe { *gbase.add(i as usize) = v };
                 }
                 Op::StoreLocal(i) => {
                     let v = popi!();
+                    // SAFETY: same bound as LoadLocal — `i` is within
+                    // `n_locals`, which sized `locals`.
                     unsafe { *lbase.add(i as usize) = v };
                 }
                 Op::AddI => {
@@ -772,6 +787,9 @@ impl Instance {
                 // unfused program bit for bit.
                 fuel_used += blk;
                 loop {
+                    // SAFETY: fused jump targets were rewritten into
+                    // `fast`'s index space from originals `validate`
+                    // proved in bounds, so `fpc` stays inside `fast`.
                     let op = unsafe { *fcode.add(fpc) };
                     fpc += 1;
                     match op {
@@ -786,21 +804,30 @@ impl Instance {
                             }
                             break;
                         }
+                        // SAFETY: `g` came from a validated StoreGlobal,
+                        // so it is within the count that sized `globals`.
                         FastOp::IncGlobalI { g, c } => unsafe {
                             let p = gbase.add(g as usize);
                             *p = (*p).wrapping_add(c);
                         },
+                        // SAFETY: `g` and `input` came from a validated
+                        // StoreGlobal/LoadInput pair, so both indices are
+                        // within the counts that sized their buffers.
                         FastOp::AccGlobalInputF { g, input } => unsafe {
                             let p = gbase.add(g as usize);
                             let sum =
                                 f64::from_bits(*p as u64) + (*ibase.add(input as usize)) as f64;
                             *p = sum.to_bits() as i64;
                         },
+                        // SAFETY: same provenance as AccGlobalInputF —
+                        // both indices were validated before fusion.
                         FastOp::AccGlobalInputI { g, input } => unsafe {
                             let p = gbase.add(g as usize);
                             *p = (*p).wrapping_add(*ibase.add(input as usize));
                         },
                         FastOp::CmpInputCI { input, cmp, c } => {
+                            // SAFETY: `input` came from a validated
+                            // LoadInput, within the marshaled input count.
                             pushi!(cmp.eval(unsafe { *ibase.add(input as usize) }, c) as i64);
                         }
                         FastOp::BrInputCmpCI {
@@ -810,6 +837,8 @@ impl Instance {
                             fast: t,
                             ..
                         } => {
+                            // SAFETY: `input` came from a validated
+                            // LoadInput, within the marshaled input count.
                             if !cmp.eval(unsafe { *ibase.add(input as usize) }, c) {
                                 fpc = t as usize;
                             }
@@ -834,6 +863,8 @@ impl Instance {
                     if fuel_used > fuel {
                         return Err(EcodeError::OutOfFuel);
                     }
+                    // SAFETY: `validate` proved every jump target and
+                    // fall-through stays inside `code`.
                     let op = unsafe { *code.add(pc) };
                     pc += 1;
                     match op {
@@ -1140,8 +1171,10 @@ mod tests {
                 "int y = 0; if (x > 0) { y = x * 2; } else { y = -x; } return y;",
                 &[("x", Type::Int)],
             ).unwrap();
-            let r1 = Instance::new(&p).run(&[Value::Int(x)], 10_000).unwrap();
-            let r2 = Instance::new(&p).run(&[Value::Int(x)], 10_000).unwrap();
+            let mut i1 = Instance::new(&p);
+            let mut i2 = Instance::new(&p);
+            let r1 = i1.run(&[Value::Int(x)], 10_000).unwrap();
+            let r2 = i2.run(&[Value::Int(x)], 10_000).unwrap();
             prop_assert_eq!(r1.fuel_used, r2.fuel_used);
             prop_assert_eq!(r1.ret, r2.ret);
         }

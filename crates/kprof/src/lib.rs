@@ -42,6 +42,7 @@
 //! assert_eq!(kprof.counting_analyzer(id).unwrap().events_seen(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analyzer;

@@ -1,7 +1,7 @@
 //! Event pruning predicates: "Events can also be pruned on the basis of
 //! process IDs, group IDs, or other such predicates" (§2).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use simnet::Port;
 
@@ -23,9 +23,9 @@ use crate::{Event, EventPayload, GroupId, Pid};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Predicate {
-    pids: Option<HashSet<Pid>>,
-    gids: Option<HashSet<GroupId>>,
-    ports: Option<HashSet<Port>>,
+    pids: Option<BTreeSet<Pid>>,
+    gids: Option<BTreeSet<GroupId>>,
+    ports: Option<BTreeSet<Port>>,
 }
 
 impl Predicate {
@@ -96,7 +96,7 @@ impl Predicate {
 /// [`Kprof`](crate::Kprof) compiles each analyzer's predicate once at
 /// registration (and again on
 /// [`update_interest`](crate::Kprof::update_interest)), so the per-event
-/// dispatch loop probes sorted slices instead of cloning `HashSet`-backed
+/// dispatch loop probes sorted slices instead of cloning `BTreeSet`-backed
 /// predicates. Accept/reject behavior is **identical** to
 /// [`Predicate::matches`] — a property test in `tests/matcher_equiv.rs`
 /// pins the equivalence.
@@ -107,7 +107,7 @@ pub struct CompiledPredicate {
     ports: Option<Box<[Port]>>,
 }
 
-fn sorted_slice<T: Ord + Copy>(set: &Option<HashSet<T>>) -> Option<Box<[T]>> {
+fn sorted_slice<T: Ord + Copy>(set: &Option<BTreeSet<T>>) -> Option<Box<[T]>> {
     set.as_ref().map(|s| {
         let mut v: Vec<T> = s.iter().copied().collect();
         v.sort_unstable();

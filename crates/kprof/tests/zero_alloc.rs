@@ -35,19 +35,28 @@ fn count_if_tracking() {
     });
 }
 
+// SAFETY: pure pass-through to `System`, which upholds the GlobalAlloc
+// contract; the only addition is a thread-local counter bump that never
+// allocates or touches the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count_if_tracking();
-        System.alloc(layout)
+        // SAFETY: caller upholds GlobalAlloc's contract for `layout`;
+        // forwarded unchanged.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: caller guarantees `ptr` came from this allocator with
+        // this `layout`; forwarded unchanged.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         count_if_tracking();
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: caller guarantees `ptr`/`layout` validity per the
+        // GlobalAlloc contract; forwarded unchanged.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 

@@ -35,6 +35,7 @@
 //! # Ok::<(), pbio::PbioError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod record;

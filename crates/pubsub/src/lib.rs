@@ -43,6 +43,7 @@
 //! # Ok::<(), pubsub::PubSubError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod control;
@@ -373,9 +374,11 @@ impl Hub {
         }
         let record = rw.finish()?;
 
-        let subs = self.subs.get_mut(&topic).expect("checked");
+        // Subscriptions for one topic are a Vec: delivery walks them in
+        // registration order, never in hash order.
+        let topic_subs = self.subs.get_mut(&topic).expect("checked");
         let mut out = Vec::new();
-        for sub in subs.iter_mut() {
+        for sub in topic_subs.iter_mut() {
             if let Some(filter) = sub.filter.as_mut() {
                 let (pass, fuel) = filter.passes(values);
                 self.filter_fuel += fuel;

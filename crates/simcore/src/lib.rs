@@ -28,6 +28,7 @@
 //! assert_eq!(t.as_nanos(), 1_000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bounded_queue;

@@ -377,7 +377,7 @@ mod tests {
             let mut now = SimTime::ZERO;
             let mut last_departure = SimTime::ZERO;
             for (i, &s) in sizes.iter().enumerate() {
-                now = now + SimDuration::from_micros(gaps[i % gaps.len()]);
+                now += SimDuration::from_micros(gaps[i % gaps.len()]);
                 if let TransmitOutcome::Sent { departure, .. } = link.transmit_forward(now, s) {
                     last_departure = departure;
                 }

@@ -92,7 +92,9 @@ struct NodeInfo {
 #[derive(Default)]
 pub struct NetworkBuilder {
     nodes: Vec<(String, ClockSpec)>,
-    links: Vec<(NodeId, NodeId, LinkSpec)>,
+    // Named distinctly from `Network::links` (a HashMap): this is the
+    // ordered declaration list, safe to iterate as-is.
+    link_list: Vec<(NodeId, NodeId, LinkSpec)>,
 }
 
 impl NetworkBuilder {
@@ -116,7 +118,7 @@ impl NetworkBuilder {
 
     /// Connects two nodes with a link.
     pub fn link(mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> Self {
-        self.links.push((a, b, spec));
+        self.link_list.push((a, b, spec));
         self
     }
 
@@ -125,7 +127,7 @@ impl NetworkBuilder {
         let n = self.nodes.len() as u32;
         for i in 0..n {
             for j in (i + 1)..n {
-                self.links.push((NodeId(i), NodeId(j), spec));
+                self.link_list.push((NodeId(i), NodeId(j), spec));
             }
         }
         self
@@ -139,8 +141,8 @@ impl NetworkBuilder {
     /// duplicate links.
     pub fn build(self) -> Result<Network, TopologyError> {
         let n = self.nodes.len() as u32;
-        let mut links = HashMap::new();
-        for (a, b, spec) in self.links {
+        let mut link_map = HashMap::new();
+        for (a, b, spec) in self.link_list {
             if a == b {
                 return Err(TopologyError::SelfLink(a));
             }
@@ -151,7 +153,7 @@ impl NetworkBuilder {
                 return Err(TopologyError::UnknownNode(b));
             }
             let key = if a < b { (a, b) } else { (b, a) };
-            if links.insert(key, Link::new(spec)).is_some() {
+            if link_map.insert(key, Link::new(spec)).is_some() {
                 return Err(TopologyError::DuplicateLink(key.0, key.1));
             }
         }
@@ -167,7 +169,7 @@ impl NetworkBuilder {
             .collect();
         Ok(Network {
             nodes,
-            links,
+            links: link_map,
             injector: None,
         })
     }

@@ -43,6 +43,7 @@
 //! assert!(world.node_stats(NodeId(1)).bytes_received > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;

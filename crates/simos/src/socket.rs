@@ -114,11 +114,13 @@ impl Socket {
     /// Evicts the oldest incomplete assembly other than `protect`,
     /// freeing its buffer bytes. Returns whether anything was evicted.
     fn evict_stalest(&mut self, protect: u64) -> bool {
+        // Tie-break equal enqueue times by id: min_by_key alone would
+        // resolve ties by HashMap iteration order.
         let victim = self
             .assemblies
             .iter()
             .filter(|(id, _)| **id != protect)
-            .min_by_key(|(_, a)| a.first_enqueue)
+            .min_by_key(|(id, a)| (a.first_enqueue, **id))
             .map(|(id, _)| *id);
         match victim {
             Some(id) => {

@@ -16,6 +16,7 @@
 //! and workloads, then call [`check_invariants`] and compare
 //! [`chaos_report`] strings across same-seed runs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;

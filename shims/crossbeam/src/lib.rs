@@ -1,0 +1,1 @@
+//! Placeholder for the patch table; the workspace does not use crossbeam.

@@ -1,0 +1,341 @@
+//! Minimal `serde`: a self-describing [`Content`] tree data model with
+//! `Serialize`/`Deserialize` traits that convert to and from it, plus
+//! re-exported derive macros from the shim `serde_derive`. Formats
+//! (`serde_json` here) serialize the `Content` tree rather than driving
+//! a visitor — a much smaller contract that covers everything the
+//! workspace needs.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key/value pairs in insertion order (field declaration order for
+    /// derived structs), so output is deterministic.
+    Map(Vec<(String, Content)>),
+}
+
+/// Types that can render themselves as a [`Content`] tree.
+pub trait Serialize {
+    /// The value as a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can rebuild themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, with a human-readable error on shape mismatch.
+    fn from_content(c: &Content) -> Result<Self, String>;
+}
+
+// ---- helpers used by the generated derive code ----
+
+/// Looks up `key` in a map node.
+pub fn map_get<'c>(c: &'c Content, key: &str) -> Result<&'c Content, String> {
+    match c {
+        Content::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field `{key}`")),
+        other => Err(format!("expected map with field `{key}`, got {other:?}")),
+    }
+}
+
+/// Indexes into a sequence node.
+pub fn seq_get(c: &Content, idx: usize) -> Result<&Content, String> {
+    match c {
+        Content::Seq(items) => items
+            .get(idx)
+            .ok_or_else(|| format!("sequence too short: no element {idx}")),
+        other => Err(format!("expected sequence, got {other:?}")),
+    }
+}
+
+/// Splits an externally-tagged enum node into `(tag, payload)`.
+pub fn enum_tag(c: &Content) -> Result<(&str, Option<&Content>), String> {
+    match c {
+        Content::Str(s) => Ok((s, None)),
+        Content::Map(entries) if entries.len() == 1 => {
+            Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+        }
+        other => Err(format!("expected enum (string or 1-entry map), got {other:?}")),
+    }
+}
+
+/// Unwraps the payload of a non-unit enum variant.
+pub fn payload<'c>(p: Option<&'c Content>, tag: &str) -> Result<&'c Content, String> {
+    p.ok_or_else(|| format!("variant `{tag}` expects a payload"))
+}
+
+// ---- Serialize impls ----
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($t:ident $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+// ---- Deserialize impls ----
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        Ok(c.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+fn as_u64(c: &Content) -> Result<u64, String> {
+    match c {
+        Content::U64(v) => Ok(*v),
+        Content::I64(v) if *v >= 0 => Ok(*v as u64),
+        other => Err(format!("expected unsigned integer, got {other:?}")),
+    }
+}
+
+fn as_i64(c: &Content) -> Result<i64, String> {
+    match c {
+        Content::I64(v) => Ok(*v),
+        Content::U64(v) if *v <= i64::MAX as u64 => Ok(*v as i64),
+        other => Err(format!("expected integer, got {other:?}")),
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let v = as_u64(c)?;
+                <$t>::try_from(v).map_err(|_| {
+                    format!("{} out of range for {}", v, stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let v = as_i64(c)?;
+                <$t>::try_from(v).map_err(|_| {
+                    format!("{} out of range for {}", v, stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(format!("expected sequence, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($t:ident $idx:tt),+; $len:expr))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                match c {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($t::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(format!(
+                        "expected {}-tuple, got {other:?}", $len
+                    )),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (A 0; 1)
+    (A 0, B 1; 2)
+    (A 0, B 1, C 2; 3)
+    (A 0, B 1, C 2, D 3; 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u64::from_content(&7u64.to_content()), Ok(7));
+        assert_eq!(i64::from_content(&(-3i64).to_content()), Ok(-3));
+        assert_eq!(f64::from_content(&1.5f64.to_content()), Ok(1.5));
+        assert_eq!(
+            Option::<u32>::from_content(&None::<u32>.to_content()),
+            Ok(None)
+        );
+        assert_eq!(
+            Vec::<u8>::from_content(&vec![1u8, 2].to_content()),
+            Ok(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn map_helpers_report_shape_errors() {
+        let m = Content::Map(vec![("a".into(), Content::U64(1))]);
+        assert!(map_get(&m, "a").is_ok());
+        assert!(map_get(&m, "b").unwrap_err().contains("missing field"));
+        assert!(seq_get(&m, 0).is_err());
+        assert_eq!(enum_tag(&m).unwrap().0, "a");
+    }
+}

@@ -1,0 +1,415 @@
+//! Minimal `serde_derive`: hand-rolled `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` with no `syn`/`quote` dependency. The input
+//! item is parsed directly from the `proc_macro` token trees (attributes
+//! and visibility skipped, angle-depth-aware field splitting) and the
+//! impl is generated as a string targeting the shim `serde`'s
+//! `Content`-tree data model. Enums use serde's externally-tagged
+//! representation. `#[serde(...)]` attributes are not supported — the
+//! workspace does not use any.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields; only the arity matters.
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { fields: Fields },
+    Enum { variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Parsed {
+    name: String,
+    /// Generic parameter list text, without the angle brackets
+    /// (e.g. `'a`), or empty.
+    generics: String,
+    item: Item,
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]` — the bracket group follows the punct.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits `toks` on commas at angle-bracket depth zero, dropping empty
+/// segments (trailing comma).
+fn split_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out.retain(|seg| !seg.is_empty());
+    out
+}
+
+fn parse_named_fields(group_toks: &[TokenTree]) -> Vec<String> {
+    split_commas(group_toks)
+        .iter()
+        .filter_map(|seg| {
+            let i = skip_attrs_and_vis(seg, 0);
+            match seg.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+
+    // Optional generics: capture `<...>` verbatim (lifetimes and/or
+    // type params; bounds are carried through unchanged).
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1i32;
+            let mut inner = TokenStream::new();
+            while depth > 0 {
+                match &toks[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                inner.extend([toks[i].clone()]);
+                i += 1;
+            }
+            generics = inner.to_string();
+        }
+    }
+
+    let item = if kind == "struct" {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                fields: Fields::Named(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                )),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                fields: Fields::Tuple(
+                    split_commas(&g.stream().into_iter().collect::<Vec<_>>()).len(),
+                ),
+            },
+            _ => Item::Struct {
+                fields: Fields::Unit,
+            },
+        }
+    } else if kind == "enum" {
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                g.stream().into_iter().collect::<Vec<_>>()
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        };
+        let mut variants = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            j = skip_attrs_and_vis(&body, j);
+            let Some(TokenTree::Ident(id)) = body.get(j) else {
+                break;
+            };
+            let vname = id.to_string();
+            j += 1;
+            let fields = match body.get(j) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    j += 1;
+                    Fields::Named(parse_named_fields(
+                        &g.stream().into_iter().collect::<Vec<_>>(),
+                    ))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    j += 1;
+                    Fields::Tuple(split_commas(&g.stream().into_iter().collect::<Vec<_>>()).len())
+                }
+                _ => Fields::Unit,
+            };
+            // Discriminant values (`= N`) and the trailing comma.
+            while let Some(t) = body.get(j) {
+                j += 1;
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+            }
+            variants.push(Variant {
+                name: vname,
+                fields,
+            });
+        }
+        Item::Enum { variants }
+    } else {
+        panic!("serde_derive: `{kind}` items are not supported");
+    };
+
+    Parsed {
+        name,
+        generics,
+        item,
+    }
+}
+
+fn impl_header(p: &Parsed, trait_name: &str) -> String {
+    if p.generics.is_empty() {
+        format!("impl ::serde::{} for {}", trait_name, p.name)
+    } else {
+        format!(
+            "impl<{g}> ::serde::{t} for {n}<{g}>",
+            g = p.generics,
+            t = trait_name,
+            n = p.name
+        )
+    }
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse_item(input);
+    let body = match &p.item {
+        Item::Struct { fields } => match fields {
+            Fields::Named(names) => {
+                let entries: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_content(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Content::Map(::std::vec![{}])", entries.join(","))
+            }
+            Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!("::serde::Content::Seq(::std::vec![{}])", items.join(","))
+            }
+            Fields::Unit => "::serde::Content::Null".to_string(),
+        },
+        Item::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let n = &p.name;
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{n}::{vn} => ::serde::Content::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{n}::{vn}(f0) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        Fields::Tuple(k) => {
+                            let binds: Vec<String> = (0..*k).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*k)
+                                .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                                .collect();
+                            format!(
+                                "{n}::{vn}({}) => ::serde::Content::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Content::Seq(::std::vec![{}]))]),",
+                                binds.join(","),
+                                items.join(",")
+                            )
+                        }
+                        Fields::Named(names) => {
+                            let binds = names.join(",");
+                            let entries: Vec<String> = names
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{n}::{vn}{{{binds}}} => ::serde::Content::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Content::Map(::std::vec![{}]))]),",
+                                entries.join(",")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    let out = format!(
+        "{header} {{ fn to_content(&self) -> ::serde::Content {{ {body} }} }}",
+        header = impl_header(&p, "Serialize"),
+    );
+    out.parse().expect("serde_derive: generated impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse_item(input);
+    let name = &p.name;
+    let body = match &p.item {
+        Item::Struct { fields } => match fields {
+            Fields::Named(names) => {
+                let inits: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_content(\
+                             ::serde::map_get(c, \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(",")
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))"
+            ),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_content(::serde::seq_get(c, {i})?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::std::result::Result::Ok({name}({}))",
+                    inits.join(",")
+                )
+            }
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        },
+        Item::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                        }
+                        Fields::Tuple(1) => format!(
+                            "\"{vn}\" => {{ let p = ::serde::payload(payload, \"{vn}\")?; \
+                             ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_content(p)?)) }},"
+                        ),
+                        Fields::Tuple(k) => {
+                            let inits: Vec<String> = (0..*k)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_content(\
+                                         ::serde::seq_get(p, {i})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let p = ::serde::payload(payload, \"{vn}\")?; \
+                                 ::std::result::Result::Ok({name}::{vn}({})) }},",
+                                inits.join(",")
+                            )
+                        }
+                        Fields::Named(names) => {
+                            let inits: Vec<String> = names
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_content(\
+                                         ::serde::map_get(p, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let p = ::serde::payload(payload, \"{vn}\")?; \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }}) }},",
+                                inits.join(",")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (tag, payload) = ::serde::enum_tag(c)?; \
+                 match tag {{ {} other => ::std::result::Result::Err(\
+                 ::std::format!(\"unknown {name} variant `{{}}`\", other)), }}",
+                arms.join("\n")
+            )
+        }
+    };
+    let out = format!(
+        "{header} {{ fn from_content(c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::std::string::String> {{ {body} }} }}",
+        header = impl_header(&p, "Deserialize"),
+    );
+    out.parse().expect("serde_derive: generated impl parses")
+}

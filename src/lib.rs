@@ -22,6 +22,8 @@
 //!   virtual storage service, RUBiS),
 //! * [`sysprof_bench`] — the drivers that regenerate each paper figure.
 
+#![forbid(unsafe_code)]
+
 pub use dwcs;
 pub use ecode;
 pub use kprof;
