@@ -3,8 +3,9 @@
 # full test suite. Run from the repo root. Mirrors what a hosted
 # pipeline would do.
 #
-#   ./ci.sh            full pipeline
-#   ./ci.sh --analyze  only the static-analysis gate (fast pre-commit check)
+#   ./ci.sh              full pipeline
+#   ./ci.sh --analyze    only the static-analysis gate (fast pre-commit check)
+#   ./ci.sh --scenarios  only the scenario library: tests + bench smoke
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,9 +15,30 @@ run_analyzer() {
     cargo run -q -p sysprof-analyzer -- --quiet
 }
 
+run_scenario_bench_smoke() {
+    echo "==> bench smoke (scenario suite)"
+    # Short run over every workload scenario; the binary self-validates
+    # the JSON report. Scratch path, same policy as the hotpath smoke.
+    cargo run -q --release -p sysprof-bench --bin scenarios -- --smoke \
+        --out target/BENCH_scenarios_smoke.json
+    test -s target/BENCH_scenarios_smoke.json
+}
+
 if [[ "${1:-}" == "--analyze" ]]; then
     run_analyzer
     echo "ANALYZE OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--scenarios" ]]; then
+    # Fast path while iterating on the scenario library: golden
+    # diagnoses + chaos matrix, the apps crate's own tests, and the
+    # scenario bench smoke — skips fmt/clippy/miri and the full suite.
+    echo "==> scenario tests (golden diagnoses + chaos matrix)"
+    cargo test -q -p sysprof-apps
+    cargo test -q --test scenarios
+    run_scenario_bench_smoke
+    echo "SCENARIOS OK"
     exit 0
 fi
 
@@ -52,6 +74,8 @@ echo "==> bench smoke (hot path)"
 # BENCH_hotpath.json baseline is only ever refreshed deliberately.
 cargo run -q --release -p sysprof-bench --bin hotpath -- --smoke --out target/BENCH_hotpath_smoke.json
 test -s target/BENCH_hotpath_smoke.json
+
+run_scenario_bench_smoke
 
 echo "==> examples"
 cargo build -q --examples

@@ -1,0 +1,63 @@
+// Fixture: a workload scenario written the tempting-but-wrong way.
+// Each planted defect is one the real `crates/apps` scenario library
+// must avoid; exact expected (code, line) pairs live in tests/golden.rs.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+struct ScenarioStats {
+    per_key: HashMap<u32, u64>,
+    latencies_us: Vec<u64>,
+}
+
+impl ScenarioStats {
+    // BAD: wall-clock latency measurement inside the simulation.
+    fn record_wall_latency(&mut self) {
+        let t0 = Instant::now();
+        self.latencies_us.push(t0.elapsed().as_micros() as u64);
+    }
+
+    // BAD: diagnosis evidence rendered in hash order.
+    fn evidence(&self) -> Vec<String> {
+        let rows: Vec<String> = self
+            .per_key
+            .iter()
+            .map(|(k, n)| format!("key {k}: {n} ops"))
+            .collect();
+        rows
+    }
+
+    // GOOD: collected then sorted by a stable key before rendering.
+    fn evidence_sorted(&self) -> Vec<(u32, u64)> {
+        let mut ordered: Vec<(u32, u64)> = self.per_key.iter().map(|(k, n)| (*k, *n)).collect();
+        ordered.sort_by_key(|(k, _)| *k);
+        ordered
+    }
+
+    // GOOD: order-free share computation.
+    fn total_ops(&self) -> u64 {
+        self.per_key.values().sum()
+    }
+
+    // BAD: hottest key picked in hash order — ties break per-process.
+    fn hot_key(&self) -> Option<u32> {
+        self.per_key.iter().max_by_key(|(_, n)| **n).map(|(k, _)| *k)
+    }
+}
+
+// BAD: zipf sampling from OS entropy — unreplayable from the seed.
+fn zipf_sample(keys: u32) -> u32 {
+    let mut rng = thread_rng();
+    (rng.next_u64() % keys as u64) as u32
+}
+
+// GOOD: rehomed into an ordered map before the report renders it.
+fn per_key_report(stats: &ScenarioStats) -> BTreeMap<u32, u64> {
+    stats.per_key.iter().map(|(k, n)| (*k, *n)).collect::<BTreeMap<u32, u64>>()
+}
+
+// Decoys: entropy and wall-clock names inside comments and strings must
+// stay silent — e.g. a doc note saying "never call Instant::now here".
+fn decoy() -> &'static str {
+    "scenario clients must not call thread_rng() for zipf draws"
+}

@@ -115,3 +115,18 @@ fn excerpts_point_at_the_offending_line() {
     assert!(rendered.contains("= why:"));
     assert!(rendered.contains("= fix:"));
 }
+
+#[test]
+fn scenario_library_fixture_golden() {
+    expect(
+        "scenario_library.rs",
+        include_str!("fixtures/scenario_library.rs"),
+        &[
+            ("D0001", 6),
+            ("D0001", 16),
+            ("D0002", 26),
+            ("D0002", 44),
+            ("D0003", 50),
+        ],
+    );
+}

@@ -43,3 +43,32 @@ fn workspace_has_zero_unwaived_findings() {
         }
     }
 }
+
+/// The scenario library is exactly the code the determinism rules exist
+/// for (diagnosis strings are pinned byte-for-byte in golden tests), so
+/// its coverage is asserted explicitly: every scenario source is in the
+/// scan set and analyzes clean on its own, with no waiver absorbing a
+/// finding there.
+#[test]
+fn scan_covers_the_scenario_library_and_it_is_clean() {
+    let root = workspace_root();
+    let files = sysprof_analyzer::scan::rust_sources(&root).unwrap();
+    for f in [
+        "scenario.rs",
+        "kvstore.rs",
+        "fanout.rs",
+        "allreduce.rs",
+        "cdn.rs",
+    ] {
+        let rel = PathBuf::from("crates/apps/src").join(f);
+        assert!(
+            files.contains(&rel),
+            "scan missed scenario-library file {rel:?}"
+        );
+    }
+    for rel in files.iter().filter(|p| p.starts_with("crates/apps")) {
+        let src = std::fs::read_to_string(root.join(rel)).unwrap();
+        let diags = sysprof_analyzer::analyze_source(rel, &src);
+        assert!(diags.is_empty(), "findings in {rel:?}:\n{diags:#?}");
+    }
+}

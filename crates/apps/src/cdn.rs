@@ -1,0 +1,540 @@
+//! CDN/cache tier with zipfian traffic, TTL expiry, and origin fallback.
+//!
+//! Topology: closed-loop clients → an **edge cache** → an **origin**
+//! server whose fetches pay a synchronous disk read. Hits are served
+//! from the edge in microseconds; misses (cold keys and TTL-expired hot
+//! keys) queue on a single ping-pong flow to the origin, with
+//! same-key requests coalesced into one fetch. Zipfian popularity makes
+//! the hit ratio high, but TTL expiry keeps even rank-0 keys
+//! periodically falling back to the origin — so the latency
+//! distribution is sharply bimodal and the tail is entirely
+//! origin-bound.
+//!
+//! The diagnosis SysProf must produce: the **origin-bound tail** — the
+//! edge's p95/p50 split plus the origin's blocked (disk) time, with
+//! correlated paths proving the edge's slow requests are downstream
+//! origin time rather than edge work.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use kprof::FileId;
+use serde::Serialize;
+use simcore::{NodeId, SimDuration, SimTime};
+use simnet::{FaultPlan, LinkSpec, Port};
+use simos::{DiskSpec, Message, NodeConfig, ProcCtx, Program, SocketId, WorldBuilder};
+use sysprof::SysProf;
+
+use crate::scenario::{
+    percentile_us, scenario_monitor_config, ClientStats, Diagnosis, ScenarioRun, ScenarioSpec,
+    ZipfClient,
+};
+
+/// Edge cache client-facing port.
+pub const EDGE_PORT: Port = Port(6000);
+/// Origin server port.
+pub const ORIGIN_PORT: Port = Port(6100);
+
+const REQ_BASE: u32 = 1_000;
+const RESP_OFFSET: u32 = 100_000;
+const TOK_RETRY: u64 = 0xCD9;
+
+/// Parameters of the CDN scenario.
+#[derive(Debug, Clone)]
+pub struct CdnScenario {
+    /// Closed-loop client nodes.
+    pub clients: usize,
+    /// Distinct objects.
+    pub keys: usize,
+    /// Zipf skew of object popularity.
+    pub skew: f64,
+    /// Cache TTL: a filled entry expires this long after the fill.
+    pub ttl: SimDuration,
+    /// Object payload bytes (edge→client and origin→edge).
+    pub object_bytes: u64,
+    /// Bytes the origin reads from disk per fetch.
+    pub origin_read_bytes: u64,
+    /// Positioning time of the origin's disk. The default models a
+    /// striped/cached origin store (~1 ms) rather than the substrate's
+    /// stock 8 ms SATA drive, which would saturate the single origin
+    /// flow and hide TTL-driven demand behind queueing.
+    pub origin_seek: SimDuration,
+    /// Per-request cache-lookup compute at the edge.
+    pub edge_lookup: SimDuration,
+    /// How long clients keep issuing requests.
+    pub duration: SimDuration,
+    /// Retransmit timeout (loss tolerance).
+    pub retry_after: SimDuration,
+}
+
+impl Default for CdnScenario {
+    fn default() -> Self {
+        CdnScenario {
+            clients: 2,
+            keys: 64,
+            skew: 1.1,
+            ttl: SimDuration::from_millis(150),
+            object_bytes: 2_048,
+            origin_read_bytes: 16 * 1024,
+            origin_seek: SimDuration::from_millis(1),
+            edge_lookup: SimDuration::from_micros(15),
+            duration: SimDuration::from_secs(1),
+            retry_after: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// Measured outcome of one CDN run.
+#[derive(Debug, Clone, Serialize)]
+pub struct CdnResult {
+    /// Client requests completed.
+    pub requests_completed: u64,
+    /// Requests served straight from the edge cache.
+    pub hits: u64,
+    /// Requests that had to wait on an origin fetch.
+    pub misses: u64,
+    /// Hit fraction of all completed edge decisions.
+    pub hit_ratio: f64,
+    /// Misses that piggybacked on an in-flight fetch for the same key.
+    pub coalesced: u64,
+    /// Fetches actually sent to the origin.
+    pub origin_fetches: u64,
+    /// Client-observed median latency, µs.
+    pub p50_us: u64,
+    /// Client-observed 95th-percentile latency, µs.
+    pub p95_us: u64,
+    /// Retransmits (0 on a clean network).
+    pub retries: u64,
+}
+
+// ---------------------------------------------------------------------
+// Programs
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct EdgeShared {
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    origin_fetches: u64,
+    retries: u64,
+}
+
+/// The edge cache: TTL'd entries, request coalescing, a single
+/// ping-pong flow to the origin with a FIFO fetch queue.
+struct EdgeCache {
+    origin: NodeId,
+    ttl: SimDuration,
+    object_bytes: u64,
+    lookup_cost: SimDuration,
+    retry_after: SimDuration,
+    sock: Option<SocketId>,
+    ready: bool,
+    /// key → expiry time of the cached copy.
+    cache: BTreeMap<u32, SimTime>,
+    /// key → clients waiting on the in-flight or queued fetch.
+    waiters: BTreeMap<u32, Vec<(SocketId, u64)>>,
+    fetch_queue: VecDeque<u32>,
+    in_flight: Option<(u64, u32, SimTime)>, // (msg_id, key, last_tx)
+    shared: Rc<RefCell<EdgeShared>>,
+}
+
+impl EdgeCache {
+    fn pump(&mut self, ctx: &mut ProcCtx<'_>) {
+        if !self.ready || self.in_flight.is_some() {
+            return;
+        }
+        let Some(key) = self.fetch_queue.pop_front() else {
+            return;
+        };
+        let sock = self.sock.expect("ready implies connected");
+        let id = ctx.send(sock, 128, REQ_BASE + key);
+        self.in_flight = Some((id, key, ctx.now()));
+        self.shared.borrow_mut().origin_fetches += 1;
+    }
+}
+
+impl Program for EdgeCache {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.listen(EDGE_PORT);
+        self.sock = Some(ctx.connect(self.origin, ORIGIN_PORT));
+        ctx.sleep(self.retry_after, TOK_RETRY);
+    }
+
+    fn on_connected(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId) {
+        if self.sock == Some(sock) {
+            self.ready = true;
+            self.pump(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId, msg: Message) {
+        if self.sock == Some(sock) {
+            // Origin response: fill the cache, release every waiter.
+            let done = match self.in_flight {
+                Some((id, key, _)) if id == msg.msg_id => {
+                    self.in_flight = None;
+                    Some(key)
+                }
+                _ => None, // duplicate of an already-filled fetch
+            };
+            if let Some(key) = done {
+                self.cache.insert(key, ctx.now() + self.ttl);
+                for (client, req_id) in self.waiters.remove(&key).unwrap_or_default() {
+                    ctx.compute(SimDuration::from_micros(5));
+                    ctx.send_with_id(
+                        client,
+                        self.object_bytes,
+                        REQ_BASE + key + RESP_OFFSET,
+                        req_id,
+                    );
+                }
+                self.pump(ctx);
+            }
+            return;
+        }
+        // Client GET: key encoded in the kind.
+        if !(REQ_BASE..REQ_BASE + RESP_OFFSET).contains(&msg.kind) {
+            return;
+        }
+        let key = msg.kind - REQ_BASE;
+        ctx.compute(self.lookup_cost);
+        if self.cache.get(&key).is_some_and(|&exp| ctx.now() < exp) {
+            self.shared.borrow_mut().hits += 1;
+            ctx.send_with_id(sock, self.object_bytes, msg.kind + RESP_OFFSET, msg.msg_id);
+            return;
+        }
+        // Miss (cold or TTL-expired): coalesce with any fetch already
+        // under way for this key.
+        let waiter = (sock, msg.msg_id);
+        match self.waiters.get_mut(&key) {
+            Some(w) => {
+                if !w.contains(&waiter) {
+                    w.push(waiter);
+                    let mut sh = self.shared.borrow_mut();
+                    sh.misses += 1;
+                    sh.coalesced += 1;
+                }
+            }
+            None => {
+                self.waiters.insert(key, vec![waiter]);
+                self.fetch_queue.push_back(key);
+                self.shared.borrow_mut().misses += 1;
+                self.pump(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProcCtx<'_>, token: u64) {
+        if token != TOK_RETRY {
+            return;
+        }
+        if let (Some(sock), Some((id, key, last))) = (self.sock, self.in_flight) {
+            if ctx.now().saturating_since(last) >= self.retry_after {
+                ctx.send_with_id(sock, 128, REQ_BASE + key, id);
+                self.in_flight = Some((id, key, ctx.now()));
+                self.shared.borrow_mut().retries += 1;
+            }
+        }
+        ctx.sleep(self.retry_after, TOK_RETRY);
+    }
+}
+
+/// The origin: every fetch pays a synchronous disk read before the
+/// response — the blocked time the GPA sees behind every miss.
+struct OriginServer {
+    read_bytes: u64,
+    object_bytes: u64,
+    next_token: u64,
+    inflight: BTreeMap<u64, (SocketId, u64, u32)>,
+}
+
+impl Program for OriginServer {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.listen(ORIGIN_PORT);
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId, msg: Message) {
+        if !(REQ_BASE..REQ_BASE + RESP_OFFSET).contains(&msg.kind) {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.inflight.insert(token, (sock, msg.msg_id, msg.kind));
+        let key = msg.kind - REQ_BASE;
+        ctx.read_file(FileId(key as u64), self.read_bytes, token);
+    }
+
+    fn on_io_done(&mut self, ctx: &mut ProcCtx<'_>, token: u64) {
+        if let Some((sock, req_id, kind)) = self.inflight.remove(&token) {
+            ctx.compute(SimDuration::from_micros(20));
+            ctx.send_with_id(sock, self.object_bytes, kind + RESP_OFFSET, req_id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner + diagnosis
+// ---------------------------------------------------------------------
+
+impl CdnScenario {
+    /// The edge cache's node id (spawn order: clients, edge, origin, GPA).
+    pub fn edge_node(&self) -> NodeId {
+        NodeId(self.clients as u32)
+    }
+    /// The origin server's node id.
+    pub fn origin_node(&self) -> NodeId {
+        NodeId((self.clients + 1) as u32)
+    }
+    /// The GPA's node id.
+    pub fn gpa_node(&self) -> NodeId {
+        NodeId((self.clients + 2) as u32)
+    }
+}
+
+impl ScenarioSpec for CdnScenario {
+    type Output = CdnResult;
+
+    fn name(&self) -> &'static str {
+        "cdn"
+    }
+
+    fn run_under(&self, seed: u64, faults: FaultPlan) -> ScenarioRun<CdnResult> {
+        let mut builder = WorldBuilder::new(seed);
+        for i in 0..self.clients {
+            builder = builder.node(&format!("cdn-client{i}"));
+        }
+        let origin_config = NodeConfig {
+            disk: DiskSpec {
+                seek: self.origin_seek,
+                ..DiskSpec::default()
+            },
+            ..NodeConfig::default()
+        };
+        let mut world = builder
+            .node("cdn-edge")
+            .node_with("cdn-origin", origin_config, simnet::ClockSpec::PERFECT)
+            .node("gpa")
+            .full_mesh(LinkSpec::gigabit_lan())
+            .faults(faults)
+            .build()
+            .expect("topology");
+
+        let sysprof = SysProf::deploy(
+            &mut world,
+            &[self.edge_node(), self.origin_node()],
+            self.gpa_node(),
+            scenario_monitor_config(),
+        );
+
+        let shared = Rc::new(RefCell::new(EdgeShared::default()));
+        world.spawn(
+            self.edge_node(),
+            "cdn-edge",
+            Box::new(EdgeCache {
+                origin: self.origin_node(),
+                ttl: self.ttl,
+                object_bytes: self.object_bytes,
+                lookup_cost: self.edge_lookup,
+                retry_after: self.retry_after,
+                sock: None,
+                ready: false,
+                cache: BTreeMap::new(),
+                waiters: BTreeMap::new(),
+                fetch_queue: VecDeque::new(),
+                in_flight: None,
+                shared: shared.clone(),
+            }),
+        );
+        world.spawn(
+            self.origin_node(),
+            "cdn-origin",
+            Box::new(OriginServer {
+                read_bytes: self.origin_read_bytes,
+                object_bytes: self.object_bytes,
+                next_token: 0,
+                inflight: BTreeMap::new(),
+            }),
+        );
+
+        let stats = ClientStats::shared(self.keys);
+        let deadline = SimTime::ZERO + self.duration;
+        for c in 0..self.clients {
+            world.spawn(
+                NodeId(c as u32),
+                &format!("cdn-client{c}"),
+                Box::new(ZipfClient {
+                    server: self.edge_node(),
+                    port: EDGE_PORT,
+                    keys: self.keys,
+                    skew: self.skew,
+                    req_bytes: 128,
+                    kind_base: REQ_BASE,
+                    resp_offset: RESP_OFFSET,
+                    deadline,
+                    retry_after: self.retry_after,
+                    shared: stats.clone(),
+                    sock: None,
+                    outstanding: None,
+                }),
+            );
+        }
+
+        world.run_until(deadline + SimDuration::from_secs(1));
+
+        let sh = shared.borrow();
+        let mut st = stats.borrow_mut();
+        let mut lat = std::mem::take(&mut st.latencies_us);
+        let decided = sh.hits + sh.misses;
+        let output = CdnResult {
+            requests_completed: st.completed,
+            hits: sh.hits,
+            misses: sh.misses,
+            hit_ratio: if decided > 0 {
+                sh.hits as f64 / decided as f64
+            } else {
+                0.0
+            },
+            coalesced: sh.coalesced,
+            origin_fetches: sh.origin_fetches,
+            p50_us: percentile_us(&mut lat, 50.0),
+            p95_us: percentile_us(&mut lat, 95.0),
+            retries: st.retries + sh.retries,
+        };
+        drop(st);
+        drop(sh);
+        ScenarioRun {
+            world,
+            sysprof,
+            output,
+        }
+    }
+
+    fn diagnose(&self, run: &ScenarioRun<CdnResult>) -> Diagnosis {
+        let gpa = run.sysprof.gpa();
+        let gpa = gpa.borrow();
+        let edge = gpa.class_summary(self.edge_node(), EDGE_PORT);
+        let origin = gpa.class_summary(self.origin_node(), ORIGIN_PORT);
+        let (edge_p50, edge_p95) = edge
+            .as_ref()
+            .map_or((0.0, 0.0), |s| (s.p50_total_us, s.p95_total_us));
+        let origin_blocked = origin.as_ref().map_or(0.0, |s| s.mean_blocked_us);
+        let origin_count = origin.as_ref().map_or(0, |s| s.count);
+        // Miss paths: edge interactions with a nested origin fetch.
+        let edge_node = self.edge_node();
+        let paths: Vec<_> = gpa
+            .correlate()
+            .into_iter()
+            .filter(|p| {
+                p.parent.node == edge_node
+                    && p.parent.class_port == EDGE_PORT
+                    && !p.children.is_empty()
+            })
+            .collect();
+        let miss_downstream_share = {
+            let (total, down) = paths.iter().fold((0u64, 0u64), |(t, d), p| {
+                (
+                    t + p.parent.end_us.saturating_sub(p.parent.start_us),
+                    d + p.downstream_us(),
+                )
+            });
+            if total > 0 {
+                100.0 * down.min(total) as f64 / total as f64
+            } else {
+                0.0
+            }
+        };
+        let tail_ratio = if edge_p50 > 0.0 {
+            edge_p95 / edge_p50
+        } else {
+            0.0
+        };
+        let evidence = vec![
+            format!("edge: p50 {edge_p50:.0}µs, p95 {edge_p95:.0}µs (bimodal hit/miss split)"),
+            format!(
+                "origin: {origin_count} fetches, mean blocked {origin_blocked:.0}µs (synchronous disk)"
+            ),
+            format!(
+                "{} edge interactions correlate to an origin fetch; {miss_downstream_share:.0}% of their latency is downstream",
+                paths.len()
+            ),
+        ];
+        Diagnosis {
+            verdict: format!(
+                "origin-bound tail: edge p95/p50 = {tail_ratio:.0}x, misses blocked on origin disk ({origin_blocked:.0}µs mean)"
+            ),
+            evidence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> CdnScenario {
+        CdnScenario {
+            duration: SimDuration::from_millis(500),
+            ..CdnScenario::default()
+        }
+    }
+
+    #[test]
+    fn zipf_traffic_hits_and_ttl_forces_refetches() {
+        let run = quick().run(7);
+        let r = &run.output;
+        // Closed loop: misses serialize on the origin's disk, so
+        // throughput is origin-bound — ~100s of requests, not 1000s.
+        assert!(
+            r.requests_completed > 100,
+            "requests {}",
+            r.requests_completed
+        );
+        assert!(r.hit_ratio > 0.5, "hit ratio {} of {r:?}", r.hit_ratio);
+        assert!(
+            r.origin_fetches > 0 && r.misses >= r.origin_fetches,
+            "{r:?}"
+        );
+        // A 500ms run against a 150ms TTL refetches hot keys: strictly
+        // more fetches than the number of distinct keys a cold cache
+        // could account for.
+        let no_ttl = CdnScenario {
+            ttl: SimDuration::from_secs(60),
+            ..quick()
+        }
+        .run(7);
+        assert!(
+            r.origin_fetches > no_ttl.output.origin_fetches,
+            "TTL expiry must force refetches: {} vs {} without expiry",
+            r.origin_fetches,
+            no_ttl.output.origin_fetches
+        );
+        assert_eq!(r.retries, 0, "clean network needs no retries");
+    }
+
+    #[test]
+    fn misses_dominate_the_tail() {
+        let run = quick().run(7);
+        let r = &run.output;
+        assert!(
+            r.p95_us > 2 * r.p50_us,
+            "bimodal latency: p50 {} p95 {}",
+            r.p50_us,
+            r.p95_us
+        );
+    }
+
+    #[test]
+    fn gpa_diagnoses_the_origin_bound_tail() {
+        let spec = quick();
+        let run = spec.run(7);
+        let d = spec.diagnose(&run);
+        assert!(
+            d.verdict.starts_with("origin-bound tail"),
+            "verdict {:?}",
+            d.verdict
+        );
+        assert!(!d.evidence.is_empty());
+    }
+}

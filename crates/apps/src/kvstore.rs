@@ -1,0 +1,511 @@
+//! Sharded key-value store with zipfian hot-key skew and per-shard
+//! queues.
+//!
+//! Topology: closed-loop clients → a **router** that owns one ping-pong
+//! flow per shard (one request outstanding per shard, the rest queue at
+//! the router) → `S` **shard** nodes doing the actual lookups. Keys are
+//! zipf-distributed and placed by `key % shards`, so the shard owning
+//! rank-0 keys absorbs a disproportionate share of traffic: its router
+//! queue grows and every request behind a hot-shard request inherits the
+//! queueing delay.
+//!
+//! The diagnosis SysProf must produce: the **hot shard** — the shard
+//! node whose responder-side interaction count dominates the shard tier
+//! — surfaced purely from GPA class summaries, without reading any
+//! application counter.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use serde::Serialize;
+use simcore::{NodeId, SimDuration, SimTime};
+use simnet::{FaultPlan, LinkSpec, Port};
+use simos::{Message, ProcCtx, Program, SocketId, WorldBuilder};
+use sysprof::SysProf;
+
+use crate::scenario::{
+    percentile_us, scenario_monitor_config, ClientStats, Diagnosis, ScenarioRun, ScenarioSpec,
+    ZipfClient,
+};
+
+/// Client-facing router port.
+pub const ROUTER_PORT: Port = Port(7000);
+/// Shard service port.
+pub const SHARD_PORT: Port = Port(7100);
+
+const REQ_BASE: u32 = 1_000;
+const RESP_OFFSET: u32 = 100_000;
+const TOK_RETRY: u64 = 0x5E7;
+
+/// Parameters of the sharded KV scenario.
+#[derive(Debug, Clone)]
+pub struct KvStoreScenario {
+    /// Closed-loop client nodes.
+    pub clients: usize,
+    /// Shard nodes.
+    pub shards: usize,
+    /// Distinct keys; key `k` lives on shard `k % shards`.
+    pub keys: usize,
+    /// Zipf skew of the key popularity distribution.
+    pub skew: f64,
+    /// Request payload bytes.
+    pub req_bytes: u64,
+    /// Value payload bytes returned by shards.
+    pub value_bytes: u64,
+    /// Per-lookup compute at a shard.
+    pub shard_service: SimDuration,
+    /// How long clients keep issuing requests.
+    pub duration: SimDuration,
+    /// Client/router retransmit timeout (loss tolerance).
+    pub retry_after: SimDuration,
+}
+
+impl Default for KvStoreScenario {
+    fn default() -> Self {
+        KvStoreScenario {
+            clients: 2,
+            shards: 4,
+            keys: 64,
+            skew: 1.2,
+            req_bytes: 128,
+            value_bytes: 512,
+            shard_service: SimDuration::from_micros(80),
+            duration: SimDuration::from_millis(800),
+            retry_after: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// Measured outcome of one KV run (application truth; the GPA's view
+/// lives in the [`Diagnosis`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct KvStoreResult {
+    /// Requests completed across all clients.
+    pub ops_completed: u64,
+    /// Completions per shard, shard index order (app-side counters).
+    pub per_shard_ops: Vec<u64>,
+    /// Shard with the most completions.
+    pub hot_shard: usize,
+    /// Its fraction of all shard completions.
+    pub hot_shard_share: f64,
+    /// Client-observed median latency, µs.
+    pub p50_us: u64,
+    /// Client-observed 95th-percentile latency, µs.
+    pub p95_us: u64,
+    /// Deepest router queue observed per shard, shard index order.
+    pub max_queue_depth: Vec<u64>,
+    /// Client + router retransmits (0 on a clean network).
+    pub retries: u64,
+}
+
+// ---------------------------------------------------------------------
+// Programs
+// ---------------------------------------------------------------------
+
+struct ClientReq {
+    sock: SocketId,
+    msg_id: u64,
+    kind: u32,
+    bytes: u64,
+}
+
+struct InFlight {
+    shard_msg_id: u64,
+    client: ClientReq,
+    since: SimTime,
+}
+
+struct ShardConn {
+    node: NodeId,
+    sock: Option<SocketId>,
+    ready: bool,
+    busy: Option<InFlight>,
+    queue: VecDeque<ClientReq>,
+}
+
+#[derive(Default)]
+struct RouterShared {
+    max_queue_depth: Vec<u64>,
+    retries: u64,
+}
+
+/// The shard router: one ping-pong flow per shard with a FIFO queue in
+/// front of it — the per-shard queues the hot shard backs up.
+struct KvRouter {
+    shards: Vec<ShardConn>,
+    route_cost: SimDuration,
+    retry_after: SimDuration,
+    shared: Rc<RefCell<RouterShared>>,
+}
+
+impl KvRouter {
+    fn pump(&mut self, ctx: &mut ProcCtx<'_>, idx: usize) {
+        let s = &mut self.shards[idx];
+        let (Some(sock), true, None) = (s.sock, s.ready, s.busy.as_ref()) else {
+            return;
+        };
+        let Some(client) = s.queue.pop_front() else {
+            return;
+        };
+        let shard_msg_id = ctx.send(sock, client.bytes, client.kind);
+        s.busy = Some(InFlight {
+            shard_msg_id,
+            client,
+            since: ctx.now(),
+        });
+    }
+
+    fn shard_of_sock(&self, sock: SocketId) -> Option<usize> {
+        self.shards.iter().position(|s| s.sock == Some(sock))
+    }
+}
+
+impl Program for KvRouter {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.listen(ROUTER_PORT);
+        for s in &mut self.shards {
+            s.sock = Some(ctx.connect(s.node, SHARD_PORT));
+        }
+        ctx.sleep(self.retry_after, TOK_RETRY);
+    }
+
+    fn on_connected(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId) {
+        if let Some(idx) = self.shard_of_sock(sock) {
+            self.shards[idx].ready = true;
+            self.pump(ctx, idx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId, msg: Message) {
+        if let Some(idx) = self.shard_of_sock(sock) {
+            // Shard response: relay to the waiting client, advance queue.
+            let done = match &self.shards[idx].busy {
+                Some(f) if f.shard_msg_id == msg.msg_id => self.shards[idx].busy.take(),
+                _ => None, // duplicate of an already-relayed response
+            };
+            if let Some(f) = done {
+                ctx.compute(SimDuration::from_micros(10));
+                ctx.send_with_id(
+                    f.client.sock,
+                    msg.bytes,
+                    f.client.kind + RESP_OFFSET,
+                    f.client.msg_id,
+                );
+                self.pump(ctx, idx);
+            }
+            return;
+        }
+        // Client request: key is encoded in the kind.
+        let key = msg.kind.saturating_sub(REQ_BASE) as usize;
+        let idx = key % self.shards.len();
+        ctx.compute(self.route_cost);
+        self.shards[idx].queue.push_back(ClientReq {
+            sock,
+            msg_id: msg.msg_id,
+            kind: msg.kind,
+            bytes: msg.bytes,
+        });
+        let depth = self.shards[idx].queue.len() as u64;
+        {
+            let mut sh = self.shared.borrow_mut();
+            sh.max_queue_depth[idx] = sh.max_queue_depth[idx].max(depth);
+        }
+        self.pump(ctx, idx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProcCtx<'_>, token: u64) {
+        if token != TOK_RETRY {
+            return;
+        }
+        let now = ctx.now();
+        for s in &mut self.shards {
+            if let (Some(sock), Some(f)) = (s.sock, s.busy.as_mut()) {
+                if now.saturating_since(f.since) >= self.retry_after {
+                    ctx.send_with_id(sock, f.client.bytes, f.client.kind, f.shard_msg_id);
+                    f.since = now;
+                    self.shared.borrow_mut().retries += 1;
+                }
+            }
+        }
+        ctx.sleep(self.retry_after, TOK_RETRY);
+    }
+}
+
+/// A shard: constant-time lookup, value-sized response. Stateless, so
+/// retransmitted requests are simply answered again.
+struct KvShard {
+    idx: usize,
+    service: SimDuration,
+    value_bytes: u64,
+    ops: Rc<RefCell<Vec<u64>>>,
+}
+
+impl Program for KvShard {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.listen(SHARD_PORT);
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId, msg: Message) {
+        if msg.kind < REQ_BASE || msg.kind >= REQ_BASE + RESP_OFFSET {
+            return;
+        }
+        ctx.compute(self.service);
+        self.ops.borrow_mut()[self.idx] += 1;
+        ctx.send_with_id(sock, self.value_bytes, msg.kind + RESP_OFFSET, msg.msg_id);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner + diagnosis
+// ---------------------------------------------------------------------
+
+impl KvStoreScenario {
+    /// The router's node id (spawn order: clients, router, shards, GPA).
+    pub fn router_node(&self) -> NodeId {
+        NodeId(self.clients as u32)
+    }
+    /// Node id of shard `s`.
+    pub fn shard_node(&self, s: usize) -> NodeId {
+        NodeId((self.clients + 1 + s) as u32)
+    }
+    /// The GPA's node id.
+    pub fn gpa_node(&self) -> NodeId {
+        NodeId((self.clients + 1 + self.shards) as u32)
+    }
+}
+
+impl ScenarioSpec for KvStoreScenario {
+    type Output = KvStoreResult;
+
+    fn name(&self) -> &'static str {
+        "kvstore"
+    }
+
+    fn run_under(&self, seed: u64, faults: FaultPlan) -> ScenarioRun<KvStoreResult> {
+        let mut builder = WorldBuilder::new(seed);
+        for i in 0..self.clients {
+            builder = builder.node(&format!("kv-client{i}"));
+        }
+        builder = builder.node("kv-router");
+        for i in 0..self.shards {
+            builder = builder.node(&format!("kv-shard{i}"));
+        }
+        let mut world = builder
+            .node("gpa")
+            .full_mesh(LinkSpec::gigabit_lan())
+            .faults(faults)
+            .build()
+            .expect("topology");
+
+        let router_node = NodeId(self.clients as u32);
+        let shard_nodes: Vec<NodeId> = (0..self.shards)
+            .map(|i| NodeId((self.clients + 1 + i) as u32))
+            .collect();
+        let gpa_node = NodeId((self.clients + 1 + self.shards) as u32);
+
+        let mut monitored = vec![router_node];
+        monitored.extend(shard_nodes.iter().copied());
+        let sysprof = SysProf::deploy(&mut world, &monitored, gpa_node, scenario_monitor_config());
+
+        let ops = Rc::new(RefCell::new(vec![0u64; self.shards]));
+        for (i, &n) in shard_nodes.iter().enumerate() {
+            world.spawn(
+                n,
+                &format!("kv-shard{i}"),
+                Box::new(KvShard {
+                    idx: i,
+                    service: self.shard_service,
+                    value_bytes: self.value_bytes,
+                    ops: ops.clone(),
+                }),
+            );
+        }
+        let router_shared = Rc::new(RefCell::new(RouterShared {
+            max_queue_depth: vec![0; self.shards],
+            retries: 0,
+        }));
+        world.spawn(
+            router_node,
+            "kv-router",
+            Box::new(KvRouter {
+                shards: shard_nodes
+                    .iter()
+                    .map(|&node| ShardConn {
+                        node,
+                        sock: None,
+                        ready: false,
+                        busy: None,
+                        queue: VecDeque::new(),
+                    })
+                    .collect(),
+                route_cost: SimDuration::from_micros(10),
+                retry_after: self.retry_after,
+                shared: router_shared.clone(),
+            }),
+        );
+
+        let stats = ClientStats::shared(self.keys);
+        let deadline = SimTime::ZERO + self.duration;
+        for c in 0..self.clients {
+            world.spawn(
+                NodeId(c as u32),
+                &format!("kv-client{c}"),
+                Box::new(ZipfClient {
+                    server: router_node,
+                    port: ROUTER_PORT,
+                    keys: self.keys,
+                    skew: self.skew,
+                    req_bytes: self.req_bytes,
+                    kind_base: REQ_BASE,
+                    resp_offset: RESP_OFFSET,
+                    deadline,
+                    retry_after: self.retry_after,
+                    shared: stats.clone(),
+                    sock: None,
+                    outstanding: None,
+                }),
+            );
+        }
+
+        world.run_until(deadline + SimDuration::from_secs(1));
+
+        let per_shard_ops = ops.borrow().clone();
+        let total: u64 = per_shard_ops.iter().sum();
+        let (hot_shard, &hot_ops) = per_shard_ops
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &n)| (n, std::cmp::Reverse(i)))
+            .expect("at least one shard");
+        let mut st = stats.borrow_mut();
+        let mut lat = std::mem::take(&mut st.latencies_us);
+        let rsh = router_shared.borrow();
+        let output = KvStoreResult {
+            ops_completed: st.completed,
+            per_shard_ops: per_shard_ops.clone(),
+            hot_shard,
+            hot_shard_share: if total > 0 {
+                hot_ops as f64 / total as f64
+            } else {
+                0.0
+            },
+            p50_us: percentile_us(&mut lat, 50.0),
+            p95_us: percentile_us(&mut lat, 95.0),
+            max_queue_depth: rsh.max_queue_depth.clone(),
+            retries: st.retries + rsh.retries,
+        };
+        drop(st);
+        drop(rsh);
+        ScenarioRun {
+            world,
+            sysprof,
+            output,
+        }
+    }
+
+    fn diagnose(&self, run: &ScenarioRun<KvStoreResult>) -> Diagnosis {
+        let gpa = run.sysprof.gpa();
+        let gpa = gpa.borrow();
+        let router_node = NodeId(self.clients as u32);
+        // The GPA's view: responder-side interaction counts per shard
+        // node — no application counters consulted.
+        let counts: Vec<u64> = (0..self.shards)
+            .map(|i| {
+                let node = NodeId((self.clients + 1 + i) as u32);
+                gpa.class_summary(node, SHARD_PORT).map_or(0, |s| s.count)
+            })
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let (hot, &hot_count) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &n)| (n, std::cmp::Reverse(i)))
+            .expect("at least one shard");
+        let share = if total > 0 {
+            100.0 * hot_count as f64 / total as f64
+        } else {
+            0.0
+        };
+        let mut evidence: Vec<String> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let node = NodeId((self.clients + 1 + i) as u32);
+                let user = gpa
+                    .class_summary(node, SHARD_PORT)
+                    .map_or(0.0, |s| s.mean_user_us);
+                format!(
+                    "shard {i} (node {}): {n} interactions, mean user {user:.0}µs",
+                    node.0
+                )
+            })
+            .collect();
+        if let Some(r) = gpa.class_summary(router_node, ROUTER_PORT) {
+            evidence.push(format!(
+                "router: {} interactions, p95 total {:.0}µs",
+                r.count, r.p95_total_us
+            ));
+        }
+        Diagnosis {
+            verdict: format!(
+                "hot shard {hot}: {share:.0}% of shard traffic ({hot_count}/{total} interactions)"
+            ),
+            evidence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> KvStoreScenario {
+        KvStoreScenario {
+            duration: SimDuration::from_millis(400),
+            ..KvStoreScenario::default()
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_shard_zero() {
+        let run = quick().run(7);
+        let r = &run.output;
+        assert!(r.ops_completed > 200, "ops {}", r.ops_completed);
+        assert_eq!(r.hot_shard, 0, "key rank 0 lives on shard 0: {r:?}");
+        assert!(
+            r.hot_shard_share > 0.3,
+            "hot share {} of {:?}",
+            r.hot_shard_share,
+            r.per_shard_ops
+        );
+        assert_eq!(r.retries, 0, "clean network needs no retries");
+    }
+
+    #[test]
+    fn gpa_diagnosis_agrees_with_application_truth() {
+        let spec = quick();
+        let run = spec.run(7);
+        let d = spec.diagnose(&run);
+        assert!(
+            d.verdict
+                .starts_with(&format!("hot shard {}", run.output.hot_shard)),
+            "GPA indicted {:?}, app says shard {}",
+            d.verdict,
+            run.output.hot_shard
+        );
+    }
+
+    #[test]
+    fn survives_loss_with_retries() {
+        let spec = quick();
+        let run = spec.run_under(7, testplan_loss());
+        // Every lost hop costs a retry-timeout stall, so the closed loop
+        // slows by an order of magnitude — but it must keep moving.
+        assert!(run.output.ops_completed > 50, "{:?}", run.output);
+        assert!(run.output.retries > 0, "loss must trigger retries");
+    }
+
+    fn testplan_loss() -> FaultPlan {
+        FaultPlan::default().with_default_link(simnet::LinkFaults::lossy(0.01))
+    }
+}

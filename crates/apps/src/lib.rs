@@ -15,6 +15,24 @@
 //!   clients, a DWCS or RA-DWCS request dispatcher, and a mid-run load
 //!   imbalance (Figures 6 and 7).
 //!
+//! On top of those, the **scenario library** adds distributed-behavior
+//! workloads whose bottleneck only a cross-node correlator can name:
+//!
+//! * [`kvstore`] — a sharded key-value store with zipfian hot-key skew:
+//!   the GPA must surface the hot shard,
+//! * [`fanout`] — a microservice fan-out chain (one user request fans
+//!   into dozens of RPCs across three tiers): the GPA must indict the
+//!   slow leaf behind the tail,
+//! * [`allreduce`] — a ring allreduce collective with an injectable
+//!   compute straggler: the GPA must indict the straggler rank,
+//! * [`cdn`] — a CDN/cache tier with zipfian traffic, TTL expiry, and
+//!   origin fallback: the GPA must attribute the tail to origin disk.
+//!
+//! Every workload — legacy and new — implements [`ScenarioSpec`]: a
+//! seeded, fault-injectable run plus a deterministic golden
+//! [`Diagnosis`], so one chaos matrix and one bench harness cover them
+//! all.
+//!
 //! Each module exposes a `run_*` function returning a typed result, used
 //! by the examples, the integration tests, and the `figures` harness in
 //! `sysprof-bench`.
@@ -22,12 +40,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod allreduce;
+pub mod cdn;
+pub mod fanout;
 pub mod iperf;
+pub mod kvstore;
 pub mod linpack;
 pub mod rubis;
+pub mod scenario;
 pub mod storage;
 
-pub use iperf::{run_iperf, IperfResult};
-pub use linpack::{run_linpack, LinpackResult};
-pub use rubis::{run_rubis, RubisConfig, RubisResult};
-pub use storage::{run_storage, StorageConfig, StorageResult};
+pub use allreduce::{AllreduceResult, AllreduceScenario};
+pub use cdn::{CdnResult, CdnScenario};
+pub use fanout::{FanoutResult, FanoutScenario};
+pub use iperf::{run_iperf, IperfResult, IperfScenario};
+pub use kvstore::{KvStoreResult, KvStoreScenario};
+pub use linpack::{run_linpack, LinpackResult, LinpackScenario};
+pub use rubis::{run_rubis, RubisConfig, RubisResult, RubisScenario};
+pub use scenario::{Diagnosis, ScenarioRun, ScenarioSpec};
+pub use storage::{run_storage, StorageConfig, StorageResult, StorageScenario};

@@ -13,10 +13,12 @@
 
 use serde::Serialize;
 use simcore::{NodeId, SimDuration, SimTime};
-use simnet::LinkSpec;
+use simnet::{FaultPlan, LinkSpec};
 use simos::programs::ComputeLoop;
-use simos::WorldBuilder;
+use simos::{World, WorldBuilder};
 use sysprof::{MonitorConfig, SysProf};
+
+use crate::scenario::{Diagnosis, ScenarioRun, ScenarioSpec};
 
 /// Result of one linpack run.
 #[derive(Debug, Clone, Serialize)]
@@ -39,15 +41,24 @@ const FLOPS_PER_COMPUTE_SEC: f64 = 1_400e6;
 /// Runs linpack on a two-node 1 Gbps testbed (matching the paper's
 /// setup), with SysProf deployed when `monitored`.
 pub fn run_linpack(monitored: bool, seed: u64) -> LinpackResult {
+    run_linpack_inner(monitored, seed, FaultPlan::default()).2
+}
+
+fn run_linpack_inner(
+    monitored: bool,
+    seed: u64,
+    faults: FaultPlan,
+) -> (World, Option<SysProf>, LinpackResult) {
     let mut world = WorldBuilder::new(seed)
         .node("bench")
         .node("peer")
         .node("gpa")
         .full_mesh(LinkSpec::gigabit_lan())
+        .faults(faults)
         .build()
         .expect("static topology is valid");
 
-    let _sysprof = monitored.then(|| {
+    let sysprof = monitored.then(|| {
         SysProf::deploy(
             &mut world,
             &[NodeId(0), NodeId(1)],
@@ -75,11 +86,49 @@ pub fn run_linpack(monitored: bool, seed: u64) -> LinpackResult {
     let mflops = flops / elapsed.as_secs_f64() / 1e6;
 
     let stats = world.node_stats(NodeId(0));
-    LinpackResult {
+    let result = LinpackResult {
         mflops,
         elapsed,
         overhead_fraction: stats.cpu.monitor.as_secs_f64() / elapsed.as_secs_f64(),
         events_generated: world.kprof(NodeId(0)).stats().events_generated,
+    };
+    (world, sysprof, result)
+}
+
+/// Linpack as a [`ScenarioSpec`]: the compute-only control whose
+/// diagnosis must find *nothing* network-attributable.
+#[derive(Debug, Clone, Default)]
+pub struct LinpackScenario;
+
+impl ScenarioSpec for LinpackScenario {
+    type Output = LinpackResult;
+
+    fn name(&self) -> &'static str {
+        "linpack"
+    }
+
+    fn run_under(&self, seed: u64, faults: FaultPlan) -> ScenarioRun<LinpackResult> {
+        let (world, sysprof, output) = run_linpack_inner(true, seed, faults);
+        ScenarioRun {
+            world,
+            sysprof: sysprof.expect("scenario runs monitored"),
+            output,
+        }
+    }
+
+    fn diagnose(&self, run: &ScenarioRun<LinpackResult>) -> Diagnosis {
+        let r = &run.output;
+        Diagnosis {
+            verdict: format!(
+                "compute-bound, monitoring-neutral: {:.0} MFLOPS, monitor tax {:.2}%",
+                r.mflops,
+                100.0 * r.overhead_fraction
+            ),
+            evidence: vec![
+                format!("elapsed {:.2}s", r.elapsed.as_secs_f64()),
+                format!("{} kprof events on the bench node", r.events_generated),
+            ],
+        }
     }
 }
 

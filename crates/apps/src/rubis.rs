@@ -28,10 +28,12 @@ use pubsub::ChannelDecoder;
 use serde::Serialize;
 use simcore::stats::RateMeter;
 use simcore::{NodeId, SimDuration, SimTime};
-use simnet::{EndPoint, LinkSpec, Port};
+use simnet::{EndPoint, FaultPlan, LinkSpec, Port};
 use simos::programs::ComputeLoop;
-use simos::{KernelOutput, KernelSink, Message, ProcCtx, Program, SocketId, WorldBuilder};
+use simos::{KernelOutput, KernelSink, Message, ProcCtx, Program, SocketId, World, WorldBuilder};
 use sysprof::{LoadRecord, MonitorConfig, SysProf, LOAD_TOPIC};
+
+use crate::scenario::{Diagnosis, ScenarioRun, ScenarioSpec};
 
 /// Servlet server port.
 pub const SERVLET_PORT: Port = Port(8009);
@@ -405,6 +407,13 @@ impl KernelSink for LoadFeed {
 
 /// Runs the RUBiS experiment.
 pub fn run_rubis(config: RubisConfig) -> RubisResult {
+    run_rubis_inner(config, FaultPlan::default()).2
+}
+
+fn run_rubis_inner(
+    config: RubisConfig,
+    faults: FaultPlan,
+) -> (World, Option<SysProf>, RubisResult) {
     let monitored = config.monitored || config.resource_aware;
     let mut world = WorldBuilder::new(config.seed)
         .node("client")
@@ -412,6 +421,7 @@ pub fn run_rubis(config: RubisConfig) -> RubisResult {
         .node("servlet-b")
         .node("gpa")
         .full_mesh(LinkSpec::gigabit_lan())
+        .faults(faults)
         .build()
         .expect("topology");
     let client = NodeId(0);
@@ -586,11 +596,102 @@ pub fn run_rubis(config: RubisConfig) -> RubisResult {
         None => 0.0,
     };
 
-    RubisResult {
+    let result = RubisResult {
         bid,
         comment,
         total_rps,
         server_overhead_fraction,
+    };
+    (world, sysprof, result)
+}
+
+/// RUBiS as a [`ScenarioSpec`]: the mid-run background load lands on
+/// servlet-a, and the GPA's load reports must indict it.
+#[derive(Debug, Clone)]
+pub struct RubisScenario {
+    /// Run length (the disturbance lands halfway through).
+    pub duration: SimDuration,
+    /// Offered load per class, requests/second.
+    pub rate_per_class: f64,
+}
+
+impl Default for RubisScenario {
+    fn default() -> Self {
+        RubisScenario {
+            duration: SimDuration::from_secs(20),
+            rate_per_class: 150.0,
+        }
+    }
+}
+
+impl ScenarioSpec for RubisScenario {
+    type Output = RubisResult;
+
+    fn name(&self) -> &'static str {
+        "rubis"
+    }
+
+    fn run_under(&self, seed: u64, faults: FaultPlan) -> ScenarioRun<RubisResult> {
+        let config = RubisConfig {
+            resource_aware: false,
+            monitored: true,
+            duration: self.duration,
+            rate_per_class: self.rate_per_class,
+            disturbance_at: None,
+            seed,
+        };
+        let (world, sysprof, output) = run_rubis_inner(config, faults);
+        ScenarioRun {
+            world,
+            sysprof: sysprof.expect("config.monitored is set"),
+            output,
+        }
+    }
+
+    fn diagnose(&self, run: &ScenarioRun<RubisResult>) -> Diagnosis {
+        let gpa = run.sysprof.gpa();
+        let gpa = gpa.borrow();
+        let servers = [NodeId(1), NodeId(2)];
+        let names = ["servlet-a", "servlet-b"];
+        // The disturbance saturates one server from mid-run on, so its
+        // *latest* load report separates the servers far more sharply
+        // than the whole-run mean.
+        let latest: Vec<f64> = servers
+            .iter()
+            .map(|&s| gpa.node_load(s).map_or(0.0, |v| v.latest.cpu_utilization))
+            .collect();
+        let loaded = if latest[0] >= latest[1] { 0 } else { 1 };
+        let evidence: Vec<String> = servers
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let view = gpa.node_load(s);
+                let (mean, reports) = view
+                    .as_ref()
+                    .map_or((0.0, 0), |v| (v.mean_utilization, v.reports));
+                let total = gpa
+                    .class_summary(s, SERVLET_PORT)
+                    .map_or(0.0, |c| c.mean_total_us);
+                format!(
+                    "{}: latest cpu {:.0}%, mean {:.0}% over {} reports, mean servlet time {:.0}µs",
+                    names[i],
+                    100.0 * latest[i],
+                    100.0 * mean,
+                    reports,
+                    total
+                )
+            })
+            .collect();
+        Diagnosis {
+            verdict: format!(
+                "background load on {} (node {}): cpu {:.0}% vs {:.0}% on its peer",
+                names[loaded],
+                servers[loaded].0,
+                100.0 * latest[loaded],
+                100.0 * latest[1 - loaded]
+            ),
+            evidence,
+        }
     }
 }
 

@@ -1,0 +1,255 @@
+//! The scenario library: one trait unifying every workload the repo can
+//! throw at a deployed SysProf stack.
+//!
+//! A [`ScenarioSpec`] bundles three things the evaluation needs from any
+//! workload, old or new:
+//!
+//! * **a seeded, fault-injectable run** — [`ScenarioSpec::run_under`]
+//!   builds the world, deploys SysProf, drives the workload under an
+//!   arbitrary [`FaultPlan`], and hands back the finished [`ScenarioRun`]
+//!   (world + monitor + typed output) so tests can interrogate both the
+//!   application's view and the GPA's view of the same run;
+//! * **a golden diagnosis** — [`ScenarioSpec::diagnose`] renders the
+//!   cross-node attribution the scenario uniquely exercises (the hot
+//!   shard, the slow leaf tier, the straggler rank, the origin-bound
+//!   tail) as a deterministic [`Diagnosis`], pinned by snapshot tests;
+//! * **a name** — used by the chaos matrix, the benches, and reports.
+//!
+//! Scenario programs follow one discipline so SysProf's black-box
+//! message pairing stays clean: every flow is ping-pong (at most one
+//! outstanding request per connection), responses reuse the request's
+//! message id via `send_with_id`, and retransmits repeat the same id so
+//! duplicates are recognizable end-to-end.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use serde::Serialize;
+use simcore::{NodeId, SimDuration, SimTime};
+use simnet::{FaultPlan, Port};
+use simos::{Message, ProcCtx, Program, SocketId, World};
+use sysprof::{GpaConfig, MonitorConfig, SysProf};
+
+/// A finished scenario run: the simulation, the deployed monitor, and
+/// the scenario's own measured output. Tests read application truth from
+/// `output` and the monitor's view from `sysprof.gpa()` — a diagnosis is
+/// only golden when the two agree.
+pub struct ScenarioRun<T> {
+    /// The simulation after the run completed.
+    pub world: World,
+    /// The deployed SysProf stack (GPA, daemons, LPAs).
+    pub sysprof: SysProf,
+    /// The scenario's typed result.
+    pub output: T,
+}
+
+/// A deterministic, human-readable verdict derived from the GPA.
+///
+/// `verdict` is the one-line attribution a golden test pins (if the
+/// indicted tier/shard/rank changes, the string changes and the test
+/// fails); `evidence` carries the per-component measurements behind it.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Diagnosis {
+    /// One-line attribution, e.g. `"hot shard 0: 47% of shard traffic"`.
+    pub verdict: String,
+    /// Supporting per-component measurements, in a fixed order.
+    pub evidence: Vec<String>,
+}
+
+impl std::fmt::Display for Diagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.verdict)?;
+        for e in &self.evidence {
+            writeln!(f, "  - {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A workload scenario: seeded, fault-injectable, self-diagnosing.
+pub trait ScenarioSpec {
+    /// The scenario's typed result (serializable so report formats are
+    /// pinned by golden snapshots).
+    type Output: Serialize + std::fmt::Debug;
+
+    /// Stable scenario name (bench ids, chaos-matrix labels).
+    fn name(&self) -> &'static str;
+
+    /// Builds the world, deploys SysProf, runs the workload to its
+    /// deadline under `faults`, and returns the finished run. Same seed
+    /// and plan must replay bit-identically.
+    fn run_under(&self, seed: u64, faults: FaultPlan) -> ScenarioRun<Self::Output>;
+
+    /// Renders the GPA's attribution for this run.
+    fn diagnose(&self, run: &ScenarioRun<Self::Output>) -> Diagnosis;
+
+    /// [`run_under`](ScenarioSpec::run_under) with no faults.
+    fn run(&self, seed: u64) -> ScenarioRun<Self::Output> {
+        self.run_under(seed, FaultPlan::default())
+    }
+}
+
+/// The monitor configuration scenarios deploy with: delivery logging on,
+/// so the testkit's in-order/exactly-once invariants can audit the run.
+pub(crate) fn scenario_monitor_config() -> MonitorConfig {
+    MonitorConfig {
+        gpa: GpaConfig {
+            log_deliveries: true,
+            ..GpaConfig::default()
+        },
+        ..MonitorConfig::default()
+    }
+}
+
+/// The `p`-th percentile of an unsorted sample of microsecond latencies
+/// (nearest-rank). Returns 0 for an empty sample.
+pub(crate) fn percentile_us(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.saturating_sub(1).min(samples.len() - 1)]
+}
+
+// ---------------------------------------------------------------------
+// Shared closed-loop client
+// ---------------------------------------------------------------------
+
+/// Counters shared between every [`ZipfClient`] of one scenario and the
+/// runner that reads them after the run.
+#[derive(Default)]
+pub(crate) struct ClientStats {
+    /// Requests completed (response matched the outstanding request).
+    pub completed: u64,
+    /// Retransmits issued after the retry timeout expired.
+    pub retries: u64,
+    /// Per-request latency samples, first-send to matching response, µs.
+    pub latencies_us: Vec<u64>,
+    /// Completions per key rank (index = zipf rank, 0 = hottest).
+    pub per_key: Vec<u64>,
+}
+
+impl ClientStats {
+    pub(crate) fn shared(keys: usize) -> Rc<RefCell<ClientStats>> {
+        Rc::new(RefCell::new(ClientStats {
+            per_key: vec![0; keys],
+            ..ClientStats::default()
+        }))
+    }
+}
+
+pub(crate) struct Pending {
+    msg_id: u64,
+    kind: u32,
+    key: usize,
+    first_tx: SimTime,
+    last_tx: SimTime,
+}
+
+const TOK_RETRY: u64 = 0xC11E;
+
+/// A closed-loop client drawing zipf-distributed keys: one outstanding
+/// request at a time, the key encoded in the message `kind`
+/// (`kind_base + key`), responses matched by message id. A watchdog
+/// retransmits the outstanding request (same id, so duplicates stay
+/// recognizable) when the network eats it — the loop survives loss.
+pub(crate) struct ZipfClient {
+    pub server: NodeId,
+    pub port: Port,
+    pub keys: usize,
+    pub skew: f64,
+    pub req_bytes: u64,
+    pub kind_base: u32,
+    pub resp_offset: u32,
+    pub deadline: SimTime,
+    pub retry_after: SimDuration,
+    pub shared: Rc<RefCell<ClientStats>>,
+    pub sock: Option<SocketId>,
+    pub outstanding: Option<Pending>,
+}
+
+impl ZipfClient {
+    fn issue(&mut self, ctx: &mut ProcCtx<'_>) {
+        let Some(sock) = self.sock else { return };
+        let key = ctx.rng().zipf(self.keys, self.skew);
+        let kind = self.kind_base + key as u32;
+        let msg_id = ctx.send(sock, self.req_bytes, kind);
+        self.outstanding = Some(Pending {
+            msg_id,
+            kind,
+            key,
+            first_tx: ctx.now(),
+            last_tx: ctx.now(),
+        });
+    }
+}
+
+impl Program for ZipfClient {
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        ctx.connect(self.server, self.port);
+    }
+
+    fn on_connected(&mut self, ctx: &mut ProcCtx<'_>, sock: SocketId) {
+        self.sock = Some(sock);
+        self.issue(ctx);
+        ctx.sleep(self.retry_after, TOK_RETRY);
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, _sock: SocketId, msg: Message) {
+        let Some(p) = &self.outstanding else { return };
+        if msg.msg_id != p.msg_id || msg.kind != p.kind + self.resp_offset {
+            return; // stale duplicate of an already-completed request
+        }
+        {
+            let mut sh = self.shared.borrow_mut();
+            sh.completed += 1;
+            sh.latencies_us
+                .push(ctx.now().saturating_since(p.first_tx).as_micros());
+            sh.per_key[p.key] += 1;
+        }
+        self.outstanding = None;
+        if ctx.now() >= self.deadline {
+            ctx.exit();
+        } else {
+            self.issue(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProcCtx<'_>, token: u64) {
+        if token != TOK_RETRY {
+            return;
+        }
+        if let (Some(sock), Some(p)) = (self.sock, self.outstanding.as_mut()) {
+            if ctx.now().saturating_since(p.last_tx) >= self.retry_after {
+                ctx.send_with_id(sock, self.req_bytes, p.kind, p.msg_id);
+                p.last_tx = ctx.now();
+                self.shared.borrow_mut().retries += 1;
+            }
+        }
+        ctx.sleep(self.retry_after, TOK_RETRY);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let mut v = vec![10, 20, 30, 40, 50];
+        assert_eq!(percentile_us(&mut v, 50.0), 30);
+        assert_eq!(percentile_us(&mut v, 95.0), 50);
+        assert_eq!(percentile_us(&mut v, 100.0), 50);
+        assert_eq!(percentile_us(&mut [], 50.0), 0);
+    }
+
+    #[test]
+    fn diagnosis_renders_deterministically() {
+        let d = Diagnosis {
+            verdict: "hot shard 0".into(),
+            evidence: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(format!("{d}"), "hot shard 0\n  - a\n  - b\n");
+    }
+}

@@ -21,9 +21,11 @@ use std::collections::{HashMap, VecDeque};
 use kprof::FileId;
 use serde::Serialize;
 use simcore::{NodeId, SimDuration, SimTime};
-use simnet::{LinkSpec, Port};
+use simnet::{FaultPlan, LinkSpec, Port};
 use simos::{Message, ProcCtx, Program, SocketId, WorldBuilder};
 use sysprof::{MonitorConfig, SysProf};
+
+use crate::scenario::{Diagnosis, ScenarioRun, ScenarioSpec};
 
 /// Client→proxy and proxy→backend request port numbers.
 pub const PROXY_PORT: Port = Port(2049);
@@ -272,6 +274,11 @@ pub type WorldBuilderOutput = simos::World;
 /// Builds the §3.2 topology with SysProf deployed on the proxy and every
 /// back-end, clients ready to run. Callers drive `world` themselves.
 pub fn build_storage_world(config: &StorageConfig) -> StorageWorld {
+    build_storage_world_under(config, FaultPlan::default())
+}
+
+/// [`build_storage_world`] with a network fault plan installed.
+pub fn build_storage_world_under(config: &StorageConfig, faults: FaultPlan) -> StorageWorld {
     let mut builder = WorldBuilder::new(config.seed);
     // Node layout: clients, then proxy, then backends, then GPA.
     for i in 0..config.clients {
@@ -284,6 +291,7 @@ pub fn build_storage_world(config: &StorageConfig) -> StorageWorld {
     builder = builder.node("gpa");
     let mut world = builder
         .full_mesh(LinkSpec::gigabit_lan())
+        .faults(faults)
         .build()
         .expect("topology");
 
@@ -339,7 +347,14 @@ pub fn build_storage_world(config: &StorageConfig) -> StorageWorld {
 /// Runs the virtual-storage experiment and reads the Figure 4/5 metrics
 /// from the GPA.
 pub fn run_storage(config: StorageConfig) -> StorageResult {
-    let sw = build_storage_world(&config);
+    run_storage_inner(config, FaultPlan::default()).2
+}
+
+fn run_storage_inner(
+    config: StorageConfig,
+    faults: FaultPlan,
+) -> (WorldBuilderOutput, SysProf, StorageResult) {
+    let sw = build_storage_world_under(&config, faults);
     let StorageWorld {
         mut world,
         sysprof,
@@ -370,7 +385,7 @@ pub fn run_storage(config: StorageConfig) -> StorageResult {
         .map(|s| ((s.mean_kernel_in_us + s.mean_kernel_out_us) / 1e3, s.count))
         .unwrap_or((0.0, 0));
 
-    StorageResult {
+    let result = StorageResult {
         proxy_user_ms,
         proxy_kernel_ms,
         backend_kernel_ms,
@@ -383,6 +398,71 @@ pub fn run_storage(config: StorageConfig) -> StorageResult {
             .map(|d| d.as_millis_f64())
             .unwrap_or(0.0),
         proxy_overhead_fraction: sysprof.overhead_fraction(&world, proxy_node),
+    };
+    drop(gpa);
+    (world, sysprof, result)
+}
+
+/// The §3.2 storage service as a [`ScenarioSpec`]: the GPA must put the
+/// bottleneck behind the proxy, in the back-end's kernel (the disk).
+#[derive(Debug, Clone)]
+pub struct StorageScenario {
+    /// The experiment parameters (the config's own `seed` is ignored;
+    /// [`ScenarioSpec::run_under`]'s seed wins).
+    pub config: StorageConfig,
+}
+
+impl Default for StorageScenario {
+    fn default() -> Self {
+        StorageScenario {
+            config: StorageConfig {
+                duration: SimDuration::from_secs(5),
+                ..StorageConfig::default()
+            },
+        }
+    }
+}
+
+impl ScenarioSpec for StorageScenario {
+    type Output = StorageResult;
+
+    fn name(&self) -> &'static str {
+        "storage"
+    }
+
+    fn run_under(&self, seed: u64, faults: FaultPlan) -> ScenarioRun<StorageResult> {
+        let config = StorageConfig {
+            seed,
+            ..self.config.clone()
+        };
+        let (world, sysprof, output) = run_storage_inner(config, faults);
+        ScenarioRun {
+            world,
+            sysprof,
+            output,
+        }
+    }
+
+    fn diagnose(&self, run: &ScenarioRun<StorageResult>) -> Diagnosis {
+        let r = &run.output;
+        let proxy_ms = r.proxy_user_ms + r.proxy_kernel_ms;
+        Diagnosis {
+            verdict: format!(
+                "disk-bound back end: {:.1}ms kernel per interaction vs {:.1}ms at the proxy",
+                r.backend_kernel_ms, proxy_ms
+            ),
+            evidence: vec![
+                format!(
+                    "proxy: user {:.2}ms (flat), kernel {:.2}ms over {} interactions",
+                    r.proxy_user_ms, r.proxy_kernel_ms, r.proxy_interactions
+                ),
+                format!(
+                    "backend: kernel {:.2}ms over {} interactions",
+                    r.backend_kernel_ms, r.backend_interactions
+                ),
+                format!("client↔proxy rtt {:.2}ms (insignificant)", r.network_rtt_ms),
+            ],
+        }
     }
 }
 

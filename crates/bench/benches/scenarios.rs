@@ -1,0 +1,60 @@
+//! Criterion scenario suite: whole-simulation wall-clock for each
+//! workload scenario in the library, run monitored and fault-free at
+//! the shortened (smoke) durations the test matrix uses.
+//!
+//! The `scenarios` binary drives the same specs and records the
+//! committed `BENCH_scenarios.json` baseline; this suite is for
+//! statistically careful local comparisons (`cargo bench --bench
+//! scenarios`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::SimDuration;
+use sysprof_apps::{AllreduceScenario, CdnScenario, FanoutScenario, KvStoreScenario, ScenarioSpec};
+
+const SEED: u64 = 7;
+const QUICK: SimDuration = SimDuration::from_millis(300);
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenarios");
+    g.sample_size(10);
+    g.bench_function("kvstore_300ms", |b| {
+        b.iter(|| {
+            KvStoreScenario {
+                duration: QUICK,
+                ..KvStoreScenario::default()
+            }
+            .run(SEED)
+        })
+    });
+    g.bench_function("fanout_300ms", |b| {
+        b.iter(|| {
+            FanoutScenario {
+                duration: QUICK,
+                ..FanoutScenario::default()
+            }
+            .run(SEED)
+        })
+    });
+    g.bench_function("allreduce_3iter", |b| {
+        b.iter(|| {
+            AllreduceScenario {
+                iterations: 3,
+                ..AllreduceScenario::default()
+            }
+            .run(SEED)
+        })
+    });
+    g.bench_function("cdn_300ms", |b| {
+        b.iter(|| {
+            CdnScenario {
+                duration: QUICK,
+                ..CdnScenario::default()
+            }
+            .run(SEED)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Runs every workload scenario in the library end-to-end (monitored,
+//! fault-free), times each whole simulation, and writes
+//! `BENCH_scenarios.json` at the repo root.
+//!
+//! ```text
+//! scenarios [--smoke] [--seed N] [--out PATH]
+//! ```
+//!
+//! `--smoke` shortens every scenario for CI (`ci.sh` bench smoke); the
+//! default run is what the committed baseline was produced with. Besides
+//! wall-clock, each entry records the scenario's headline completion
+//! count, its tail-latency figure, and the GPA diagnosis verdict — so
+//! the baseline doubles as a coarse regression net over attribution.
+//! Like the hotpath binary, it re-reads and validates the JSON it wrote.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use serde::Serialize;
+use simcore::SimDuration;
+use sysprof_apps::{AllreduceScenario, CdnScenario, FanoutScenario, KvStoreScenario, ScenarioSpec};
+
+#[derive(Serialize)]
+struct ScenarioEntry {
+    scenario: &'static str,
+    wall_ms: f64,
+    /// Headline throughput counter: ops / requests / iterations completed.
+    completed: u64,
+    /// Headline tail figure: p95 (kv, cdn), p99 (fanout), or mean
+    /// iteration time (allreduce) — all in simulated microseconds.
+    tail_us: u64,
+    verdict: String,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    mode: &'static str,
+    seed: u64,
+    scenarios: Vec<ScenarioEntry>,
+}
+
+struct Opts {
+    smoke: bool,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        seed: 7,
+        out: "BENCH_scenarios.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--seed" => opts.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(7),
+            "--out" => opts.out = args.next().unwrap_or_else(|| "BENCH_scenarios.json".into()),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: scenarios [--smoke] [--seed N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn run_one<S: ScenarioSpec>(
+    spec: S,
+    seed: u64,
+    extract: impl Fn(&S::Output) -> (u64, u64),
+) -> ScenarioEntry {
+    let t = Instant::now();
+    let run = spec.run(seed);
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let (completed, tail_us) = extract(&run.output);
+    let verdict = spec.diagnose(&run).verdict;
+    println!(
+        "  {:<10} {wall_ms:>7.0} ms  completed={completed:<6} tail={tail_us}µs  {verdict}",
+        spec.name()
+    );
+    ScenarioEntry {
+        scenario: spec.name(),
+        wall_ms,
+        completed,
+        tail_us,
+        verdict,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    // Full mode runs the default specs — the same runs the golden
+    // diagnosis tests pin — so the committed baseline's verdicts match
+    // those tests verbatim. Smoke mode mirrors the quick_* variants the
+    // chaos matrix uses.
+    let mut kv = KvStoreScenario::default();
+    let mut fanout = FanoutScenario::default();
+    let mut allreduce = AllreduceScenario::default();
+    let mut cdn = CdnScenario::default();
+    if opts.smoke {
+        let quick = SimDuration::from_millis(300);
+        kv.duration = quick;
+        fanout.duration = quick;
+        allreduce.iterations = 3;
+        cdn.duration = quick;
+    }
+
+    println!(
+        "scenario suite ({} mode, seed {}):",
+        if opts.smoke { "smoke" } else { "full" },
+        opts.seed
+    );
+    let scenarios = vec![
+        run_one(kv, opts.seed, |o| (o.ops_completed, o.p95_us)),
+        run_one(fanout, opts.seed, |o| (o.requests_completed, o.p99_us)),
+        run_one(allreduce, opts.seed, |o| {
+            (o.iterations_completed, o.mean_iteration_us)
+        }),
+        run_one(cdn, opts.seed, |o| (o.requests_completed, o.p95_us)),
+    ];
+
+    let report = BenchReport {
+        bench: "scenarios",
+        mode: if opts.smoke { "smoke" } else { "full" },
+        seed: opts.seed,
+        scenarios,
+    };
+    let pretty = serde_json::to_string_pretty(&report).expect("serializes");
+    let mut f = std::fs::File::create(&opts.out).expect("create output file");
+    f.write_all(pretty.as_bytes()).expect("write output file");
+    f.write_all(b"\n").expect("write output file");
+    drop(f);
+
+    // Validate what we wrote: re-read, parse, and check that every
+    // scenario entry carries the keys downstream tooling depends on.
+    let back = std::fs::read_to_string(&opts.out).expect("re-read output file");
+    let parsed: serde_json::Value = serde_json::from_str(&back).expect("output file is valid JSON");
+    for key in ["bench", "mode", "seed", "scenarios"] {
+        assert!(
+            parsed.get(key).is_some(),
+            "{} is missing key {key}",
+            opts.out
+        );
+    }
+    let entries = parsed
+        .get("scenarios")
+        .and_then(|v| v.as_array())
+        .expect("scenarios is an array");
+    assert_eq!(entries.len(), 4, "one entry per scenario");
+    for e in entries {
+        for key in ["scenario", "wall_ms", "completed", "tail_us", "verdict"] {
+            assert!(e.get(key).is_some(), "scenario entry missing key {key}");
+        }
+    }
+    println!("wrote {}", opts.out);
+}

@@ -186,6 +186,11 @@ impl FaultPlan {
 /// accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
+    /// Packets offered to the injector (successful link transmits).
+    pub packets_offered: u64,
+    /// Arrival copies the injector actually scheduled (a duplicated
+    /// packet contributes two, a lost one zero).
+    pub delivered_copies: u64,
     /// Packets lost to per-link loss probability.
     pub injected_losses: u64,
     /// Packets lost to an active partition.
@@ -202,6 +207,14 @@ impl FaultStats {
     /// Total packets the injector removed from flight.
     pub fn total_losses(&self) -> u64 {
         self.injected_losses + self.partition_drops
+    }
+
+    /// Whether the injector's books balance exactly: every offered packet
+    /// is accounted for as lost, delivered, or delivered twice
+    /// (`offered = losses + delivered - duplicates`). A run whose stats
+    /// do not balance has leaked or invented packets.
+    pub fn balances(&self) -> bool {
+        self.packets_offered + self.duplicates == self.total_losses() + self.delivered_copies
     }
 }
 
@@ -257,6 +270,7 @@ impl FaultInjector {
         to: NodeId,
         arrival: SimTime,
     ) -> Vec<SimTime> {
+        self.stats.packets_offered += 1;
         if self.partitioned(now, from, to) {
             self.stats.partition_drops += 1;
             return Vec::new();
@@ -265,6 +279,7 @@ impl FaultInjector {
         if f.is_none() {
             // No draws at all: fault-free links replay identically to a
             // run with no injector installed.
+            self.stats.delivered_copies += 1;
             return vec![arrival];
         }
         if f.loss > 0.0 && self.rng.chance(f.loss) {
@@ -282,6 +297,7 @@ impl FaultInjector {
             out.push(dup);
             self.stats.duplicates += 1;
         }
+        self.stats.delivered_copies += out.len() as u64;
         out
     }
 
@@ -311,7 +327,45 @@ mod tests {
             assert_eq!(a.deliveries(t(i), NodeId(0), NodeId(1), arr), vec![arr]);
             assert_eq!(b.deliveries(t(i), NodeId(0), NodeId(1), arr), vec![arr]);
         }
-        assert_eq!(a.stats(), FaultStats::default());
+        assert_eq!(
+            a.stats(),
+            FaultStats {
+                packets_offered: 50,
+                delivered_copies: 50,
+                ..FaultStats::default()
+            },
+            "pass-through only counts traffic, never perturbs it"
+        );
+        assert!(a.stats().balances());
+    }
+
+    #[test]
+    fn accounting_balances_under_every_fault_mix() {
+        let plan = FaultPlan::new()
+            .with_default_link(LinkFaults {
+                loss: 0.25,
+                duplicate: 0.2,
+                reorder: 0.15,
+                jitter: SimDuration::from_micros(40),
+                reorder_delay: SimDuration::from_micros(500),
+            })
+            .with_partition(vec![NodeId(0)], vec![NodeId(1)], t(100), t(300));
+        let mut inj = FaultInjector::new(plan, SimRng::seed(11));
+        let mut copies = 0u64;
+        for i in 0..5_000 {
+            copies += inj.deliveries(t(i), NodeId(0), NodeId(1), t(i)).len() as u64;
+        }
+        let s = inj.stats();
+        assert_eq!(s.packets_offered, 5_000);
+        assert_eq!(s.delivered_copies, copies, "every scheduled copy counted");
+        assert!(
+            s.total_losses() > 0 && s.duplicates > 0,
+            "mix exercised: {s:?}"
+        );
+        assert!(
+            s.balances(),
+            "offered + duplicates == losses + delivered: {s:?}"
+        );
     }
 
     #[test]

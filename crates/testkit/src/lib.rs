@@ -31,6 +31,25 @@ pub fn uniform_loss(loss: f64) -> FaultPlan {
     FaultPlan::default().with_default_link(LinkFaults::lossy(loss))
 }
 
+/// The standard chaos matrix every scenario must survive: a clean
+/// network, mild uniform loss, and a nasty mix of loss + duplication +
+/// reordering + jitter on every link. Used by
+/// [`scenario_matrix!`](crate::scenario_matrix) and runnable directly.
+pub fn fault_matrix() -> Vec<(&'static str, FaultPlan)> {
+    let mix = LinkFaults {
+        loss: 0.02,
+        duplicate: 0.02,
+        reorder: 0.05,
+        jitter: simcore::SimDuration::from_micros(200),
+        reorder_delay: simcore::SimDuration::from_micros(500),
+    };
+    vec![
+        ("clean", FaultPlan::default()),
+        ("loss1pct", uniform_loss(0.01)),
+        ("chaos-mix", FaultPlan::default().with_default_link(mix)),
+    ]
+}
+
 /// Renders a deterministic, human-readable digest of everything the run
 /// produced: per-node kernel counters, per-daemon dissemination counters,
 /// injected-fault totals, and the GPA's view of the world. Two runs from
@@ -63,7 +82,22 @@ pub fn chaos_report(world: &World, sysprof: &SysProf) -> String {
             out.push_str(&format!("daemon[{}] {:?}\n", node.0, d));
         }
     }
-    out.push_str(&format!("faults {:?}\n", world.network().fault_stats()));
+    // Only the *perturbation* counters go into the report. The traffic
+    // counters (packets_offered / delivered_copies) count every transmit
+    // once an injector is installed, so they would make a no-injector run
+    // differ from an installed-but-empty plan — which must stay
+    // bit-identical. `balances()` folds them in order-independently: it
+    // holds trivially (0=0) with no injector and exactly with one.
+    let f = world.network().fault_stats();
+    out.push_str(&format!(
+        "faults losses={} partition_drops={} duplicates={} reorders={} jittered={} balanced={}\n",
+        f.injected_losses,
+        f.partition_drops,
+        f.duplicates,
+        f.reorders,
+        f.jittered,
+        f.balances(),
+    ));
 
     let gpa = sysprof.gpa();
     let gpa = gpa.borrow();
@@ -150,6 +184,130 @@ pub fn check_invariants(gpa: &Gpa) -> usize {
     assert_monotonic_delivery(gpa);
     assert_streams_converged(gpa);
     assert_no_duplicate_interactions(gpa)
+}
+
+/// Asserts the mean end-to-end interaction time the GPA measured for one
+/// tier (a `(node, class_port)` request class) stays within `budget_us`.
+/// The per-tier latency budget is how scenario tests pin "this tier is
+/// fast" without caring about individual samples. Panics if the GPA saw
+/// no interactions for the class at all — a silent empty class would
+/// vacuously pass any budget.
+pub fn assert_tier_latency_budget(
+    gpa: &Gpa,
+    node: simcore::NodeId,
+    port: simnet::Port,
+    budget_us: f64,
+) {
+    let summary = gpa.class_summary(node, port).unwrap_or_else(|| {
+        panic!(
+            "no interactions measured at node {} port {}",
+            node.0, port.0
+        )
+    });
+    assert!(
+        summary.mean_total_us <= budget_us,
+        "tier (node {}, port {}) blew its latency budget: mean {:.1}µs > {:.1}µs over {} interactions",
+        node.0,
+        port.0,
+        summary.mean_total_us,
+        budget_us,
+        summary.count
+    );
+}
+
+/// Fraction of correlated paths rooted at `(node, port)` that carry at
+/// least `min_children` nested downstream interactions — the GPA's
+/// *path completeness* for a fan-out tier. 1.0 means every root the
+/// correlator found has its full downstream story; low values mean the
+/// cross-node correlation lost children (clock bounds too tight, records
+/// dropped, or pairing broke). Returns `None` when no paths are rooted
+/// there at all.
+pub fn path_completeness(
+    gpa: &Gpa,
+    node: simcore::NodeId,
+    port: simnet::Port,
+    min_children: usize,
+) -> Option<f64> {
+    let paths: Vec<_> = gpa
+        .correlate()
+        .into_iter()
+        .filter(|p| p.parent.node == node && p.parent.class_port == port)
+        .collect();
+    if paths.is_empty() {
+        return None;
+    }
+    let complete = paths
+        .iter()
+        .filter(|p| p.children.len() >= min_children)
+        .count();
+    Some(complete as f64 / paths.len() as f64)
+}
+
+/// Asserts at least `min_fraction` of the paths rooted at `(node, port)`
+/// carry `min_children`+ downstream interactions (see
+/// [`path_completeness`]).
+pub fn assert_path_completeness(
+    gpa: &Gpa,
+    node: simcore::NodeId,
+    port: simnet::Port,
+    min_children: usize,
+    min_fraction: f64,
+) {
+    let frac = path_completeness(gpa, node, port, min_children).unwrap_or_else(|| {
+        panic!(
+            "no correlated paths rooted at node {} port {}",
+            node.0, port.0
+        )
+    });
+    assert!(
+        frac >= min_fraction,
+        "path completeness at (node {}, port {}) is {:.2}, needed {:.2} (>= {} children per path)",
+        node.0,
+        port.0,
+        frac,
+        min_fraction,
+        min_children
+    );
+}
+
+/// Runs a `ScenarioSpec`-shaped value across a seed × fault-plan matrix
+/// and checks, for every cell:
+///
+/// * the dissemination invariants ([`check_invariants`]) hold,
+/// * a same-seed, same-plan re-run produces a byte-identical
+///   [`chaos_report`] (bit-exact replay).
+///
+/// Duck-typed on purpose: the macro only needs `run_under(seed, plan)`
+/// returning something with `.world` and `.sysprof` fields, so `testkit`
+/// never depends on the crate defining the scenario trait.
+///
+/// ```ignore
+/// scenario_matrix!(KvStoreScenario::default(), seeds = [7, 21]);
+/// ```
+#[macro_export]
+macro_rules! scenario_matrix {
+    ($spec:expr) => {
+        $crate::scenario_matrix!($spec, seeds = [7, 21]);
+    };
+    ($spec:expr, seeds = [$($seed:expr),+ $(,)?]) => {{
+        let spec = $spec;
+        for (plan_name, plan) in $crate::fault_matrix() {
+            for seed in [$($seed),+] {
+                let run = spec.run_under(seed, plan.clone());
+                {
+                    let gpa = run.sysprof.gpa();
+                    $crate::check_invariants(&gpa.borrow());
+                }
+                let report = $crate::chaos_report(&run.world, &run.sysprof);
+                let replay = spec.run_under(seed, plan.clone());
+                let replay_report = $crate::chaos_report(&replay.world, &replay.sysprof);
+                assert_eq!(
+                    report, replay_report,
+                    "scenario replay diverged (seed {seed}, plan {plan_name})"
+                );
+            }
+        }
+    }};
 }
 
 #[cfg(test)]

@@ -157,6 +157,15 @@ fn proxy_under_chaos(seed: u64) -> String {
         assert!(faults.injected_losses > 0, "losses injected: {faults:?}");
         assert!(faults.partition_drops > 0, "partition dropped: {faults:?}");
         assert!(faults.duplicates > 0, "duplicates injected: {faults:?}");
+        // And its books balance exactly: every packet offered to the
+        // injector either reached a receiver (possibly as an extra
+        // duplicate copy) or is accounted to a specific loss cause.
+        assert_eq!(
+            faults.packets_offered + faults.duplicates,
+            faults.total_losses() + faults.delivered_copies,
+            "fault accounting must balance exactly: {faults:?}"
+        );
+        assert!(faults.balances(), "balances() agrees: {faults:?}");
 
         // The protocol noticed and repaired it.
         let gs = g.gpa_stats();
@@ -274,6 +283,11 @@ fn crashed_and_restarted_node_resumes_publishing() {
             let d = sysprof.daemon_stats(server).expect("daemon stats");
             assert!(d.loads_published > 0, "daemon resumed publishing: {d:?}");
             assert!(g.node_load(server).is_some(), "GPA heard from the server");
+            let faults = world.network().fault_stats();
+            assert!(
+                faults.balances(),
+                "fault accounting balances across the crash window: {faults:?}"
+            );
         }
         chaos_report(&world, &sysprof)
     };

@@ -1,0 +1,185 @@
+//! Golden serialization snapshots for every scenario result type.
+//!
+//! The JSON wire shape of these structs is consumed by the bench
+//! harness, the figures pipeline, and anything parsing experiment
+//! reports — so field names, field order, and number formatting are a
+//! contract. Each test hand-builds a representative value and pins its
+//! exact serialized text; renaming, reordering, or retyping a field
+//! fails the snapshot.
+
+use simcore::SimDuration;
+use sysprof_apps::rubis::ClassOutcome;
+use sysprof_apps::{
+    AllreduceResult, CdnResult, Diagnosis, FanoutResult, IperfResult, KvStoreResult, LinpackResult,
+    RubisResult, StorageResult,
+};
+
+fn json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("serializable")
+}
+
+#[test]
+fn iperf_result_snapshot() {
+    let v = IperfResult {
+        goodput_mbps: 810.5,
+        receiver_cpu_utilization: 0.97,
+        ring_drops: 12,
+        overhead_fraction: 0.13,
+        monitor_bytes_sent: 4096,
+    };
+    assert_eq!(
+        json(&v),
+        r#"{"goodput_mbps":810.5,"receiver_cpu_utilization":0.97,"ring_drops":12,"overhead_fraction":0.13,"monitor_bytes_sent":4096}"#
+    );
+}
+
+#[test]
+fn linpack_result_snapshot() {
+    let v = LinpackResult {
+        mflops: 1391.0,
+        elapsed: SimDuration::from_secs(10),
+        overhead_fraction: 0.001,
+        events_generated: 42,
+    };
+    assert_eq!(
+        json(&v),
+        r#"{"mflops":1391.0,"elapsed":10000000000,"overhead_fraction":0.001,"events_generated":42}"#
+    );
+}
+
+#[test]
+fn rubis_result_snapshot() {
+    let class = |rps: f64| ClassOutcome {
+        mean_rps: rps,
+        first_half_rps: rps + 10.0,
+        second_half_rps: rps - 10.0,
+        completed: 2900,
+        dropped: 55,
+        violations: 3,
+        series: vec![(1.0, 150.0), (2.0, 148.0)],
+    };
+    let v = RubisResult {
+        bid: class(145.5),
+        comment: class(145.0),
+        total_rps: 290.5,
+        server_overhead_fraction: 0.015,
+    };
+    assert_eq!(
+        json(&v),
+        concat!(
+            r#"{"bid":{"mean_rps":145.5,"first_half_rps":155.5,"second_half_rps":135.5,"completed":2900,"dropped":55,"violations":3,"series":[[1.0,150.0],[2.0,148.0]]},"#,
+            r#""comment":{"mean_rps":145.0,"first_half_rps":155.0,"second_half_rps":135.0,"completed":2900,"dropped":55,"violations":3,"series":[[1.0,150.0],[2.0,148.0]]},"#,
+            r#""total_rps":290.5,"server_overhead_fraction":0.015}"#
+        )
+    );
+}
+
+#[test]
+fn storage_result_snapshot() {
+    let v = StorageResult {
+        proxy_user_ms: 0.4,
+        proxy_kernel_ms: 1.2,
+        backend_kernel_ms: 14.0,
+        proxy_interactions: 800,
+        backend_interactions: 400,
+        requests_completed: 820,
+        network_rtt_ms: 0.21,
+        proxy_overhead_fraction: 0.02,
+    };
+    assert_eq!(
+        json(&v),
+        concat!(
+            r#"{"proxy_user_ms":0.4,"proxy_kernel_ms":1.2,"backend_kernel_ms":14.0,"#,
+            r#""proxy_interactions":800,"backend_interactions":400,"requests_completed":820,"#,
+            r#""network_rtt_ms":0.21,"proxy_overhead_fraction":0.02}"#
+        )
+    );
+}
+
+#[test]
+fn kvstore_result_snapshot() {
+    let v = KvStoreResult {
+        ops_completed: 3476,
+        per_shard_ops: vec![1492, 828, 649, 507],
+        hot_shard: 0,
+        hot_shard_share: 0.43,
+        p50_us: 395,
+        p95_us: 520,
+        max_queue_depth: vec![1, 1, 1, 1],
+        retries: 0,
+    };
+    assert_eq!(
+        json(&v),
+        concat!(
+            r#"{"ops_completed":3476,"per_shard_ops":[1492,828,649,507],"hot_shard":0,"#,
+            r#""hot_shard_share":0.43,"p50_us":395,"p95_us":520,"max_queue_depth":[1,1,1,1],"retries":0}"#
+        )
+    );
+}
+
+#[test]
+fn fanout_result_snapshot() {
+    let v = FanoutResult {
+        requests_completed: 460,
+        rpcs_per_request: 14,
+        p50_us: 3063,
+        p99_us: 32313,
+        retries: 0,
+    };
+    assert_eq!(
+        json(&v),
+        r#"{"requests_completed":460,"rpcs_per_request":14,"p50_us":3063,"p99_us":32313,"retries":0}"#
+    );
+}
+
+#[test]
+fn allreduce_result_snapshot() {
+    let v = AllreduceResult {
+        iterations_completed: 8,
+        chunks_reduced: vec![48, 48, 48, 48],
+        finished_at_us: 49992,
+        mean_iteration_us: 6249,
+        retries: 0,
+    };
+    assert_eq!(
+        json(&v),
+        concat!(
+            r#"{"iterations_completed":8,"chunks_reduced":[48,48,48,48],"#,
+            r#""finished_at_us":49992,"mean_iteration_us":6249,"retries":0}"#
+        )
+    );
+}
+
+#[test]
+fn cdn_result_snapshot() {
+    let v = CdnResult {
+        requests_completed: 133,
+        hits: 93,
+        misses: 40,
+        hit_ratio: 0.7,
+        coalesced: 4,
+        origin_fetches: 36,
+        p50_us: 186,
+        p95_us: 1910,
+        retries: 0,
+    };
+    assert_eq!(
+        json(&v),
+        concat!(
+            r#"{"requests_completed":133,"hits":93,"misses":40,"hit_ratio":0.7,"coalesced":4,"#,
+            r#""origin_fetches":36,"p50_us":186,"p95_us":1910,"retries":0}"#
+        )
+    );
+}
+
+#[test]
+fn diagnosis_snapshot() {
+    let v = Diagnosis {
+        verdict: "hot shard 0: 43% of shard traffic".into(),
+        evidence: vec!["shard 0: 1492 interactions".into()],
+    };
+    assert_eq!(
+        json(&v),
+        r#"{"verdict":"hot shard 0: 43% of shard traffic","evidence":["shard 0: 1492 interactions"]}"#
+    );
+}
