@@ -6,6 +6,7 @@
 #   ./ci.sh              full pipeline
 #   ./ci.sh --analyze    only the static-analysis gate (fast pre-commit check)
 #   ./ci.sh --scenarios  only the scenario library: tests + bench smoke
+#   ./ci.sh --merge      only the shard-safety analysis + sharded evaluation path
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -39,6 +40,24 @@ if [[ "${1:-}" == "--scenarios" ]]; then
     cargo test -q --test scenarios
     run_scenario_bench_smoke
     echo "SCENARIOS OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--merge" ]]; then
+    # Fast path while iterating on the merge-lattice analysis and the
+    # sharded evaluation path: the classifier goldens + shard-differential
+    # sweep, the digest fold, the GPA wiring, and the end-to-end scenario
+    # differential — skips fmt/clippy/miri and the full suite.
+    echo "==> shard-safety analysis (classifier goldens + differential sweep)"
+    cargo test -q -p ecode --test verifier merge
+    cargo test -q -p ecode --test verifier shard
+    echo "==> sharded digest fold (pubsub)"
+    cargo test -q -p pubsub digest
+    echo "==> GPA digest wiring (core)"
+    cargo test -q -p sysprof digest
+    echo "==> sharded GPA end-to-end (kvstore differential)"
+    cargo test -q --test sharded_gpa
+    echo "MERGE OK"
     exit 0
 fi
 

@@ -1,0 +1,142 @@
+//! Machine-readable report rendering (`--json`).
+//!
+//! The analyzer is deliberately dependency-free, so the JSON is emitted
+//! by hand. The schema is part of the tool's contract — CI artifact
+//! consumers parse it — and is pinned byte-for-byte by a golden test
+//! (`tests/json_golden.rs`):
+//!
+//! ```json
+//! {
+//!   "files_scanned": 1,
+//!   "summary": { "findings": 2, "waived": 1, "blocking": 1, "unused_waivers": 1 },
+//!   "findings": [ { "severity": "...", "code": "...", "file": "...", "line": 1,
+//!                   "message": "...", "rationale": "...", "fix": "...",
+//!                   "waived_by": null, "excerpt": null } ],
+//!   "unused_waivers": [ { "rule": "...", "file": "...", "context": null,
+//!                         "justification": "...", "defined_at": 1 } ]
+//! }
+//! ```
+//!
+//! Keys appear in exactly that order; `findings` keeps the report's
+//! (file, line) ordering. Adding a key is a schema change and must
+//! update the golden test.
+
+use crate::Report;
+
+/// Escapes `s` as the contents of a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn string(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+fn opt_string(out: &mut String, s: Option<&str>) {
+    match s {
+        Some(s) => string(out, s),
+        None => out.push_str("null"),
+    }
+}
+
+/// Renders the full report as pretty-printed JSON (two-space indent,
+/// trailing newline).
+pub fn render(report: &Report) -> String {
+    let mut o = String::new();
+    o.push_str("{\n");
+    o.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    o.push_str(&format!(
+        "  \"summary\": {{ \"findings\": {}, \"waived\": {}, \"blocking\": {}, \"unused_waivers\": {} }},\n",
+        report.diagnostics.len(),
+        report.waived_count(),
+        report.blocking().count(),
+        report.unused_waivers.len(),
+    ));
+
+    o.push_str("  \"findings\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        o.push_str(if i == 0 { "\n" } else { ",\n" });
+        o.push_str("    {\n");
+        o.push_str(&format!("      \"severity\": \"{}\",\n", d.severity));
+        o.push_str(&format!("      \"code\": \"{}\",\n", d.code));
+        o.push_str("      \"file\": ");
+        string(&mut o, &d.file.to_string_lossy());
+        o.push_str(",\n");
+        o.push_str(&format!("      \"line\": {},\n", d.line));
+        o.push_str("      \"message\": ");
+        string(&mut o, &d.message);
+        o.push_str(",\n      \"rationale\": ");
+        string(&mut o, d.rationale);
+        o.push_str(",\n      \"fix\": ");
+        string(&mut o, d.fix);
+        o.push_str(",\n      \"waived_by\": ");
+        opt_string(&mut o, d.waived_by.as_deref());
+        o.push_str(",\n      \"excerpt\": ");
+        opt_string(&mut o, d.excerpt.as_deref());
+        o.push_str("\n    }");
+    }
+    o.push_str(if report.diagnostics.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    o.push_str("  \"unused_waivers\": [");
+    for (i, w) in report.unused_waivers.iter().enumerate() {
+        o.push_str(if i == 0 { "\n" } else { ",\n" });
+        o.push_str("    { \"rule\": ");
+        string(&mut o, &w.rule);
+        o.push_str(", \"file\": ");
+        string(&mut o, &w.file);
+        o.push_str(", \"context\": ");
+        opt_string(&mut o, w.context.as_deref());
+        o.push_str(", \"justification\": ");
+        string(&mut o, &w.justification);
+        o.push_str(&format!(", \"defined_at\": {} }}", w.defined_at));
+    }
+    o.push_str(if report.unused_waivers.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    o.push_str("}\n");
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn empty_report_renders_empty_arrays() {
+        let r = Report {
+            diagnostics: Vec::new(),
+            unused_waivers: Vec::new(),
+            files_scanned: 0,
+        };
+        let j = render(&r);
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"unused_waivers\": []"));
+    }
+}

@@ -17,14 +17,19 @@
 //! | D0002 | hash-ordered iteration observable in output/wire/scheduling |
 //! | D0003 | OS entropy bypassing the seeded `SimRng` streams |
 //! | D0004 | real threads/atomics outside the simulation model |
+//! | D0005 | `Instant::now()`/`SystemTime::now()` calls anywhere (no path exemption) |
 //! | U0001 | `unsafe` without an adjacent `// SAFETY:` comment |
 //! | U0002 | raw-pointer arithmetic outside the E-Code VM |
 //!
 //! Findings are fixed, not silenced; the rare genuinely-sound site is
 //! waived in `analyzer.toml` with a written justification ([`waiver`]).
+//! A waiver that no longer matches anything is itself a hard failure
+//! (see [`gate`]): stale waivers are standing permission for a class of
+//! finding nobody is looking at.
 #![forbid(unsafe_code)]
 
 pub mod diag;
+pub mod json;
 pub mod lexer;
 pub mod rules;
 pub mod scan;
@@ -58,6 +63,27 @@ impl Report {
             .iter()
             .filter(|d| d.waived_by.is_some())
             .count()
+    }
+}
+
+/// Maps a report to the CLI exit code.
+///
+/// Stale waivers (entries in `analyzer.toml` that matched no finding)
+/// are a *configuration* failure — exit 2, same class as a malformed
+/// waiver file — unless `allow_stale_waivers` is set. A stale waiver is
+/// standing permission for a finding class at a site that no longer
+/// exhibits it; left in place, it will silently absorb the next,
+/// possibly unrelated, finding that appears there. The escape hatch
+/// exists for transitional states (a waived file mid-rename), not as a
+/// mode to run CI in.
+pub fn gate(report: &Report, allow_stale_waivers: bool) -> u8 {
+    if !allow_stale_waivers && !report.unused_waivers.is_empty() {
+        return 2;
+    }
+    if report.blocking().next().is_some() {
+        1
+    } else {
+        0
     }
 }
 
@@ -115,12 +141,13 @@ mod tests {
     fn analyze_source_captures_excerpts() {
         let src = "fn f() {\n    let t = Instant::now();\n}\n";
         let diags = analyze_source(&PathBuf::from("crates/x/src/lib.rs"), src);
-        assert_eq!(diags.len(), 1);
+        // The wall-clock call trips the type rule and the call rule.
+        assert_eq!(diags.len(), 2);
         assert_eq!(diags[0].code, "D0001");
-        assert_eq!(
-            diags[0].excerpt.as_deref(),
-            Some("    let t = Instant::now();")
-        );
+        assert_eq!(diags[1].code, "D0005");
+        for d in &diags {
+            assert_eq!(d.excerpt.as_deref(), Some("    let t = Instant::now();"));
+        }
     }
 
     #[test]
@@ -139,6 +166,13 @@ mod tests {
                 defined_at: 1,
             },
             Waiver {
+                rule: "D0005".into(),
+                file: "src/lib.rs".into(),
+                context: Some("Instant::now".into()),
+                justification: "test".into(),
+                defined_at: 3,
+            },
+            Waiver {
                 rule: "D0003".into(),
                 file: "nope.rs".into(),
                 context: None,
@@ -148,9 +182,43 @@ mod tests {
         ];
         let report = analyze_workspace(&dir, &waivers).unwrap();
         assert_eq!(report.blocking().count(), 0);
-        assert_eq!(report.waived_count(), 1);
+        assert_eq!(report.waived_count(), 2);
         assert_eq!(report.unused_waivers.len(), 1);
         assert_eq!(report.unused_waivers[0].rule, "D0003");
+        // The stale D0003 waiver is a hard failure unless allowed.
+        assert_eq!(gate(&report, false), 2);
+        assert_eq!(gate(&report, true), 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_orders_stale_config_above_findings() {
+        let mk = |blocking: bool, stale: bool| {
+            let mut d =
+                diag::Diagnostic::error("D0001", PathBuf::from("x.rs"), 1, "m".into(), "r", "f");
+            if !blocking {
+                d.waived_by = Some("w".into());
+            }
+            Report {
+                diagnostics: vec![d],
+                unused_waivers: if stale {
+                    vec![Waiver {
+                        rule: "D0001".into(),
+                        file: "gone.rs".into(),
+                        context: None,
+                        justification: "j".into(),
+                        defined_at: 1,
+                    }]
+                } else {
+                    Vec::new()
+                },
+                files_scanned: 1,
+            }
+        };
+        assert_eq!(gate(&mk(false, false), false), 0);
+        assert_eq!(gate(&mk(true, false), false), 1);
+        assert_eq!(gate(&mk(false, true), false), 2);
+        assert_eq!(gate(&mk(true, true), false), 2);
+        assert_eq!(gate(&mk(true, true), true), 1);
     }
 }

@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! cargo run -p sysprof-analyzer             # analyze ., waivers from ./analyzer.toml
-//! cargo run -p sysprof-analyzer -- --root DIR [--config FILE] [--quiet]
+//! cargo run -p sysprof-analyzer -- --root DIR [--config FILE] [--quiet] [--json] \
+//!                                  [--allow-stale-waivers]
 //! ```
 //!
 //! Exit codes: 0 clean (all findings waived), 1 unwaived findings,
-//! 2 configuration or I/O error. `ci.sh` treats nonzero as a hard
-//! failure.
+//! 2 configuration or I/O error — including *stale* waivers (entries
+//! that matched no finding), unless `--allow-stale-waivers` is passed.
+//! `ci.sh` treats nonzero as a hard failure. `--json` emits the
+//! machine-readable report (schema pinned in `tests/json_golden.rs`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,6 +19,8 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut config: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut json = false;
+    let mut allow_stale = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -29,11 +34,15 @@ fn main() -> ExitCode {
                 None => return usage("--config needs a value"),
             },
             "--quiet" | "-q" => quiet = true,
+            "--json" => json = true,
+            "--allow-stale-waivers" => allow_stale = true,
             "--help" | "-h" => {
                 println!(
-                    "sysprof-analyzer [--root DIR] [--config FILE] [--quiet]\n\
+                    "sysprof-analyzer [--root DIR] [--config FILE] [--quiet] [--json] \
+                     [--allow-stale-waivers]\n\
                      Static determinism (D-rules) and unsafe-hygiene (U-rules) pass.\n\
-                     Exit: 0 clean, 1 unwaived findings, 2 config/I-O error."
+                     Exit: 0 clean, 1 unwaived findings, 2 config/I-O error.\n\
+                     Stale (unmatched) waivers exit 2 unless --allow-stale-waivers."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -66,38 +75,50 @@ fn main() -> ExitCode {
         }
     };
 
+    let code = sysprof_analyzer::gate(&report, allow_stale);
+
+    if json {
+        print!("{}", sysprof_analyzer::json::render(&report));
+        return ExitCode::from(code);
+    }
+
     let blocking: Vec<_> = report.blocking().collect();
     if !quiet {
         for d in &report.diagnostics {
             println!("{}", d.render());
-        }
-        for w in &report.unused_waivers {
-            println!(
-                "warning: unused waiver analyzer.toml:{} ({} @ {}) — remove or fix it\n",
-                w.defined_at, w.rule, w.file
-            );
         }
     } else {
         for d in &blocking {
             println!("{d}");
         }
     }
+    for w in &report.unused_waivers {
+        let verdict = if allow_stale {
+            "allowed by --allow-stale-waivers"
+        } else {
+            "hard failure; remove or fix it"
+        };
+        println!(
+            "error: stale waiver analyzer.toml:{} ({} @ {}) matched nothing — {verdict}",
+            w.defined_at, w.rule, w.file
+        );
+    }
 
     println!(
-        "analyzer: {} files scanned, {} findings ({} waived), {} unwaived",
+        "analyzer: {} files scanned, {} findings ({} waived), {} unwaived, {} stale waivers",
         report.files_scanned,
         report.diagnostics.len(),
         report.waived_count(),
-        blocking.len()
+        blocking.len(),
+        report.unused_waivers.len(),
     );
-    if blocking.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
-    }
+    ExitCode::from(code)
 }
 
 fn usage(err: &str) -> ExitCode {
-    eprintln!("error: {err}\nusage: sysprof-analyzer [--root DIR] [--config FILE] [--quiet]");
+    eprintln!(
+        "error: {err}\nusage: sysprof-analyzer [--root DIR] [--config FILE] [--quiet] \
+         [--json] [--allow-stale-waivers]"
+    );
     ExitCode::from(2)
 }

@@ -25,6 +25,7 @@ pub fn run_all(file: &Path, lexed: &Lexed, src: &str) -> Vec<Diagnostic> {
     d0002(file, lexed, &lines, &mut out);
     d0003(file, lexed, &mut out);
     d0004(file, lexed, &mut out);
+    d0005(file, lexed, &mut out);
     u0001(file, lexed, &mut out);
     u0002(file, lexed, &mut out);
     out.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
@@ -454,6 +455,41 @@ fn d0004(file: &Path, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------- D0005
+
+/// Wall-clock *calls*, flagged everywhere — no path exemption.
+///
+/// D0001 flags the wall-clock *types* but exempts bench/CLI paths
+/// wholesale, which means a new `Instant::now()` in those paths lands
+/// silently. This rule makes every call site visible: the simulated
+/// clock is the only sanctioned time source, and the handful of
+/// legitimate host-side timing reads (benchmark wall timers) each carry
+/// an `analyzer.toml` waiver with a written justification.
+fn d0005(file: &Path, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    let t = &lexed.toks;
+    for i in 0..t.len() {
+        let Some(name) = ident(t, i) else { continue };
+        if (name == "Instant" || name == "SystemTime")
+            && is_path_sep(t, i + 1)
+            && ident(t, i + 3) == Some("now")
+            && is_punct(t, i + 4, '(')
+        {
+            out.push(Diagnostic::error(
+                "D0005",
+                file.to_path_buf(),
+                t[i].line,
+                format!("wall-clock read `{name}::now()` — `SimTime` is the only sanctioned time source"),
+                "this rule has no path exemption (unlike D0001): every wall-clock \
+                 read is individually accounted for, so one cannot slip into \
+                 replayed logic through an exempted directory",
+                "derive time from `SimTime`/the event loop; a host-side timer that \
+                 genuinely measures real elapsed time gets an analyzer.toml waiver \
+                 saying so",
+            ));
+        }
+    }
+}
+
 // ---------------------------------------------------------------- U0001
 
 fn u0001(file: &Path, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
@@ -688,7 +724,8 @@ fn f(v: &[u8]) -> u8 {
 
     #[test]
     fn d0001_d0003_d0004_idents_flag() {
-        assert_eq!(codes("let t = Instant::now();"), vec!["D0001"]);
+        // A wall-clock call trips both the type rule and the call rule.
+        assert_eq!(codes("let t = Instant::now();"), vec!["D0001", "D0005"]);
         assert_eq!(codes("let r = thread_rng();"), vec!["D0003"]);
         assert_eq!(codes("let h = std::thread::spawn(|| {});"), vec!["D0004"]);
         assert_eq!(
@@ -698,13 +735,28 @@ fn f(v: &[u8]) -> u8 {
     }
 
     #[test]
-    fn d0001_exempt_in_bench_paths() {
+    fn d0001_exempt_in_bench_paths_but_d0005_is_not() {
         let src = "let t = Instant::now();";
         let d = run_all(
             &PathBuf::from("crates/bench/src/bin/hotpath.rs"),
             &lex(src),
             src,
         );
-        assert!(d.is_empty());
+        let codes: Vec<_> = d.iter().map(|d| d.code).collect();
+        // The type rule honors the bench exemption; the call rule fires
+        // everywhere and the site must be waived instead.
+        assert_eq!(codes, vec!["D0005"]);
+    }
+
+    #[test]
+    fn d0005_flags_calls_not_lookalikes() {
+        assert_eq!(
+            codes("let t = std::time::SystemTime::now();"),
+            vec!["D0001", "D0005"]
+        );
+        // A method named `now` on some other receiver is not a
+        // wall-clock read, nor is the un-called path `Instant::now`.
+        assert_eq!(codes("let t = clock.now();"), Vec::<&str>::new());
+        assert_eq!(codes("let f = Instant::now;"), vec!["D0001"]);
     }
 }

@@ -1,0 +1,23 @@
+// Fixture: D0005 — wall-clock `::now()` calls, flagged in every path.
+// Exact expected (code, line) pairs live in tests/golden.rs. The
+// lookalikes at the bottom must stay silent: a `now()` method on some
+// other receiver, and a wall-clock path that is never called.
+
+fn elapsed() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_micros() as u64
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+fn lookalikes(clock: &SimClock) -> u64 {
+    let f = Instant::now; // path expression, not a call: D0001 only
+    let _ = f;
+    clock.now() // a simulated clock's own `now` is the sanctioned source
+}
+// Decoy: "never call Instant::now() here" in a string must stay silent.
+fn decoy() -> &'static str {
+    "never call Instant::now() or SystemTime::now() in simulation code"
+}

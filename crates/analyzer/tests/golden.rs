@@ -29,11 +29,45 @@ fn expect(fixture: &str, src: &str, want: &[(&str, u32)]) {
 
 #[test]
 fn d0001_wall_clock_golden() {
+    // The `::now()` call sites (lines 8 and 13) additionally trip the
+    // path-exemption-free call rule D0005.
     expect(
         "d0001.rs",
         include_str!("fixtures/d0001_wall_clock.rs"),
-        &[("D0001", 5), ("D0001", 8), ("D0001", 12), ("D0001", 13)],
+        &[
+            ("D0001", 5),
+            ("D0001", 8),
+            ("D0005", 8),
+            ("D0001", 12),
+            ("D0001", 13),
+            ("D0005", 13),
+        ],
     );
+}
+
+#[test]
+fn d0005_wall_clock_calls_golden() {
+    expect(
+        "d0005.rs",
+        include_str!("fixtures/d0005_wall_clock_calls.rs"),
+        &[
+            ("D0001", 7),
+            ("D0005", 7),
+            ("D0001", 11),
+            ("D0001", 12),
+            ("D0005", 12),
+            ("D0001", 16),
+        ],
+    );
+}
+
+#[test]
+fn d0005_fires_even_in_bench_paths() {
+    let src = include_str!("fixtures/d0005_wall_clock_calls.rs");
+    let diags = analyze_source(&PathBuf::from("crates/bench/src/bin/hotpath.rs"), src);
+    let got: Vec<(&str, u32)> = diags.iter().map(|d| (d.code, d.line)).collect();
+    // D0001 honors the bench exemption; D0005 does not.
+    assert_eq!(got, vec![("D0005", 7), ("D0005", 12)]);
 }
 
 #[test]
@@ -124,6 +158,7 @@ fn scenario_library_fixture_golden() {
         &[
             ("D0001", 6),
             ("D0001", 16),
+            ("D0005", 16),
             ("D0002", 26),
             ("D0002", 44),
             ("D0003", 50),

@@ -1,0 +1,83 @@
+//! Pins the `--json` output schema byte-for-byte. CI artifact consumers
+//! parse this; any key addition, reordering, or formatting change must
+//! consciously update the golden string below.
+
+use std::path::PathBuf;
+
+use sysprof_analyzer::waiver::Waiver;
+use sysprof_analyzer::{analyze_source, json, Report};
+
+#[test]
+fn json_schema_golden() {
+    let src = "fn f() {\n    let t = Instant::now();\n}\n";
+    let mut diagnostics = analyze_source(&PathBuf::from("crates/x/src/lib.rs"), src);
+    assert_eq!(diagnostics.len(), 2, "fixture drifted: {diagnostics:?}");
+    // Waive one finding so the schema shows both waived and blocking.
+    diagnostics[0].waived_by = Some("analyzer.toml:3: a \"quoted\" why".into());
+    let report = Report {
+        diagnostics,
+        unused_waivers: vec![Waiver {
+            rule: "D0003".into(),
+            file: "crates/gone/src/lib.rs".into(),
+            context: None,
+            justification: "stale entry".into(),
+            defined_at: 9,
+        }],
+        files_scanned: 1,
+    };
+
+    let expected = r#"{
+  "files_scanned": 1,
+  "summary": { "findings": 2, "waived": 1, "blocking": 1, "unused_waivers": 1 },
+  "findings": [
+    {
+      "severity": "error",
+      "code": "D0001",
+      "file": "crates/x/src/lib.rs",
+      "line": 2,
+      "message": "wall-clock time source `Instant` in simulation code",
+      "rationale": "wall time differs across runs and machines; any value derived from it makes traces non-reproducible",
+      "fix": "thread `SimTime` from the event loop (or take a time parameter); wall clocks belong only in bench/CLI code",
+      "waived_by": "analyzer.toml:3: a \"quoted\" why",
+      "excerpt": "    let t = Instant::now();"
+    },
+    {
+      "severity": "error",
+      "code": "D0005",
+      "file": "crates/x/src/lib.rs",
+      "line": 2,
+      "message": "wall-clock read `Instant::now()` — `SimTime` is the only sanctioned time source",
+      "rationale": "this rule has no path exemption (unlike D0001): every wall-clock read is individually accounted for, so one cannot slip into replayed logic through an exempted directory",
+      "fix": "derive time from `SimTime`/the event loop; a host-side timer that genuinely measures real elapsed time gets an analyzer.toml waiver saying so",
+      "waived_by": null,
+      "excerpt": "    let t = Instant::now();"
+    }
+  ],
+  "unused_waivers": [
+    { "rule": "D0003", "file": "crates/gone/src/lib.rs", "context": null, "justification": "stale entry", "defined_at": 9 }
+  ]
+}
+"#;
+    assert_eq!(json::render(&report), expected);
+}
+
+#[test]
+fn json_output_is_parseable() {
+    // The golden above pins bytes; this pins well-formedness through an
+    // actual JSON parser, so escaping bugs cannot hide in the golden.
+    let src = "fn f() {\n    let t = Instant::now(); // \"quote\\backslash\"\n}\n";
+    let diagnostics = analyze_source(&PathBuf::from("crates/x/src/lib.rs"), src);
+    let report = Report {
+        diagnostics,
+        unused_waivers: Vec::new(),
+        files_scanned: 1,
+    };
+    let v: serde_json::Value = serde_json::from_str(&json::render(&report)).unwrap();
+    assert_eq!(v["summary"]["findings"], 2);
+    let findings = v["findings"].as_array().unwrap();
+    assert_eq!(findings[0]["code"], "D0001");
+    assert!(findings[0]["excerpt"]
+        .as_str()
+        .unwrap()
+        .contains("\"quote\\backslash\""));
+}

@@ -16,7 +16,9 @@ use std::time::Instant;
 
 use serde::Serialize;
 use simcore::SimDuration;
-use sysprof_bench::hotpath::{HotPipeline, HotpathCounters, BASELINE_EVENTS_PER_SEC};
+use sysprof_bench::hotpath::{
+    pump_digest, HotPipeline, HotpathCounters, BASELINE_EVENTS_PER_SEC, DIGEST_GLOBALS,
+};
 use sysprof_bench::{exp_e1_linpack, exp_e2_iperf, exp_f6_dwcs};
 
 #[derive(Serialize)]
@@ -24,6 +26,16 @@ struct EndToEndWallMs {
     e1_linpack: f64,
     e2_iperf: f64,
     f6_dwcs: f64,
+}
+
+#[derive(Serialize)]
+struct ShardedGpaBench {
+    shards: usize,
+    records: u64,
+    seq_records_per_sec: f64,
+    sharded_records_per_sec: f64,
+    sharded_vs_seq: f64,
+    merged_bit_identical: bool,
 }
 
 #[derive(Serialize)]
@@ -37,6 +49,7 @@ struct BenchReport {
     baseline_events_per_sec: f64,
     speedup_vs_baseline: f64,
     end_to_end_wall_ms: EndToEndWallMs,
+    sharded_gpa: ShardedGpaBench,
     counters: HotpathCounters,
 }
 
@@ -124,6 +137,41 @@ fn main() {
         let _ = exp_f6_dwcs(f6_dur, seed);
     });
 
+    // Sharded-GPA digest: the same record stream through a 1-replica
+    // and an 8-replica digest GPA. Single-threaded, so "sharded" mostly
+    // measures the dispatch + fold overhead the shard-safety analysis
+    // buys its parallelizability with; the correctness claim (merged
+    // statics bit-identical to sequential) is asserted, not trusted.
+    let digest_records = events / 8;
+    let shards = 8usize;
+    let t = Instant::now();
+    let seq_gpa = pump_digest(1, digest_records);
+    let seq_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let sharded_gpa_run = pump_digest(shards, digest_records);
+    let sharded_s = t.elapsed().as_secs_f64();
+    let merged_bit_identical = DIGEST_GLOBALS
+        .iter()
+        .all(|name| seq_gpa.digest_global(name) == sharded_gpa_run.digest_global(name));
+    assert!(
+        merged_bit_identical,
+        "sharded digest fold diverged from sequential evaluation"
+    );
+    let stats = sharded_gpa_run.digest_stats().expect("digest installed");
+    assert!(stats.sharded && stats.shards == shards, "{stats:?}");
+    let sharded_gpa = ShardedGpaBench {
+        shards,
+        records: digest_records,
+        seq_records_per_sec: digest_records as f64 / seq_s,
+        sharded_records_per_sec: digest_records as f64 / sharded_s,
+        sharded_vs_seq: seq_s / sharded_s,
+        merged_bit_identical,
+    };
+    println!(
+        "  sharded gpa: {digest_records} records, seq {:.0}/s vs {shards}-shard {:.0}/s ({:.2}x), merged bit-identical",
+        sharded_gpa.seq_records_per_sec, sharded_gpa.sharded_records_per_sec, sharded_gpa.sharded_vs_seq
+    );
+
     let report = BenchReport {
         bench: "hotpath",
         mode: if opts.smoke { "smoke" } else { "full" },
@@ -138,6 +186,7 @@ fn main() {
             e2_iperf: e2_ms,
             f6_dwcs: f6_ms,
         },
+        sharded_gpa,
         counters,
     };
     let pretty = serde_json::to_string_pretty(&report).expect("serializes");
@@ -154,6 +203,7 @@ fn main() {
         "events_per_sec",
         "baseline_events_per_sec",
         "speedup_vs_baseline",
+        "sharded_gpa",
         "counters",
     ] {
         assert!(

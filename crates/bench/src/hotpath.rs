@@ -15,7 +15,7 @@ use pubsub::Hub;
 use serde::Serialize;
 use simcore::{NodeId, SimTime};
 use simnet::{EndPoint, FlowKey, Ip, PacketId, Port};
-use sysprof::{CpaAnalyzer, InteractionRecord};
+use sysprof::{CpaAnalyzer, Gpa, GpaConfig, InteractionRecord};
 
 /// Throughput of the unoptimized hot path (events/sec, release mode) on
 /// the reference machine, measured at the seed commit of this PR before
@@ -39,6 +39,64 @@ const CPA_PROGRAM: &str = r#"
 
 /// The E-Code data filter installed on the pipeline's subscriber.
 const SUB_FILTER: &str = "return resp_bytes > 150;";
+
+/// The digest program the sharded-GPA bench evaluates over every
+/// interaction record. One static per shard-safe lattice class the
+/// merge analysis admits: two counters, a max-fold, and a gated
+/// counter, so the fold exercises every hot branch of `merge_from`.
+pub const DIGEST_PROGRAM: &str = "
+    static int requests = 0;
+    static int bytes = 0;
+    static int worst_us = 0;
+    static int big_resp = 0;
+    requests = requests + 1;
+    bytes = bytes + req_bytes + resp_bytes;
+    worst_us = max(worst_us, end_us - start_us);
+    if (resp_bytes > 150) { big_resp = big_resp + 1; }
+    return requests;
+";
+
+/// Statics the digest bench compares between sequential and sharded
+/// evaluation (must match `DIGEST_PROGRAM`'s declarations).
+pub const DIGEST_GLOBALS: [&str; 4] = ["requests", "bytes", "worst_us", "big_resp"];
+
+/// The synthetic interaction record `i` — the same record the pipeline
+/// seals every `EVENTS_PER_RECORD` events, exposed so the sharded-GPA
+/// bench replays an identical stream.
+pub fn synth_record(i: u64) -> InteractionRecord {
+    InteractionRecord {
+        node: NodeId(0),
+        flow: FlowKey::new(
+            EndPoint::new(Ip(1), Port(5000 + (i % 16) as u16)),
+            EndPoint::new(Ip(2), Port(80)),
+        ),
+        class_port: Port(80),
+        pid: 1 + (i % 4) as u32,
+        start_us: i,
+        end_us: i + 350,
+        req_packets: 3,
+        req_bytes: 2_400,
+        resp_packets: 1,
+        resp_bytes: 100 + (i % 3) * 60,
+        kernel_in_us: 120,
+        user_us: 80,
+        kernel_out_us: 40,
+        blocked_us: 0,
+        blocked_io_us: 0,
+    }
+}
+
+/// Builds a GPA with [`DIGEST_PROGRAM`] installed across `shards`
+/// replicas and pumps `n` synthetic records through its ingest path.
+pub fn pump_digest(shards: usize, n: u64) -> Gpa {
+    let mut gpa = Gpa::new(GpaConfig::default());
+    gpa.install_digest(DIGEST_PROGRAM, shards)
+        .expect("static digest verifies");
+    for i in 0..n {
+        gpa.ingest_record(&synth_record(i));
+    }
+    gpa
+}
 
 /// How many emitted events make one published record / sealed batch.
 const EVENTS_PER_RECORD: u64 = 64;
@@ -156,26 +214,7 @@ impl HotPipeline {
     }
 
     fn record_for(&self, i: u64) -> InteractionRecord {
-        InteractionRecord {
-            node: NodeId(0),
-            flow: FlowKey::new(
-                EndPoint::new(Ip(1), Port(5000 + (i % 16) as u16)),
-                EndPoint::new(Ip(2), Port(80)),
-            ),
-            class_port: Port(80),
-            pid: 1 + (i % 4) as u32,
-            start_us: i,
-            end_us: i + 350,
-            req_packets: 3,
-            req_bytes: 2_400,
-            resp_packets: 1,
-            resp_bytes: 100 + (i % 3) * 60,
-            kernel_in_us: 120,
-            user_us: 80,
-            kernel_out_us: 40,
-            blocked_us: 0,
-            blocked_io_us: 0,
-        }
+        synth_record(i)
     }
 
     /// Emits `n` more events through the full pipeline.

@@ -14,8 +14,9 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use pubsub::control::ControlMsg;
+use pubsub::digest::{DigestStats, ShardedDigest};
 use pubsub::reliable::{decode_batch, Offer, Reassembler};
-use pubsub::ChannelDecoder;
+use pubsub::{ChannelDecoder, PubSubError};
 use serde::{Deserialize, Serialize};
 use simcore::stats::OnlineStats;
 use simcore::{NodeId, SimDuration, SimTime};
@@ -207,6 +208,19 @@ pub struct Gpa {
     ingested: u64,
     decode_failures: u64,
     subscription_failures: Vec<SubscriptionFailure>,
+    /// Optional sharded digest evaluated over every ingested interaction
+    /// record (the first slice of the sharded GPA).
+    digest: Option<ShardedDigest>,
+}
+
+/// Deterministic digest partition key for an interaction: both
+/// endpoints of the flow, mixed so that src/dst asymmetry matters. The
+/// digest hashes this again (FNV-1a) for shard placement; all that is
+/// required here is that the key is a pure function of the flow, so a
+/// flow's records always land on the same replica.
+fn flow_shard_key(rec: &InteractionRecord) -> u64 {
+    let ep = |e: &EndPoint| ((e.ip.0 as u64) << 16) | e.port.0 as u64;
+    ep(&rec.flow.src).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ ep(&rec.flow.dst)
 }
 
 impl Gpa {
@@ -226,7 +240,44 @@ impl Gpa {
             ingested: 0,
             decode_failures: 0,
             subscription_failures: Vec::new(),
+            digest: None,
         }
+    }
+
+    /// Installs a digest program evaluated over every ingested
+    /// interaction record, partitioned across `shards` replica instances
+    /// by flow key. The program sees the interaction schema's fields as
+    /// E-Code inputs; if the verifier cannot prove its statics
+    /// shard-safe, evaluation silently falls back to a single instance
+    /// (check [`Gpa::digest_stats`]).
+    pub fn install_digest(&mut self, src: &str, shards: usize) -> Result<(), PubSubError> {
+        self.digest = Some(ShardedDigest::compile(
+            src,
+            &InteractionRecord::schema(),
+            shards,
+        )?);
+        Ok(())
+    }
+
+    /// The installed digest, if any.
+    pub fn digest(&self) -> Option<&ShardedDigest> {
+        self.digest.as_ref()
+    }
+
+    /// Reads a static of the installed digest's *merged* state by name.
+    pub fn digest_global(&self, name: &str) -> Option<ecode::Value> {
+        self.digest.as_ref()?.merged_global(name)
+    }
+
+    /// Evaluation statistics of the installed digest.
+    pub fn digest_stats(&self) -> Option<DigestStats> {
+        self.digest.as_ref().map(|d| d.stats())
+    }
+
+    /// Feeds one interaction record directly (bypassing the wire path);
+    /// used by tests and benches that already hold decoded records.
+    pub fn ingest_record(&mut self, rec: &InteractionRecord) {
+        self.ingest_values(&rec.to_values());
     }
 
     /// Runs one wire batch from a daemon through the reliability layer:
@@ -393,6 +444,9 @@ impl Gpa {
     fn ingest_values(&mut self, values: &[pbio::Value]) {
         if let Some(rec) = InteractionRecord::from_values(values) {
             self.ingested += 1;
+            if let Some(digest) = self.digest.as_mut() {
+                digest.ingest(flow_shard_key(&rec), values);
+            }
             let aggr = self.by_class.entry((rec.node, rec.class_port)).or_default();
             aggr.kernel_in.record(rec.kernel_in_us as f64);
             aggr.user.record(rec.user_us as f64);
@@ -705,6 +759,44 @@ mod tests {
             g.ingest_values(&r.to_values());
         }
         g
+    }
+
+    #[test]
+    fn installed_digest_folds_shards_to_the_sequential_answer() {
+        let src = "
+            static int seen = 0;
+            static int bytes = 0;
+            static int worst_us = 0;
+            seen = seen + 1;
+            bytes = bytes + req_bytes + resp_bytes;
+            worst_us = max(worst_us, end_us - start_us);
+            return 0;
+        ";
+        let mut sharded = Gpa::new(GpaConfig::default());
+        sharded.install_digest(src, 8).unwrap();
+        let mut sequential = Gpa::new(GpaConfig::default());
+        sequential.install_digest(src, 1).unwrap();
+        for i in 0..200u64 {
+            // 16 distinct flows spread across the shards.
+            let r = rec(1, 10 + (i % 16) as u32, 20, 80, i * 10, i * 10 + 7 + i % 13);
+            sharded.ingest_record(&r);
+            sequential.ingest_record(&r);
+        }
+        let stats = sharded.digest_stats().unwrap();
+        assert!(stats.sharded, "{stats:?}");
+        assert_eq!(stats.events, 200);
+        assert!(
+            stats.per_shard_events.iter().filter(|&&n| n > 0).count() > 1,
+            "partitioning actually spread the flows: {stats:?}"
+        );
+        assert_eq!(sharded.digest_global("seen"), Some(ecode::Value::Int(200)));
+        for name in ["seen", "bytes", "worst_us"] {
+            assert_eq!(
+                sharded.digest_global(name),
+                sequential.digest_global(name),
+                "{name} must fold to the sequential value"
+            );
+        }
     }
 
     #[test]

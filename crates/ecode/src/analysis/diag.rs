@@ -31,6 +31,7 @@ impl fmt::Display for Severity {
 /// | `E0002` | `out()` slot is always out of range                    |
 /// | `E0003` | worst-case fuel exceeds the host budget                |
 /// | `E0004` | the source does not compile (lex/parse/type error)     |
+/// | `M0001` | static is not shard-mergeable (under `require_mergeable`) |
 /// | `W0001` | divisor may be zero on some input                      |
 /// | `W0002` | `out()` slot may be out of range                       |
 /// | `W0003` | unused `static` variable                               |
@@ -39,6 +40,7 @@ impl fmt::Display for Severity {
 /// | `W0006` | unreachable code after `return`                        |
 /// | `W0007` | local read before ever being assigned (reads as 0)     |
 /// | `W0008` | some paths return a value, others fall off the end     |
+/// | `W0009` | static is mergeable but its value never escapes        |
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Severity (errors reject the program).

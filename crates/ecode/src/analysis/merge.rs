@@ -1,0 +1,784 @@
+//! Shard-safety (merge) analysis.
+//!
+//! The sharded GPA wants to evaluate one analyzer program on N replica
+//! instances — events partitioned by flow key — and fold the replicas'
+//! statics back into the value a single sequential instance would have
+//! produced. That fold is only legal when every static's update pattern
+//! commutes across the partition. This pass *proves* the property per
+//! slot at load time, with a forward abstract interpretation over the
+//! compiled bytecode: E-Code has no loops, so the code is a
+//! forward-jump DAG and a single pass in pc order visits every
+//! instruction after all of its predecessors.
+//!
+//! Classification is deliberately bit-exact, not approximately-right:
+//!
+//! * integer `+`/`-` accumulation merges by summing deltas
+//!   (`wrapping_add` is associative and commutative on `i64`);
+//! * integer `min`/`max` folds merge by `min`/`max`;
+//! * same-constant gated writes merge by "any side wrote";
+//! * **float** accumulation is classified [`MergeClass::Opaque`] — IEEE
+//!   addition is not associative, and `f64::min`/`max` have
+//!   implementation-defined NaN/±0.0 behavior — so a program using
+//!   `acc = acc + size` on a `double` falls back to single-instance
+//!   evaluation instead of silently drifting per shard count.
+//!
+//! Control dependence is handled with real post-dominators: a store
+//! that executes only when a static-influenced branch goes one way is
+//! not a mergeable update even if the stored value itself is
+//! input-only. Data joins at merge points inherit taint from the
+//! branch that caused the divergence.
+//!
+//! The result is a [`MergePlan`] carried in the `VerifyReport`; the VM
+//! consumes it in `Instance::merge_from`. Soundness is enforced
+//! differentially by the generative sweep in `tests/verifier.rs`: every
+//! program classified fully mergeable is run sequentially and as K
+//! shards over random event partitions, and the folded statics must be
+//! bit-identical. One caveat is inherited from the VM's trap semantics:
+//! the equivalence claim assumes trap-free runs (a mid-event trap
+//! leaves statics partially updated, sequentially or sharded).
+
+use crate::compile::Program;
+use crate::vm::Op;
+
+/// Which fold a [`MergeClass::MinMax`] slot uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinMaxOp {
+    /// Every store is `g = min(g, <input-only>)`.
+    Min,
+    /// Every store is `g = max(g, <input-only>)`.
+    Max,
+}
+
+/// How one static slot may be folded across shard replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeClass {
+    /// Never stored: every replica holds the initial value.
+    ReadOnly,
+    /// Every store adds (or subtracts) an input-only delta: replicas
+    /// merge by summing their deltas (`a + b - init`, wrapping).
+    Counter,
+    /// Every store is the same-polarity `min`/`max` fold of the slot
+    /// with an input-only value: replicas merge by `min`/`max`.
+    MinMax(MinMaxOp),
+    /// Every store writes the same constant (possibly under input-only
+    /// conditions) — a "has any event matched?" latch. Replicas merge
+    /// by keeping the written constant if either side stored it.
+    GatedWrite {
+        /// Raw bits of the constant every site stores (`f64::to_bits`
+        /// for doubles, so equality is bit-exact).
+        value_bits: i64,
+    },
+    /// Every store writes an input-only value, so the sequential result
+    /// is "value from the last event" — which sharding erases. Not
+    /// shard-safe without a tiebreak key the engine does not have.
+    LastWriteWins,
+    /// Not shard-safe: the update pattern reads static state, mixes
+    /// update families, accumulates floats, or executes under a
+    /// static-influenced branch.
+    Opaque {
+        /// Bytecode pc of the offending instruction.
+        pc: u32,
+        /// Human-readable explanation, naming the offending pc.
+        reason: String,
+    },
+}
+
+impl MergeClass {
+    /// Whether replicas of a slot with this class can be folded into the
+    /// exact sequential result.
+    pub fn shard_safe(&self) -> bool {
+        matches!(
+            self,
+            MergeClass::ReadOnly
+                | MergeClass::Counter
+                | MergeClass::MinMax(_)
+                | MergeClass::GatedWrite { .. }
+        )
+    }
+
+    /// Short lowercase name used in diagnostics.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            MergeClass::ReadOnly => "read-only",
+            MergeClass::Counter => "counter",
+            MergeClass::MinMax(MinMaxOp::Min) => "min-fold",
+            MergeClass::MinMax(MinMaxOp::Max) => "max-fold",
+            MergeClass::GatedWrite { .. } => "gated write",
+            MergeClass::LastWriteWins => "last-write-wins",
+            MergeClass::Opaque { .. } => "opaque",
+        }
+    }
+}
+
+/// One static slot's classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotPlan {
+    /// The static variable's declared name.
+    pub name: String,
+    /// Its merge class.
+    pub class: MergeClass,
+    /// Whether the slot's value is observable outside its own update —
+    /// it reaches an `out()`, a `return`, a branch condition, or another
+    /// slot. A mergeable slot that never escapes is write-only state
+    /// (`W0009`).
+    pub escapes: bool,
+}
+
+/// Per-program merge plan: one [`SlotPlan`] per static, in declaration
+/// order (the VM's global slot order).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MergePlan {
+    /// Slot classifications, indexed by global slot.
+    pub slots: Vec<SlotPlan>,
+}
+
+impl MergePlan {
+    /// Whether *every* slot is shard-safe — the precondition for running
+    /// the program as N replicas and folding with `Instance::merge_from`.
+    pub fn fully_mergeable(&self) -> bool {
+        self.slots.iter().all(|s| s.class.shard_safe())
+    }
+
+    /// Slots that block sharded evaluation.
+    pub fn unsafe_slots(&self) -> impl Iterator<Item = &SlotPlan> {
+        self.slots.iter().filter(|s| !s.class.shard_safe())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The abstract domain
+// ---------------------------------------------------------------------
+
+/// Update family an accumulator expression belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Upd {
+    /// Integer `g + d` / `g - d` (wrapping add of a signed delta).
+    Add,
+    /// Integer `min(g, d)`.
+    Min,
+    /// Integer `max(g, d)`.
+    Max,
+    /// Any float fold of `g` (`+`, `-`, `min`, `max`) — tracked so the
+    /// diagnostic can say *why* the slot is opaque, but never mergeable.
+    FloatAcc,
+}
+
+/// Abstract value of one stack/local cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Abs {
+    /// Known constant (raw bits; doubles via `to_bits`).
+    Const(i64),
+    /// Exactly the current value of global slot `g`.
+    Global(u16),
+    /// Slot `g` folded with input-only data via one update family.
+    Upd(u16, Upd),
+    /// Anything else. `tainted` = some global influenced the value.
+    Mixed { tainted: bool },
+}
+
+impl Abs {
+    fn tainted(self) -> bool {
+        match self {
+            Abs::Const(_) => false,
+            Abs::Global(_) | Abs::Upd(..) => true,
+            Abs::Mixed { tainted } => tainted,
+        }
+    }
+
+    /// The slot this value is an exact function of, if any.
+    fn slot(self) -> Option<u16> {
+        match self {
+            Abs::Global(g) | Abs::Upd(g, _) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Computable from the event's inputs and constants alone.
+    fn input_only(self) -> bool {
+        matches!(self, Abs::Const(_) | Abs::Mixed { tainted: false })
+    }
+}
+
+/// If `v` can serve as the accumulator side of a `fam` update, the slot
+/// it accumulates.
+fn acc_side(v: Abs, fam: Upd) -> Option<u16> {
+    match v {
+        Abs::Global(g) => Some(g),
+        Abs::Upd(g, f) if f == fam => Some(g),
+        _ => None,
+    }
+}
+
+/// Abstract machine state on entry to a pc.
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    stack: Vec<Abs>,
+    locals: Vec<Abs>,
+}
+
+/// What one `StoreGlobal` site does to its slot.
+#[derive(Debug, Clone, PartialEq)]
+enum SiteKind {
+    Counter,
+    Min,
+    Max,
+    Gated(i64),
+    Lww,
+    Opaque(String),
+}
+
+#[derive(Debug, Clone)]
+struct Site {
+    pc: u32,
+    kind: SiteKind,
+}
+
+// ---------------------------------------------------------------------
+// Post-dominators and control-dependence regions
+// ---------------------------------------------------------------------
+
+fn set_bit(s: &mut [u64], i: usize) {
+    s[i / 64] |= 1 << (i % 64);
+}
+
+fn get_bit(s: &[u64], i: usize) -> bool {
+    s[i / 64] & (1 << (i % 64)) != 0
+}
+
+fn successors(code: &[Op], pc: usize, out: &mut Vec<usize>) {
+    out.clear();
+    match code[pc] {
+        Op::Jmp(t) => out.push(t as usize),
+        Op::JmpIfFalse(t) => {
+            out.push(pc + 1);
+            out.push(t as usize);
+        }
+        Op::Ret | Op::RetVoid => {}
+        _ => out.push(pc + 1),
+    }
+}
+
+/// `pd[pc]`: bitset of pcs (plus bit `n` = the virtual exit) that lie on
+/// *every* path from `pc` to program exit. Because all jumps are
+/// forward, one reverse pass computes the exact solution:
+/// `pd(p) = {p} ∪ ⋂ pd(succ)`.
+fn postdominators(code: &[Op]) -> Vec<Vec<u64>> {
+    let n = code.len();
+    let words = n / 64 + 1;
+    let mut pd: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut succ = Vec::new();
+    for pc in (0..n).rev() {
+        successors(code, pc, &mut succ);
+        let mut set = match succ.first() {
+            None => {
+                let mut s = vec![0u64; words];
+                set_bit(&mut s, n);
+                s
+            }
+            Some(&first) => {
+                let mut s = pd[first].clone();
+                for &other in &succ[1..] {
+                    for (a, b) in s.iter_mut().zip(&pd[other]) {
+                        *a &= *b;
+                    }
+                }
+                s
+            }
+        };
+        set_bit(&mut set, pc);
+        pd[pc] = set;
+    }
+    pd
+}
+
+// ---------------------------------------------------------------------
+// The pass
+// ---------------------------------------------------------------------
+
+struct Pass<'a> {
+    code: &'a [Op],
+    /// Post-dominator sets (see [`postdominators`]).
+    pd: Vec<Vec<u64>>,
+    /// `in_state[pc]`: joined abstract state on entry (None = unreachable).
+    in_state: Vec<Option<State>>,
+    /// pcs control-dependent on a static-influenced branch.
+    ctrl_tainted: Vec<bool>,
+    /// `edge_tainted[pc]`: some incoming edge leaves a ctrl-tainted pc,
+    /// so differing cells at this join diverge because of static state.
+    edge_tainted: Vec<bool>,
+    /// Per-slot: value observed outside its own update.
+    escapes: Vec<bool>,
+    /// Per-slot store sites.
+    sites: Vec<Vec<Site>>,
+    /// Abstract interpretation hit an internal inconsistency; the
+    /// caller degrades every slot to Opaque rather than guessing.
+    failed: bool,
+}
+
+impl<'a> Pass<'a> {
+    fn new(program: &'a Program) -> Pass<'a> {
+        let code = &program.code[..];
+        Pass {
+            code,
+            pd: postdominators(code),
+            in_state: vec![None; code.len()],
+            ctrl_tainted: vec![false; code.len()],
+            edge_tainted: vec![false; code.len()],
+            escapes: vec![false; program.globals.len()],
+            sites: vec![Vec::new(); program.globals.len()],
+            failed: false,
+        }
+    }
+
+    fn pop(&mut self, st: &mut State) -> Abs {
+        st.stack.pop().unwrap_or_else(|| {
+            self.failed = true;
+            Abs::Mixed { tainted: true }
+        })
+    }
+
+    /// `v` is consumed by something other than its own slot's update —
+    /// its slot (if any) becomes observable.
+    fn observe(&mut self, v: Abs) {
+        if let Some(g) = v.slot() {
+            self.escapes[g as usize] = true;
+        }
+    }
+
+    /// Result of a binary op that destroys structure: both operands are
+    /// observed, taint is the union.
+    fn opaque2(&mut self, a: Abs, b: Abs) -> Abs {
+        self.observe(a);
+        self.observe(b);
+        Abs::Mixed {
+            tainted: a.tainted() || b.tainted(),
+        }
+    }
+
+    /// Accumulation-forming binary op (`lhs op rhs`). When one side is
+    /// the `fam`-accumulator of a slot and the other is input-only, the
+    /// result stays in the family; otherwise structure is destroyed.
+    /// `rhs_may_acc` is false for non-commutative ops (`-`): `x - g` is
+    /// not a counter update of `g`.
+    fn upd2(&mut self, lhs: Abs, rhs: Abs, fam: Upd, rhs_may_acc: bool) -> Abs {
+        if let Some(g) = acc_side(lhs, fam) {
+            if rhs.input_only() {
+                return Abs::Upd(g, fam);
+            }
+        }
+        if rhs_may_acc {
+            if let Some(g) = acc_side(rhs, fam) {
+                if lhs.input_only() {
+                    return Abs::Upd(g, fam);
+                }
+            }
+        }
+        self.opaque2(lhs, rhs)
+    }
+
+    /// Marks every pc control-dependent (transitively) on the branch at
+    /// `b`: reachable from `b` without first passing a post-dominator of
+    /// `b`. Handles both balanced if/else regions and early-return arms
+    /// (where everything after the branch is control-dependent).
+    fn mark_ctrl_region(&mut self, b: usize) {
+        let mut seen = vec![false; self.code.len()];
+        let mut work = Vec::new();
+        let mut succ = Vec::new();
+        successors(self.code, b, &mut succ);
+        work.extend(succ.iter().copied());
+        while let Some(p) = work.pop() {
+            if p >= self.code.len() || seen[p] {
+                continue;
+            }
+            seen[p] = true;
+            if get_bit(&self.pd[b], p) {
+                // Executes no matter which way `b` went; nodes beyond it
+                // are controlled by later branches, not `b`.
+                continue;
+            }
+            self.ctrl_tainted[p] = true;
+            successors(self.code, p, &mut succ);
+            work.extend(succ.iter().copied());
+        }
+    }
+
+    /// Propagates `st` along the edge `from → to`, joining cell-wise
+    /// with whatever already flowed into `to`.
+    fn flow(&mut self, from: usize, to: usize, st: &State) {
+        if to >= self.code.len() {
+            self.failed = true;
+            return;
+        }
+        self.edge_tainted[to] |= self.ctrl_tainted[from];
+        let edge_tainted = self.edge_tainted[to];
+        match self.in_state[to].take() {
+            None => self.in_state[to] = Some(st.clone()),
+            Some(mut existing) => {
+                if existing.stack.len() != st.stack.len() {
+                    self.failed = true;
+                    return;
+                }
+                let join_cells = |pass: &mut Pass, a: &mut [Abs], b: &[Abs]| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        if *x != *y {
+                            // The cell's value depends on which path ran.
+                            pass.observe(*x);
+                            pass.observe(*y);
+                            *x = Abs::Mixed {
+                                tainted: x.tainted() || y.tainted() || edge_tainted,
+                            };
+                        }
+                    }
+                };
+                join_cells(self, &mut existing.stack, &st.stack);
+                join_cells(self, &mut existing.locals, &st.locals);
+                self.in_state[to] = Some(existing);
+            }
+        }
+    }
+
+    fn record_site(&mut self, slot: u16, pc: usize, kind: SiteKind) {
+        self.sites[slot as usize].push(Site {
+            pc: pc as u32,
+            kind,
+        });
+    }
+
+    /// Transfer function for the op at `pc`; returns the out-state (for
+    /// `JmpIfFalse`, both edges carry the same out-state).
+    fn step(&mut self, pc: usize, mut st: State, names: &[String]) -> State {
+        match self.code[pc] {
+            Op::ConstI(k) => st.stack.push(Abs::Const(k)),
+            Op::ConstF(v) => st.stack.push(Abs::Const(v.to_bits() as i64)),
+            Op::LoadInput(_) => st.stack.push(Abs::Mixed { tainted: false }),
+            Op::LoadGlobal(g) => st.stack.push(Abs::Global(g)),
+            Op::LoadLocal(i) => {
+                let v = st.locals.get(i as usize).copied().unwrap_or_else(|| {
+                    self.failed = true;
+                    Abs::Mixed { tainted: true }
+                });
+                st.stack.push(v);
+            }
+            Op::StoreLocal(i) => {
+                let v = self.pop(&mut st);
+                match st.locals.get_mut(i as usize) {
+                    Some(cell) => *cell = v,
+                    None => self.failed = true,
+                }
+            }
+            Op::Pop => {
+                // Discarded, not observed.
+                let _ = self.pop(&mut st);
+            }
+            Op::StoreGlobal(g) => {
+                let v = self.pop(&mut st);
+                if v.slot() == Some(g) && matches!(v, Abs::Global(_)) {
+                    // `g = g;` — a no-op, not an update site.
+                } else if self.ctrl_tainted[pc] {
+                    self.observe(v);
+                    self.record_site(
+                        g,
+                        pc,
+                        SiteKind::Opaque(format!(
+                            "store at pc {pc} is control-dependent on static state"
+                        )),
+                    );
+                } else {
+                    let kind = match v {
+                        Abs::Global(h) => {
+                            self.observe(v);
+                            SiteKind::Opaque(format!(
+                                "store at pc {pc} copies static \"{}\"",
+                                names[h as usize]
+                            ))
+                        }
+                        Abs::Upd(h, fam) if h == g => match fam {
+                            Upd::Add => SiteKind::Counter,
+                            Upd::Min => SiteKind::Min,
+                            Upd::Max => SiteKind::Max,
+                            Upd::FloatAcc => SiteKind::Opaque(format!(
+                                "floating-point fold at pc {pc} is not bit-exact \
+                                 across shard counts"
+                            )),
+                        },
+                        Abs::Upd(h, _) => {
+                            self.observe(v);
+                            SiteKind::Opaque(format!(
+                                "store at pc {pc} mixes in static \"{}\"",
+                                names[h as usize]
+                            ))
+                        }
+                        Abs::Const(k) => SiteKind::Gated(k),
+                        Abs::Mixed { tainted: false } => SiteKind::Lww,
+                        Abs::Mixed { tainted: true } => SiteKind::Opaque(format!(
+                            "value stored at pc {pc} depends on static state"
+                        )),
+                    };
+                    self.record_site(g, pc, kind);
+                }
+            }
+            Op::AddI => {
+                let b = self.pop(&mut st);
+                let a = self.pop(&mut st);
+                let r = match (a, b) {
+                    (Abs::Const(x), Abs::Const(y)) => Abs::Const(x.wrapping_add(y)),
+                    _ => self.upd2(a, b, Upd::Add, true),
+                };
+                st.stack.push(r);
+            }
+            Op::SubI => {
+                let b = self.pop(&mut st);
+                let a = self.pop(&mut st);
+                let r = match (a, b) {
+                    (Abs::Const(x), Abs::Const(y)) => Abs::Const(x.wrapping_sub(y)),
+                    // `g - d` adds the delta `-d`; `d - g` is not a counter.
+                    _ => self.upd2(a, b, Upd::Add, false),
+                };
+                st.stack.push(r);
+            }
+            Op::MinI => {
+                let b = self.pop(&mut st);
+                let a = self.pop(&mut st);
+                let r = match (a, b) {
+                    (Abs::Const(x), Abs::Const(y)) => Abs::Const(x.min(y)),
+                    _ => self.upd2(a, b, Upd::Min, true),
+                };
+                st.stack.push(r);
+            }
+            Op::MaxI => {
+                let b = self.pop(&mut st);
+                let a = self.pop(&mut st);
+                let r = match (a, b) {
+                    (Abs::Const(x), Abs::Const(y)) => Abs::Const(x.max(y)),
+                    _ => self.upd2(a, b, Upd::Max, true),
+                };
+                st.stack.push(r);
+            }
+            // Float folds stay in the (never-mergeable) FloatAcc family
+            // so the store site can explain *why* it is opaque.
+            Op::AddF | Op::MinF | Op::MaxF => {
+                let b = self.pop(&mut st);
+                let a = self.pop(&mut st);
+                let r = self.upd2(a, b, Upd::FloatAcc, true);
+                st.stack.push(r);
+            }
+            Op::SubF => {
+                let b = self.pop(&mut st);
+                let a = self.pop(&mut st);
+                let r = self.upd2(a, b, Upd::FloatAcc, false);
+                st.stack.push(r);
+            }
+            // Structure-destroying binary ops: multiplication scales the
+            // accumulated state, comparisons observe it, etc.
+            Op::MulI
+            | Op::DivI
+            | Op::ModI
+            | Op::MulF
+            | Op::DivF
+            | Op::EqI
+            | Op::NeI
+            | Op::LtI
+            | Op::LeI
+            | Op::GtI
+            | Op::GeI
+            | Op::EqF
+            | Op::NeF
+            | Op::LtF
+            | Op::LeF
+            | Op::GtF
+            | Op::GeF => {
+                let b = self.pop(&mut st);
+                let a = self.pop(&mut st);
+                let r = self.opaque2(a, b);
+                st.stack.push(r);
+            }
+            Op::NegI | Op::NegF | Op::NotB | Op::AbsI | Op::AbsF | Op::I2F => {
+                let v = self.pop(&mut st);
+                let r = match (self.code[pc], v) {
+                    (Op::NegI, Abs::Const(k)) => Abs::Const(k.wrapping_neg()),
+                    (Op::I2F, Abs::Const(k)) => Abs::Const((k as f64).to_bits() as i64),
+                    _ => {
+                        self.observe(v);
+                        Abs::Mixed {
+                            tainted: v.tainted(),
+                        }
+                    }
+                };
+                st.stack.push(r);
+            }
+            Op::I2FUnder => {
+                let top = self.pop(&mut st);
+                let v = self.pop(&mut st);
+                let r = match v {
+                    Abs::Const(k) => Abs::Const((k as f64).to_bits() as i64),
+                    _ => {
+                        self.observe(v);
+                        Abs::Mixed {
+                            tainted: v.tainted(),
+                        }
+                    }
+                };
+                st.stack.push(r);
+                st.stack.push(top);
+            }
+            Op::Out => {
+                let value = self.pop(&mut st);
+                let slot = self.pop(&mut st);
+                self.observe(value);
+                self.observe(slot);
+            }
+            Op::Ret => {
+                let v = self.pop(&mut st);
+                self.observe(v);
+            }
+            Op::RetVoid | Op::Jmp(_) => {}
+            Op::JmpIfFalse(_) => {
+                let cond = self.pop(&mut st);
+                self.observe(cond);
+                if cond.tainted() {
+                    self.mark_ctrl_region(pc);
+                }
+            }
+        }
+        st
+    }
+
+    fn run(&mut self, program: &Program) {
+        let names: Vec<String> = program.globals.iter().map(|(n, _, _)| n.clone()).collect();
+        self.in_state[0] = Some(State {
+            stack: Vec::new(),
+            // The VM zeroes locals at the start of every run.
+            locals: vec![Abs::Const(0); program.n_locals as usize],
+        });
+        let mut succ = Vec::new();
+        for pc in 0..self.code.len() {
+            let Some(st) = self.in_state[pc].clone() else {
+                continue; // unreachable
+            };
+            let out = self.step(pc, st, &names);
+            successors(self.code, pc, &mut succ);
+            for &to in &succ {
+                self.flow(pc, to, &out);
+            }
+            if self.failed {
+                return;
+            }
+        }
+    }
+
+    /// Folds a slot's store sites into its final class.
+    fn combine(&self, slot: usize) -> MergeClass {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Fam {
+            Counter,
+            Min,
+            Max,
+            Write,
+        }
+        let fam = |k: &SiteKind| match k {
+            SiteKind::Counter => Fam::Counter,
+            SiteKind::Min => Fam::Min,
+            SiteKind::Max => Fam::Max,
+            SiteKind::Gated(_) | SiteKind::Lww => Fam::Write,
+            SiteKind::Opaque(_) => unreachable!("opaque handled before families"),
+        };
+        let sites = &self.sites[slot];
+        let Some(first) = sites.first() else {
+            return MergeClass::ReadOnly;
+        };
+        if let Some(s) = sites.iter().find(|s| matches!(s.kind, SiteKind::Opaque(_))) {
+            let SiteKind::Opaque(reason) = &s.kind else {
+                unreachable!()
+            };
+            return MergeClass::Opaque {
+                pc: s.pc,
+                reason: reason.clone(),
+            };
+        }
+        let f0 = fam(&first.kind);
+        if let Some(s) = sites.iter().find(|s| fam(&s.kind) != f0) {
+            // E.g. a counter bump at one site and a reset at another:
+            // the sequential interleaving can't be reconstructed.
+            return MergeClass::Opaque {
+                pc: s.pc,
+                reason: format!(
+                    "conflicting update patterns (pc {} vs pc {})",
+                    first.pc, s.pc
+                ),
+            };
+        }
+        match f0 {
+            Fam::Counter => MergeClass::Counter,
+            Fam::Min => MergeClass::MinMax(MinMaxOp::Min),
+            Fam::Max => MergeClass::MinMax(MinMaxOp::Max),
+            Fam::Write => {
+                let mut bits: Option<i64> = None;
+                for s in sites {
+                    match s.kind {
+                        SiteKind::Gated(k) => {
+                            if bits.get_or_insert(k) != &k {
+                                return MergeClass::LastWriteWins;
+                            }
+                        }
+                        SiteKind::Lww => return MergeClass::LastWriteWins,
+                        _ => unreachable!("family filtered above"),
+                    }
+                }
+                MergeClass::GatedWrite {
+                    value_bits: bits.expect("non-empty gated site list"),
+                }
+            }
+        }
+    }
+}
+
+/// Every slot Opaque — the conservative answer when the bytecode breaks
+/// an invariant the analysis relies on.
+fn opaque_all(program: &Program, reason: &str) -> MergePlan {
+    MergePlan {
+        slots: program
+            .globals
+            .iter()
+            .map(|(name, _, _)| SlotPlan {
+                name: name.clone(),
+                class: MergeClass::Opaque {
+                    pc: 0,
+                    reason: reason.to_owned(),
+                },
+                escapes: true,
+            })
+            .collect(),
+    }
+}
+
+/// Classifies every static slot of `program`. Total: never fails, never
+/// panics — inconsistencies degrade to [`MergeClass::Opaque`].
+pub(crate) fn classify(program: &Program) -> MergePlan {
+    let code = &program.code;
+    // The whole pass (and `postdominators`) relies on the compiler's
+    // forward-jump invariant; double-check it instead of trusting it.
+    for (pc, op) in code.iter().enumerate() {
+        if let Op::Jmp(t) | Op::JmpIfFalse(t) = op {
+            if (*t as usize) <= pc || (*t as usize) >= code.len() {
+                return opaque_all(program, "control flow is not a forward DAG");
+            }
+        }
+    }
+    let mut pass = Pass::new(program);
+    pass.run(program);
+    if pass.failed {
+        return opaque_all(program, "abstract interpretation failed");
+    }
+    MergePlan {
+        slots: program
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _, _))| SlotPlan {
+                name: name.clone(),
+                class: pass.combine(i),
+                escapes: pass.escapes[i],
+            })
+            .collect(),
+    }
+}

@@ -10,7 +10,7 @@
 //! line-numbered [`Diagnostic`]s or admitted as a [`Verified<Program>`]
 //! whose worst-case cost is a machine-checked bound.
 //!
-//! [`verify`] runs four passes:
+//! [`verify`] runs five passes:
 //!
 //! 1. **Compile** — lex/parse/type errors become `E0004` diagnostics.
 //! 2. **Check** — an abstract interpreter with interval reasoning finds
@@ -25,6 +25,12 @@
 //!    jumps forward; the worst-case fuel is the longest path through the
 //!    DAG, computed exactly and proven to fit the host's budget
 //!    (`E0003` otherwise).
+//! 5. **Merge** — a shard-safety dataflow classifies every static slot
+//!    into the merge lattice ([`MergeClass`]), producing the
+//!    [`MergePlan`] the sharded GPA uses to fold replica instances.
+//!    Advisory by default (`W0009` for write-only mergeable state);
+//!    with [`VerifyLimits::require_mergeable`] a non-mergeable slot
+//!    rejects the program with `M0001`.
 //!
 //! The bound in the resulting [`VerifyReport`] is a guarantee: running
 //! the verified program with that much fuel can never abort.
@@ -32,9 +38,11 @@
 mod check;
 mod diag;
 pub(crate) mod fuel;
+pub(crate) mod merge;
 mod opt;
 
 pub use diag::{Diagnostic, Severity};
+pub use merge::{MergeClass, MergePlan, MinMaxOp, SlotPlan};
 
 use crate::compile::{compile_stmts, Program, Type};
 use crate::lexer::lex;
@@ -50,6 +58,10 @@ pub struct VerifyLimits {
     /// Highest `out()` slot the host accepts (slots are `0..=max_out_slot`;
     /// hosts keep one cell per slot, so this bounds per-analyzer memory).
     pub max_out_slot: i64,
+    /// Reject programs whose [`MergePlan`] is not fully shard-safe
+    /// (`M0001`). Off by default: single-instance hosts run
+    /// non-mergeable programs just fine.
+    pub require_mergeable: bool,
 }
 
 impl Default for VerifyLimits {
@@ -57,6 +69,7 @@ impl Default for VerifyLimits {
         VerifyLimits {
             max_fuel: 2_000,
             max_out_slot: 63,
+            require_mergeable: false,
         }
     }
 }
@@ -68,6 +81,12 @@ impl VerifyLimits {
             max_fuel,
             ..Default::default()
         }
+    }
+
+    /// Same limits, but demanding a fully shard-safe [`MergePlan`].
+    pub fn require_mergeable(mut self) -> Self {
+        self.require_mergeable = true;
+        self
     }
 }
 
@@ -83,6 +102,10 @@ pub struct VerifyReport {
     pub code_len: usize,
     /// Instruction count before optimization.
     pub unoptimized_code_len: usize,
+    /// Shard-safety classification of every static slot, in slot order.
+    /// [`MergePlan::fully_mergeable`] decides whether the program may be
+    /// evaluated as replicas and folded with `Instance::merge_from`.
+    pub merge_plan: MergePlan,
     /// Non-fatal findings (severity [`Severity::Warning`]).
     pub warnings: Vec<Diagnostic>,
 }
@@ -243,6 +266,49 @@ pub fn verify(
         ));
     }
 
+    // Pass 5: shard-safety. Classified on the program that would
+    // actually be installed, so optimizations (constant folding, dead
+    // branches) can only make slots *more* mergeable, never less.
+    let merge_plan = merge::classify(&program);
+    for slot in &merge_plan.slots {
+        match &slot.class {
+            MergeClass::Opaque { reason, .. } if limits.require_mergeable => {
+                diagnostics.push(Diagnostic::error(
+                    "M0001",
+                    0,
+                    format!(
+                        "static variable \"{}\" is not shard-mergeable: {}",
+                        slot.name, reason
+                    ),
+                ));
+            }
+            MergeClass::LastWriteWins if limits.require_mergeable => {
+                diagnostics.push(Diagnostic::error(
+                    "M0001",
+                    0,
+                    format!(
+                        "static variable \"{}\" is not shard-mergeable: last write \
+                         wins across shards and no tiebreak key is available",
+                        slot.name
+                    ),
+                ));
+            }
+            class if class.shard_safe() && *class != MergeClass::ReadOnly && !slot.escapes => {
+                diagnostics.push(Diagnostic::warning(
+                    "W0009",
+                    0,
+                    format!(
+                        "static variable \"{}\" is mergeable ({}) but its value never \
+                         escapes — it feeds no output, return, branch, or other static",
+                        slot.name,
+                        class.describe()
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+
     // Program-wide findings (line 0) sort after line-anchored ones;
     // within a line, errors lead. The sort is stable, so same-line
     // same-severity findings keep discovery order.
@@ -258,6 +324,7 @@ pub fn verify(
             unoptimized_fuel_bound,
             code_len,
             unoptimized_code_len,
+            merge_plan,
             warnings: diagnostics,
         },
     })

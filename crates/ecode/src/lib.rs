@@ -75,10 +75,11 @@ mod parser;
 mod vm;
 
 pub use analysis::{
-    verify, Diagnostic, Severity, Verified, VerifyError, VerifyLimits, VerifyReport,
+    verify, Diagnostic, MergeClass, MergePlan, MinMaxOp, Severity, SlotPlan, Verified, VerifyError,
+    VerifyLimits, VerifyReport,
 };
 pub use compile::{Program, Type};
-pub use vm::{Instance, RunOutcome, Value};
+pub use vm::{Instance, MergeError, RunOutcome, Value};
 
 use std::fmt;
 

@@ -1,7 +1,57 @@
 //! The fuel-metered stack VM.
 
+use crate::analysis::{MergeClass, MergePlan, MinMaxOp};
 use crate::compile::{GlobalInit, Program, Type};
 use crate::EcodeError;
+
+/// A static's raw bits at instance creation (`f64::to_bits` for doubles).
+fn init_raw(init: &GlobalInit) -> i64 {
+    match init {
+        GlobalInit::Int(v) => *v,
+        GlobalInit::Double(v) => v.to_bits() as i64,
+        GlobalInit::Bool(v) => *v as i64,
+    }
+}
+
+/// Why [`Instance::merge_from`] refused to fold two replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The plan or the other instance has a different slot layout than
+    /// this instance — they were built from different programs.
+    PlanMismatch {
+        /// Slots in the supplied [`MergePlan`].
+        plan_slots: usize,
+        /// Static slots in this instance.
+        instance_slots: usize,
+    },
+    /// A slot is classified `LastWriteWins` or `Opaque`; the program
+    /// must be evaluated on a single instance instead.
+    NotShardSafe {
+        /// Global slot index.
+        slot: usize,
+        /// The static variable's name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::PlanMismatch {
+                plan_slots,
+                instance_slots,
+            } => write!(
+                f,
+                "merge plan has {plan_slots} slots but the instance has {instance_slots}"
+            ),
+            MergeError::NotShardSafe { slot, name } => {
+                write!(f, "static \"{name}\" (slot {slot}) is not shard-safe")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// Bytecode instructions. Typed variants keep the stack representation a
 /// plain 64-bit word (floats stored via `to_bits`).
@@ -420,11 +470,7 @@ impl Instance {
         let globals = program
             .globals
             .iter()
-            .map(|(_, _, init)| match init {
-                GlobalInit::Int(v) => *v,
-                GlobalInit::Double(v) => v.to_bits() as i64,
-                GlobalInit::Bool(v) => *v as i64,
-            })
+            .map(|(_, _, i)| init_raw(i))
             .collect();
         // Backward pass: the compiler guarantees the last op is a
         // terminator, so every non-terminator has a successor.
@@ -459,12 +505,79 @@ impl Instance {
     /// (e.g. subscription data filters) call this before each run.
     pub fn reset_globals(&mut self) {
         for (g, (_, _, init)) in self.globals.iter_mut().zip(self.program.globals.iter()) {
-            *g = match init {
-                GlobalInit::Int(v) => *v,
-                GlobalInit::Double(v) => v.to_bits() as i64,
-                GlobalInit::Bool(v) => *v as i64,
+            *g = init_raw(init);
+        }
+    }
+
+    /// Raw bits of every static, in slot order (`f64::to_bits` for
+    /// doubles). This is the representation shard-differential tests
+    /// compare: bitwise, so `NaN == NaN` and `0.0 != -0.0`.
+    pub fn raw_globals(&self) -> &[i64] {
+        &self.globals
+    }
+
+    /// Folds another replica's statics into this instance per `plan` —
+    /// the "spend the proof" half of the shard-safety analysis. Both
+    /// instances must run the same program `plan` was computed for.
+    ///
+    /// The folds are exact, not approximate: `Counter` sums deltas with
+    /// wrapping arithmetic, `MinMax` takes the integer min/max,
+    /// `GatedWrite` keeps the written constant if either side stored it,
+    /// `ReadOnly` keeps the (identical) initial value. Each is
+    /// associative and commutative on raw bits, and a fresh instance is
+    /// the fold's identity — so any shard count and any merge order
+    /// reproduce the sequential statics bit-for-bit (assuming trap-free
+    /// runs).
+    ///
+    /// # Errors
+    ///
+    /// * [`MergeError::PlanMismatch`] if `plan`/`other` don't match this
+    ///   instance's slot layout.
+    /// * [`MergeError::NotShardSafe`] if any slot is `LastWriteWins` or
+    ///   `Opaque` — callers must fall back to single-instance evaluation.
+    pub fn merge_from(&mut self, other: &Instance, plan: &MergePlan) -> Result<(), MergeError> {
+        let n = self.globals.len();
+        if plan.slots.len() != n || other.globals.len() != n {
+            return Err(MergeError::PlanMismatch {
+                plan_slots: plan.slots.len(),
+                instance_slots: n,
+            });
+        }
+        // Validate everything before mutating anything: a failed merge
+        // must not leave `self` half-folded.
+        for (slot, sp) in plan.slots.iter().enumerate() {
+            if !sp.class.shard_safe() {
+                return Err(MergeError::NotShardSafe {
+                    slot,
+                    name: sp.name.clone(),
+                });
+            }
+        }
+        for (slot, sp) in plan.slots.iter().enumerate() {
+            let a = self.globals[slot];
+            let b = other.globals[slot];
+            let init = init_raw(&self.program.globals[slot].2);
+            self.globals[slot] = match &sp.class {
+                MergeClass::ReadOnly => a,
+                // a and b each hold init + (their shard's delta sum).
+                MergeClass::Counter => a.wrapping_add(b).wrapping_sub(init),
+                MergeClass::MinMax(MinMaxOp::Min) => a.min(b),
+                MergeClass::MinMax(MinMaxOp::Max) => a.max(b),
+                // Whichever side left init wrote the gated constant (or
+                // both still hold init and the pick is a no-op).
+                MergeClass::GatedWrite { .. } => {
+                    if a != init {
+                        a
+                    } else {
+                        b
+                    }
+                }
+                MergeClass::LastWriteWins | MergeClass::Opaque { .. } => {
+                    unreachable!("rejected by the shard_safe pre-check")
+                }
             };
         }
+        Ok(())
     }
 
     /// Reads a static variable's current value by name (for host-side

@@ -11,7 +11,10 @@
 //!    observationally identical to the original (same returns, same
 //!    `out()` stream, same trap behavior) across persistent-static runs.
 
-use ecode::{verify, Diagnostic, Instance, Program, Severity, Type, Value, VerifyLimits};
+use ecode::{
+    verify, Diagnostic, Instance, MergeClass, MinMaxOp, Program, Severity, Type, Value,
+    VerifyLimits,
+};
 
 const INPUTS: [(&str, Type); 2] = [("size", Type::Int), ("port", Type::Int)];
 
@@ -228,6 +231,178 @@ fn report_shows_optimization_shrinking_the_bound() {
 }
 
 // ---------------------------------------------------------------------
+// Merge analysis: golden diagnostics and lattice classification.
+// ---------------------------------------------------------------------
+
+/// The merge plan for `src` under limits that admit everything else.
+fn merge_plan(src: &str) -> ecode::MergePlan {
+    let limits = VerifyLimits {
+        max_fuel: u64::MAX,
+        ..VerifyLimits::default()
+    };
+    verify(src, &INPUTS, &limits)
+        .unwrap_or_else(|e| panic!("program should verify: {e}\n{src}"))
+        .report()
+        .merge_plan
+        .clone()
+}
+
+fn class_of<'a>(plan: &'a ecode::MergePlan, name: &str) -> &'a MergeClass {
+    &plan
+        .slots
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("no slot {name} in {plan:#?}"))
+        .class
+}
+
+#[test]
+fn merge_plan_classifies_the_lattice() {
+    let plan = merge_plan(
+        "static int hits = 0;\n\
+         static int lo = 1000;\n\
+         static int hi = 0;\n\
+         static int flag = 0;\n\
+         static int last = 0;\n\
+         static int weird = 0;\n\
+         hits = hits + 1;\n\
+         lo = min(lo, size);\n\
+         hi = max(hi, size - port);\n\
+         if (size > 100) { flag = 7; }\n\
+         last = size;\n\
+         weird = weird * 2;\n\
+         out(0, hits);\n\
+         return lo + hi + last + weird;",
+    );
+    assert_eq!(class_of(&plan, "hits"), &MergeClass::Counter);
+    assert_eq!(class_of(&plan, "lo"), &MergeClass::MinMax(MinMaxOp::Min));
+    assert_eq!(class_of(&plan, "hi"), &MergeClass::MinMax(MinMaxOp::Max));
+    assert_eq!(
+        class_of(&plan, "flag"),
+        &MergeClass::GatedWrite { value_bits: 7 }
+    );
+    assert_eq!(class_of(&plan, "last"), &MergeClass::LastWriteWins);
+    assert!(
+        matches!(class_of(&plan, "weird"), MergeClass::Opaque { .. }),
+        "{plan:#?}"
+    );
+    assert!(!plan.fully_mergeable());
+    let blocked: Vec<&str> = plan.unsafe_slots().map(|s| s.name.as_str()).collect();
+    assert_eq!(blocked, ["last", "weird"]);
+}
+
+#[test]
+fn merge_plan_read_only_and_unread_statics() {
+    let plan = merge_plan("static int cfg = 9;\nreturn size + cfg;");
+    assert_eq!(class_of(&plan, "cfg"), &MergeClass::ReadOnly);
+    assert!(plan.fully_mergeable());
+}
+
+#[test]
+fn float_accumulation_is_opaque_but_gated_doubles_merge() {
+    // IEEE addition is not associative: the fold would drift per shard
+    // count, so a float accumulator must force single-instance fallback.
+    let plan = merge_plan("static double acc = 0.0;\nacc = acc + size;\nout(0, acc);\nreturn 0;");
+    let MergeClass::Opaque { reason, .. } = class_of(&plan, "acc") else {
+        panic!("float accumulator must be opaque: {plan:#?}");
+    };
+    assert!(reason.contains("floating-point"), "{reason}");
+
+    // A gated write of a double constant is compared as raw bits — exact.
+    let plan =
+        merge_plan("static double seen = 0.0;\nif (size > 0) { seen = 2.5; }\nreturn seen > 1.0;");
+    assert_eq!(
+        class_of(&plan, "seen"),
+        &MergeClass::GatedWrite {
+            value_bits: 2.5f64.to_bits() as i64
+        }
+    );
+}
+
+/// The early-return shape that breaks naive "mark the branch body"
+/// control-dependence schemes: the counter bump sits *after* the
+/// static-guarded `if`, but only runs when the guard let execution fall
+/// through — it is control-dependent and must not classify as Counter.
+#[test]
+fn store_after_a_static_guarded_early_return_is_opaque() {
+    let plan = merge_plan(
+        "static int g = 0;\n\
+         static int count = 0;\n\
+         if (g > 0) { return 1; }\n\
+         count = count + 1;\n\
+         return 0;",
+    );
+    assert!(
+        matches!(class_of(&plan, "count"), MergeClass::Opaque { .. }),
+        "store is control-dependent on g: {plan:#?}"
+    );
+}
+
+/// Converse precision check: once a static-guarded branch rejoins,
+/// later independent branches are *not* poisoned by it.
+#[test]
+fn rejoined_control_flow_does_not_poison_later_updates() {
+    let plan = merge_plan(
+        "static int g = 0;\n\
+         static int c = 0;\n\
+         if (g > 0) { out(0, 1); }\n\
+         if (size > 0) { c = c + 1; }\n\
+         return c + g;",
+    );
+    assert_eq!(class_of(&plan, "c"), &MergeClass::Counter, "{plan:#?}");
+}
+
+#[test]
+fn m0001_opaque_slot_golden() {
+    // Hand-written Opaque program: the increment is gated on the
+    // counter's own value, so shards diverge on when the gate closes.
+    let src = "static int n = 0;\nif (n < 100) { n = n + size; }\nreturn n;";
+    // Without `require_mergeable` the program is admitted (plan Opaque).
+    let v = verify(src, &INPUTS, &VerifyLimits::default()).expect("admissible single-instance");
+    assert!(!v.report().merge_plan.fully_mergeable());
+    // With it, rejection is a golden M0001.
+    let err = verify(src, &INPUTS, &VerifyLimits::default().require_mergeable()).unwrap_err();
+    let d = find(&err.diagnostics, "M0001");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.line, 0, "merge findings are program-wide");
+    assert_eq!(
+        d.message,
+        "static variable \"n\" is not shard-mergeable: \
+         store at pc 7 is control-dependent on static state"
+    );
+}
+
+#[test]
+fn m0001_last_write_wins_golden() {
+    let src = "static int last = 0;\nlast = size;\nreturn last;";
+    let err = verify(src, &INPUTS, &VerifyLimits::default().require_mergeable()).unwrap_err();
+    let d = find(&err.diagnostics, "M0001");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.line, 0);
+    assert_eq!(
+        d.message,
+        "static variable \"last\" is not shard-mergeable: last write wins \
+         across shards and no tiebreak key is available"
+    );
+}
+
+#[test]
+fn w0009_mergeable_but_unused_golden() {
+    let ds = diags("static int n = 0;\nn = n + 1;\nreturn size;");
+    let d = find(&ds, "W0009");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.line, 0);
+    assert_eq!(
+        d.message,
+        "static variable \"n\" is mergeable (counter) but its value never \
+         escapes — it feeds no output, return, branch, or other static"
+    );
+    // Reading the counter anywhere silences the lint.
+    let ds = diags("static int n = 0;\nn = n + 1;\nreturn n;");
+    assert!(!ds.iter().any(|d| d.code == "W0009"), "{ds:#?}");
+}
+
+// ---------------------------------------------------------------------
 // Soundness: generated programs.
 // ---------------------------------------------------------------------
 
@@ -403,7 +578,7 @@ fn check_soundness(src: &str, history: &[(i64, i64)]) {
 
     let limits = VerifyLimits {
         max_fuel: u64::MAX,
-        max_out_slot: 63,
+        ..VerifyLimits::default()
     };
     let verified = verify(src, &INPUTS, &limits)
         .unwrap_or_else(|e| panic!("generator tripped the verifier: {e}\n{src}"));
@@ -478,6 +653,328 @@ fn generated_programs_bound_sound_and_optimizer_equivalent() {
             history.push((sweep.next() as i64, sweep.next() as i64));
         }
         check_soundness(&src, &history);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard-differential soundness: any program the analysis calls fully
+// mergeable must produce bit-identical statics under sequential vs.
+// K-shard evaluation, for arbitrary event partitions. A mismatch here
+// is a soundness bug in the classifier, not in the test.
+// ---------------------------------------------------------------------
+
+/// Runs the differential check. Returns whether the program was fully
+/// mergeable with at least one updatable slot (coverage accounting).
+fn check_shard_exactness(src: &str, history: &[(i64, i64)], rng: &mut Rng) -> bool {
+    let limits = VerifyLimits {
+        max_fuel: u64::MAX,
+        ..VerifyLimits::default()
+    };
+    let verified = verify(src, &INPUTS, &limits)
+        .unwrap_or_else(|e| panic!("generator tripped the verifier: {e}\n{src}"));
+    let (program, report) = verified.into_parts();
+    let plan = &report.merge_plan;
+    if !plan.fully_mergeable() {
+        return false;
+    }
+    let mut seq = Instance::new(&program);
+    for &(a, b) in history {
+        // Generated programs never trap (divisors are provably nonzero),
+        // so the trap-free precondition of the exactness claim holds.
+        seq.run(&[Value::Int(a), Value::Int(b)], report.fuel_bound)
+            .unwrap_or_else(|e| panic!("generated program trapped: {e}\n{src}"));
+    }
+    for k in [2usize, 3, 8] {
+        let mut shards: Vec<Instance> = (0..k).map(|_| Instance::new(&program)).collect();
+        for &(a, b) in history {
+            // Arbitrary partition: shard-safety may not depend on *how*
+            // events are split, only that each runs exactly once.
+            let s = rng.below(k as u64) as usize;
+            shards[s]
+                .run(&[Value::Int(a), Value::Int(b)], report.fuel_bound)
+                .unwrap();
+        }
+        // Fold in a rotated order too, so merge-order independence is
+        // exercised along with the partition.
+        let start = rng.below(k as u64) as usize;
+        let mut merged = Instance::new(&program);
+        for i in 0..k {
+            merged
+                .merge_from(&shards[(start + i) % k], plan)
+                .unwrap_or_else(|e| panic!("mergeable plan refused to fold: {e}\n{src}"));
+        }
+        assert_eq!(
+            merged.raw_globals(),
+            seq.raw_globals(),
+            "K={k} shard fold diverged from sequential on\n{src}\nplan: {plan:#?}"
+        );
+    }
+    plan.slots.iter().any(|s| s.class != MergeClass::ReadOnly)
+}
+
+/// Mergeable-biased generator: mostly counter/min-max/gated update
+/// patterns the classifier should accept, salted with last-write-wins,
+/// static-copy, and static-guarded updates it must reject. Plain [`Gen`]
+/// programs rarely produce interesting update patterns; this one exists
+/// so the differential sweep actually exercises every lattice class.
+///
+/// Each static is assigned one update *role* up front and every site on
+/// it stays role-consistent — mixing kinds on one slot (counter here,
+/// min-fold there) is a family mismatch the classifier rightly calls
+/// Opaque, and uniform mixing would leave almost no mergeable programs.
+#[derive(Clone, Copy)]
+enum Role {
+    Counter,
+    MinFold,
+    MaxFold,
+    Gated(i64),
+    Lww,
+    Poison,
+}
+
+struct MergeGen {
+    rng: Rng,
+    statics: Vec<(String, Role)>,
+}
+
+impl MergeGen {
+    fn new(seed: u64) -> MergeGen {
+        MergeGen {
+            rng: Rng::new(seed),
+            statics: Vec::new(),
+        }
+    }
+
+    /// Input-only int expression: constants and inputs, never statics.
+    fn input_expr(&mut self, depth: u32) -> String {
+        if depth == 0 || self.rng.below(3) == 0 {
+            return match self.rng.below(4) {
+                0 => format!("{}", self.rng.below(41) as i64 - 20),
+                1 => "size".to_owned(),
+                2 => "port".to_owned(),
+                _ => format!("{}", self.rng.below(1_000)),
+            };
+        }
+        match self.rng.below(5) {
+            0 => format!(
+                "({} + {})",
+                self.input_expr(depth - 1),
+                self.input_expr(depth - 1)
+            ),
+            1 => format!(
+                "({} - {})",
+                self.input_expr(depth - 1),
+                self.input_expr(depth - 1)
+            ),
+            2 => format!(
+                "min({}, {})",
+                self.input_expr(depth - 1),
+                self.input_expr(depth - 1)
+            ),
+            3 => format!(
+                "max({}, {})",
+                self.input_expr(depth - 1),
+                self.input_expr(depth - 1)
+            ),
+            _ => format!("abs({})", self.input_expr(depth - 1)),
+        }
+    }
+
+    fn input_cond(&mut self) -> String {
+        const CMP: [&str; 6] = ["<", "<=", ">", ">=", "==", "!="];
+        format!(
+            "({} {} {})",
+            self.input_expr(1),
+            CMP[self.rng.below(CMP.len() as u64) as usize],
+            self.input_expr(1)
+        )
+    }
+
+    fn program(mut self) -> String {
+        let mut src = String::new();
+        let n_statics = 1 + self.rng.below(4);
+        for i in 0..n_statics {
+            // ~1/4 of slots draw a non-shard-safe role, so roughly half
+            // of the generated programs exercise the fallback path.
+            let role = match self.rng.below(12) {
+                0..=3 => Role::Counter,
+                4 | 5 => Role::MinFold,
+                6 | 7 => Role::MaxFold,
+                8 => Role::Gated(self.rng.below(9) as i64 + 1),
+                9 | 10 => Role::Lww,
+                _ => Role::Poison,
+            };
+            let lit = self.rng.below(21) as i64 - 10;
+            src.push_str(&format!("static int m{i} = {lit};\n"));
+            self.statics.push((format!("m{i}"), role));
+        }
+        let n = 3 + self.rng.below(6);
+        for _ in 0..n {
+            let i = self.rng.below(self.statics.len() as u64) as usize;
+            let (s, role) = self.statics[i].clone();
+            match role {
+                Role::Counter => {
+                    let e = self.input_expr(2);
+                    match self.rng.below(4) {
+                        0 => src.push_str(&format!("{s} = {s} - {e};\n")),
+                        1 => {
+                            // Bump under an input-only gate — still a
+                            // counter (the gate reads no static state).
+                            let c = self.input_cond();
+                            src.push_str(&format!("if ({c}) {{ {s} = {s} + {e}; }}\n"));
+                        }
+                        _ => src.push_str(&format!("{s} = {s} + {e};\n")),
+                    }
+                }
+                Role::MinFold => {
+                    let e = self.input_expr(2);
+                    src.push_str(&format!("{s} = min({s}, {e});\n"));
+                }
+                Role::MaxFold => {
+                    let e = self.input_expr(2);
+                    src.push_str(&format!("{s} = max({s}, {e});\n"));
+                }
+                Role::Gated(k) => {
+                    // Every site writes the role's constant; differing
+                    // constants would honestly degrade to LastWriteWins.
+                    let c = self.input_cond();
+                    src.push_str(&format!("if ({c}) {{ {s} = {k}; }}\n"));
+                }
+                Role::Lww => {
+                    // Input-dependent overwrite: not shard-safe.
+                    let e = self.input_expr(2);
+                    src.push_str(&format!("{s} = {e};\n"));
+                }
+                Role::Poison => {
+                    let j = self.rng.below(self.statics.len() as u64) as usize;
+                    let t = self.statics[j].0.clone();
+                    if self.rng.below(2) == 0 {
+                        // Static copy: must classify Opaque.
+                        src.push_str(&format!("{s} = {t} + 1;\n"));
+                    } else {
+                        // Control dependence on static state: Opaque.
+                        src.push_str(&format!("if ({t} > 0) {{ {s} = {s} + 1; }}\n"));
+                    }
+                }
+            }
+            if self.rng.below(4) == 0 {
+                let slot = self.rng.below(64);
+                let e = self.input_expr(2);
+                src.push_str(&format!("out({slot}, {e});\n"));
+            }
+        }
+        // Read one static so at least one slot escapes.
+        let i = self.rng.below(self.statics.len() as u64) as usize;
+        src.push_str(&format!("return {};\n", self.statics[i].0));
+        src
+    }
+}
+
+#[test]
+fn generated_mergeable_programs_shard_exactly() {
+    let mut rng = Rng::new(0xd1f7_5eed);
+    let (mut mergeable, mut fallback) = (0u32, 0u32);
+    for seed in 0..300u64 {
+        let per = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) + 1;
+        // Both generators share the sweep's seed schedule: MergeGen for
+        // lattice coverage, Gen for adversarial shapes it doesn't emit.
+        for src in [MergeGen::new(per).program(), Gen::new(per).program()] {
+            let mut history = vec![(0, 0), (1, -1), (i64::MAX, i64::MIN), (4096, 7)];
+            for _ in 0..8 {
+                history.push((rng.next() as i64, rng.next() as i64 % 10_000));
+            }
+            if check_shard_exactness(&src, &history, &mut rng) {
+                mergeable += 1;
+            } else {
+                fallback += 1;
+            }
+        }
+    }
+    // Coverage floors: both the sharded path and the fallback path must
+    // be exercised substantially, or the sweep is vacuous.
+    assert!(mergeable >= 50, "only {mergeable} mergeable programs swept");
+    assert!(fallback >= 50, "only {fallback} fallback programs swept");
+    assert_eq!(mergeable + fallback, 600);
+}
+
+#[cfg(test)]
+mod merge_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One program per shard-safe lattice class (label, source).
+    const CLASS_PROGRAMS: [(&str, &str); 4] = [
+        (
+            "counter",
+            "static int s = 5;\ns = s + size;\ns = s - port;\nreturn s;",
+        ),
+        (
+            "min-fold",
+            "static int s = 1000;\ns = min(s, size);\nreturn s;",
+        ),
+        (
+            "max-fold",
+            "static int s = -1000;\ns = max(s, size);\nreturn s;",
+        ),
+        (
+            "gated",
+            "static int s = 3;\nif (size > port) { s = 42; }\nreturn s;",
+        ),
+    ];
+
+    fn fold(a: &Instance, b: &Instance, plan: &ecode::MergePlan) -> Instance {
+        let mut x = a.clone();
+        x.merge_from(b, plan).expect("shard-safe plan folds");
+        x
+    }
+
+    proptest! {
+        /// Per lattice class: the merge fold is commutative and
+        /// associative on raw bits, with the fresh instance as identity.
+        /// These are exactly the properties that make "fold shards in
+        /// any order" equal to sequential evaluation.
+        #[test]
+        fn prop_merge_fold_is_assoc_comm_with_identity(
+            events in proptest::collection::vec((any::<i64>(), any::<i64>(), 0usize..3), 0..24),
+        ) {
+            for (label, src) in CLASS_PROGRAMS {
+                let v = verify(src, &INPUTS, &VerifyLimits::default().require_mergeable())
+                    .expect(label);
+                let (program, report) = v.into_parts();
+                let plan = &report.merge_plan;
+                let mut insts =
+                    [Instance::new(&program), Instance::new(&program), Instance::new(&program)];
+                for &(x, y, which) in &events {
+                    insts[which]
+                        .run(&[Value::Int(x), Value::Int(y)], report.fuel_bound)
+                        .expect("lattice programs never trap");
+                }
+                let [a, b, c] = &insts;
+                let ab = fold(a, b, plan);
+                let ba = fold(b, a, plan);
+                prop_assert_eq!(ab.raw_globals(), ba.raw_globals(), "{} commutes", label);
+                let ab_c = fold(&ab, c, plan);
+                let bc = fold(b, c, plan);
+                let a_bc = fold(a, &bc, plan);
+                prop_assert_eq!(ab_c.raw_globals(), a_bc.raw_globals(), "{} associates", label);
+                let fresh = Instance::new(&program);
+                let a_id = fold(a, &fresh, plan);
+                prop_assert_eq!(a_id.raw_globals(), a.raw_globals(), "{} identity", label);
+            }
+        }
+
+        /// Proptest arm of the shard-differential sweep: random seeds,
+        /// random histories, random partitions.
+        #[test]
+        fn prop_mergeable_programs_shard_exactly(
+            seed in any::<u64>(),
+            part_seed in any::<u64>(),
+            history in proptest::collection::vec((any::<i64>(), any::<i64>()), 0..12),
+        ) {
+            let mut rng = Rng::new(part_seed);
+            let src = MergeGen::new(seed).program();
+            check_shard_exactness(&src, &history, &mut rng);
+        }
     }
 }
 

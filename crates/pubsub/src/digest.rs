@@ -1,0 +1,324 @@
+//! Sharded digest evaluation: N replica instances of one E-Code
+//! program, partitioned by flow key, folded back with the program's
+//! [`MergePlan`].
+//!
+//! This is the first working slice of the sharded GPA (ROADMAP item 1).
+//! A *digest* is an E-Code program whose statics accumulate across
+//! every ingested record — unlike a subscription [`Filter`](crate::Hub),
+//! which resets its statics per record. When the verifier proves every
+//! static shard-safe ([`MergePlan::fully_mergeable`]), the digest runs
+//! as `shards` independent replicas; records are dispatched by a
+//! deterministic FNV-1a hash of their flow key, and [`ShardedDigest::merged`]
+//! folds the replicas into the exact statics a single sequential
+//! instance would hold. Programs with any `Opaque`/`LastWriteWins` slot
+//! silently fall back to one instance — correctness never depends on
+//! the caller checking the plan first.
+
+use ecode::{Instance, MergeError, MergePlan, Type, Value as EValue, VerifyLimits, VerifyReport};
+use pbio::{FieldType, Schema, Value};
+
+use crate::PubSubError;
+
+/// Worst-case fuel a digest program may cost per record. Same budget as
+/// subscription filters: digests run on the GPA's ingest path, which is
+/// hot for exactly the same reason the publish path is.
+pub const DIGEST_FUEL_BUDGET: u64 = 10_000;
+
+/// Evaluation statistics, for overhead accounting and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestStats {
+    /// Shard count the caller asked for.
+    pub requested_shards: usize,
+    /// Shard count actually running (1 when the plan forced fallback).
+    pub shards: usize,
+    /// Whether the digest is running more than one replica.
+    pub sharded: bool,
+    /// Records ingested, total.
+    pub events: u64,
+    /// Records ingested per shard, in shard order.
+    pub per_shard_events: Vec<u64>,
+    /// Records skipped because their values did not match the schema
+    /// the digest was compiled against.
+    pub skipped: u64,
+    /// Total E-Code fuel burned (host converts to CPU cost).
+    pub fuel_spent: u64,
+    /// Runs that trapped at runtime (statics may be partially updated;
+    /// counted, not hidden).
+    pub aborted: u64,
+}
+
+/// A compiled digest program running as one or more shard replicas.
+///
+/// Records' numeric and boolean fields are visible to the program as
+/// E-Code inputs by field name, exactly like subscription filters;
+/// string/bytes fields are skipped.
+#[derive(Debug, Clone)]
+pub struct ShardedDigest {
+    program: ecode::Program,
+    plan: MergePlan,
+    shards: Vec<Instance>,
+    requested_shards: usize,
+    /// Indices of the record fields that are program inputs, in input order.
+    field_indices: Vec<usize>,
+    /// Reusable input scratch, rebuilt from the record each evaluation.
+    inputs: Vec<EValue>,
+    /// Statically proven worst-case fuel per evaluation.
+    fuel_bound: u64,
+    per_shard_events: Vec<u64>,
+    skipped: u64,
+    fuel_spent: u64,
+    aborted: u64,
+}
+
+/// Deterministic 64-bit FNV-1a over the key's little-endian bytes.
+/// Chosen over `std` hashing because shard placement must be identical
+/// across runs, builds, and hosts (replay bit-stability).
+fn fnv1a(key: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ShardedDigest {
+    /// Compiles `src` against `schema` and provisions replicas.
+    ///
+    /// `shards` is the *requested* replica count; the digest actually
+    /// shards only when the verifier proves every static shard-safe.
+    /// The verification itself is ordinary (no `require_mergeable`):
+    /// non-mergeable digests are legal, they just run single-instance.
+    pub fn compile(
+        src: &str,
+        schema: &Schema,
+        shards: usize,
+    ) -> Result<ShardedDigest, PubSubError> {
+        let mut inputs: Vec<(&str, Type)> = Vec::new();
+        let mut field_indices = Vec::new();
+        for (i, f) in schema.fields().iter().enumerate() {
+            let ty = match f.ty {
+                FieldType::U64 | FieldType::I64 => Type::Int,
+                FieldType::F64 => Type::Double,
+                FieldType::Bool => Type::Bool,
+                FieldType::Str | FieldType::Bytes => continue,
+            };
+            inputs.push((f.name.as_str(), ty));
+            field_indices.push(i);
+        }
+        let verified = ecode::verify(
+            src,
+            &inputs,
+            &VerifyLimits::with_max_fuel(DIGEST_FUEL_BUDGET),
+        )
+        .map_err(PubSubError::BadFilter)?;
+        let (program, report) = verified.into_parts();
+        let VerifyReport {
+            fuel_bound,
+            merge_plan,
+            ..
+        } = report;
+        let n = if shards > 1 && merge_plan.fully_mergeable() {
+            shards
+        } else {
+            1
+        };
+        Ok(ShardedDigest {
+            shards: (0..n).map(|_| Instance::new(&program)).collect(),
+            program,
+            plan: merge_plan,
+            requested_shards: shards,
+            field_indices,
+            inputs: Vec::new(),
+            fuel_bound,
+            per_shard_events: vec![0; n],
+            skipped: 0,
+            fuel_spent: 0,
+            aborted: 0,
+        })
+    }
+
+    /// Whether the plan admitted more than one replica.
+    pub fn is_sharded(&self) -> bool {
+        self.shards.len() > 1
+    }
+
+    /// Number of replicas actually running.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard-safety classification the replica count was decided by.
+    pub fn plan(&self) -> &MergePlan {
+        &self.plan
+    }
+
+    /// Statically proven worst-case fuel per record.
+    pub fn fuel_bound(&self) -> u64 {
+        self.fuel_bound
+    }
+
+    /// Which shard a flow key lands on. Deterministic: identical across
+    /// runs and shard-local (a flow's records always meet the same
+    /// replica, so per-flow sequential semantics are preserved).
+    pub fn shard_of(&self, key: u64) -> usize {
+        (fnv1a(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Feeds one record (dispatched by `key`) to its shard's replica.
+    pub fn ingest(&mut self, key: u64, values: &[Value]) {
+        self.inputs.clear();
+        for &i in &self.field_indices {
+            let v = match values.get(i) {
+                Some(Value::U64(v)) => EValue::Int(*v as i64),
+                Some(Value::I64(v)) => EValue::Int(*v),
+                Some(Value::F64(v)) => EValue::Double(*v),
+                Some(Value::Bool(v)) => EValue::Bool(*v),
+                // The record does not match the schema this digest was
+                // compiled for; count and move on rather than trap.
+                _ => {
+                    self.skipped += 1;
+                    return;
+                }
+            };
+            self.inputs.push(v);
+        }
+        let shard = self.shard_of(key);
+        // Statics persist across records — that is the point of a digest.
+        match self.shards[shard].run(&self.inputs, self.fuel_bound) {
+            Ok(out) => self.fuel_spent += out.fuel_used,
+            Err(_) => {
+                // A runtime trap (input-dependent division by zero, say)
+                // leaves that replica's statics partially updated, just
+                // as it would a sequential instance.
+                self.aborted += 1;
+                self.fuel_spent += self.fuel_bound;
+            }
+        }
+        self.per_shard_events[shard] += 1;
+    }
+
+    /// Folds every replica's statics into a fresh instance per the plan.
+    ///
+    /// A fresh instance (statics at their declared initial values) is
+    /// the identity element of each shard-safe fold, so folding shards
+    /// into it yields exactly the sequential statics. With one replica
+    /// this degenerates to a copy, so the accessor works uniformly for
+    /// fallback digests too.
+    pub fn merged(&self) -> Result<Instance, MergeError> {
+        if self.shards.len() == 1 {
+            // Fallback digests may hold non-mergeable plans; a single
+            // replica needs no folding.
+            return Ok(self.shards[0].clone());
+        }
+        let mut acc = Instance::new(&self.program);
+        for shard in &self.shards {
+            acc.merge_from(shard, &self.plan)?;
+        }
+        Ok(acc)
+    }
+
+    /// Reads a static variable of the *merged* state by name.
+    pub fn merged_global(&self, name: &str) -> Option<EValue> {
+        self.merged().ok()?.global(name)
+    }
+
+    /// Current evaluation statistics.
+    pub fn stats(&self) -> DigestStats {
+        DigestStats {
+            requested_shards: self.requested_shards,
+            shards: self.shards.len(),
+            sharded: self.is_sharded(),
+            events: self.per_shard_events.iter().sum(),
+            per_shard_events: self.per_shard_events.clone(),
+            skipped: self.skipped,
+            fuel_spent: self.fuel_spent,
+            aborted: self.aborted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbio::Schema;
+
+    fn schema() -> Schema {
+        Schema::build("rec")
+            .field("size", FieldType::U64)
+            .field("port", FieldType::U64)
+            .finish()
+            .unwrap()
+    }
+
+    const MERGEABLE: &str = "
+        static int count = 0;
+        static int bytes = 0;
+        static int biggest = 0;
+        static bool saw_admin = false;
+        count = count + 1;
+        bytes = bytes + size;
+        biggest = max(biggest, size);
+        if (port < 1024) { saw_admin = true; }
+        return count;
+    ";
+
+    #[test]
+    fn mergeable_digest_shards_and_folds_exactly() {
+        let schema = schema();
+        let mut seq = ShardedDigest::compile(MERGEABLE, &schema, 1).unwrap();
+        let mut sharded = ShardedDigest::compile(MERGEABLE, &schema, 4).unwrap();
+        assert!(!seq.is_sharded());
+        assert!(sharded.is_sharded());
+        assert_eq!(sharded.shard_count(), 4);
+
+        for i in 0..100u64 {
+            let rec = [
+                Value::U64(i * 37 % 91),
+                Value::U64(if i % 5 == 0 { 80 } else { 9000 }),
+            ];
+            seq.ingest(i % 7, &rec);
+            sharded.ingest(i % 7, &rec);
+        }
+        let a = seq.merged().unwrap();
+        let b = sharded.merged().unwrap();
+        assert_eq!(a.raw_globals(), b.raw_globals(), "fold must be bit-exact");
+        assert_eq!(sharded.merged_global("count"), Some(EValue::Int(100)));
+        assert_eq!(sharded.merged_global("saw_admin"), Some(EValue::Bool(true)));
+
+        let stats = sharded.stats();
+        assert_eq!(stats.events, 100);
+        assert_eq!(stats.per_shard_events.iter().sum::<u64>(), 100);
+        assert!(stats.sharded);
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(stats.aborted, 0);
+        assert!(stats.fuel_spent > 0);
+    }
+
+    #[test]
+    fn opaque_digest_falls_back_to_one_instance() {
+        // `acc * 2` scales accumulated state — classified Opaque — so
+        // the requested 8 shards must collapse to 1.
+        let src = "
+            static int acc = 0;
+            acc = acc * 2 + size;
+            return acc;
+        ";
+        let d = ShardedDigest::compile(src, &schema(), 8).unwrap();
+        assert!(!d.is_sharded());
+        assert_eq!(d.shard_count(), 1);
+        assert!(!d.plan().fully_mergeable());
+        let stats = d.stats();
+        assert_eq!(stats.requested_shards, 8);
+        assert_eq!(stats.shards, 1);
+    }
+
+    #[test]
+    fn same_key_always_meets_the_same_shard() {
+        let d = ShardedDigest::compile(MERGEABLE, &schema(), 8).unwrap();
+        for key in 0..64u64 {
+            assert_eq!(d.shard_of(key), d.shard_of(key));
+            assert!(d.shard_of(key) < 8);
+        }
+    }
+}

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod control;
+pub mod digest;
 pub mod reliable;
 
 use std::collections::HashMap;
