@@ -26,7 +26,11 @@
 //! that executes only when a static-influenced branch goes one way is
 //! not a mergeable update even if the stored value itself is
 //! input-only. Data joins at merge points inherit taint from the
-//! branch that caused the divergence.
+//! branch that caused the divergence — including joins where the two
+//! sides *look* equal: abstract equality of provenance-free cells
+//! (`Mixed`, `Upd`) does not prove the runtime values agree, so at a
+//! join reached via a static-influenced edge only identical constants
+//! and identical whole-global cells survive untainted.
 //!
 //! The result is a [`MergePlan`] carried in the `VerifyReport`; the VM
 //! consumes it in `Instance::merge_from`. Soundness is enforced
@@ -427,6 +431,20 @@ impl<'a> Pass<'a> {
                             *x = Abs::Mixed {
                                 tainted: x.tainted() || y.tainted() || edge_tainted,
                             };
+                        } else if edge_tainted && !matches!(*x, Abs::Const(_) | Abs::Global(_)) {
+                            // Equal abstractions are not equal values.
+                            // `Mixed` and `Upd` cells carry no provenance:
+                            // `x = size` in one arm and `x = port` in the
+                            // other both abstract to Mixed{tainted:false}
+                            // and compare equal, yet the runtime value
+                            // depends on which way the static-influenced
+                            // branch went. Only identical `Const` bits
+                            // (the same value outright) and identical
+                            // `Global` (the same slot's current value on
+                            // either path) are provably path-invariant;
+                            // everything else degrades to tainted.
+                            pass.observe(*x);
+                            *x = Abs::Mixed { tainted: true };
                         }
                     }
                 };

@@ -352,6 +352,41 @@ fn rejoined_control_flow_does_not_poison_later_updates() {
     assert_eq!(class_of(&plan, "c"), &MergeClass::Counter, "{plan:#?}");
 }
 
+/// The join-laundering shape: both arms of a static-conditioned branch
+/// assign a local an input-only value. The two cells abstract equal
+/// (untainted `Mixed`), but the runtime value depends on which way the
+/// static branch went — the delta fed to the counter is path-dependent,
+/// so the slot must not classify as shard-safe.
+#[test]
+fn equal_looking_join_of_path_dependent_values_is_opaque() {
+    let plan = merge_plan(
+        "static int g = 0;\n\
+         static int acc = 0;\n\
+         int x = 0;\n\
+         if (g > 0) { x = size; } else { x = port; }\n\
+         acc = acc + x;\n\
+         g = g + 1;\n\
+         return acc;",
+    );
+    let MergeClass::Opaque { reason, .. } = class_of(&plan, "acc") else {
+        panic!("path-dependent delta must be opaque: {plan:#?}");
+    };
+    assert!(reason.contains("depends on static state"), "{reason}");
+    // The bump after the rejoin is path-independent and stays a counter.
+    assert_eq!(class_of(&plan, "g"), &MergeClass::Counter, "{plan:#?}");
+
+    // Converse precision: the same shape under an input-only condition
+    // picks the delta from the event alone — still a mergeable counter.
+    let plan = merge_plan(
+        "static int acc = 0;\n\
+         int x = 0;\n\
+         if (size > 0) { x = size; } else { x = port; }\n\
+         acc = acc + x;\n\
+         return acc;",
+    );
+    assert_eq!(class_of(&plan, "acc"), &MergeClass::Counter, "{plan:#?}");
+}
+
 #[test]
 fn m0001_opaque_slot_golden() {
     // Hand-written Opaque program: the increment is gated on the
@@ -735,6 +770,7 @@ enum Role {
 struct MergeGen {
     rng: Rng,
     statics: Vec<(String, Role)>,
+    next_local: u32,
 }
 
 impl MergeGen {
@@ -742,6 +778,7 @@ impl MergeGen {
         MergeGen {
             rng: Rng::new(seed),
             statics: Vec::new(),
+            next_local: 0,
         }
     }
 
@@ -848,12 +885,31 @@ impl MergeGen {
                 Role::Poison => {
                     let j = self.rng.below(self.statics.len() as u64) as usize;
                     let t = self.statics[j].0.clone();
-                    if self.rng.below(2) == 0 {
-                        // Static copy: must classify Opaque.
-                        src.push_str(&format!("{s} = {t} + 1;\n"));
-                    } else {
-                        // Control dependence on static state: Opaque.
-                        src.push_str(&format!("if ({t} > 0) {{ {s} = {s} + 1; }}\n"));
+                    match self.rng.below(3) {
+                        0 => {
+                            // Static copy: must classify Opaque.
+                            src.push_str(&format!("{s} = {t} + 1;\n"));
+                        }
+                        1 => {
+                            // Control dependence on static state: Opaque.
+                            src.push_str(&format!("if ({t} > 0) {{ {s} = {s} + 1; }}\n"));
+                        }
+                        _ => {
+                            // Join laundering: both arms assign the local
+                            // input-only values that abstract equal, but
+                            // the value picked depends on the static
+                            // branch — the later bump is path-dependent
+                            // and the classifier must call it Opaque.
+                            let k = self.next_local;
+                            self.next_local += 1;
+                            let e1 = self.input_expr(1);
+                            let e2 = self.input_expr(1);
+                            src.push_str(&format!(
+                                "int p{k} = 0;\n\
+                                 if ({t} > 0) {{ p{k} = {e1}; }} else {{ p{k} = {e2}; }}\n\
+                                 {s} = {s} + p{k};\n"
+                            ));
+                        }
                     }
                 }
             }

@@ -14,6 +14,8 @@
 //! silently fall back to one instance — correctness never depends on
 //! the caller checking the plan first.
 
+use std::cell::RefCell;
+
 use ecode::{Instance, MergeError, MergePlan, Type, Value as EValue, VerifyLimits, VerifyReport};
 use pbio::{FieldType, Schema, Value};
 
@@ -68,6 +70,12 @@ pub struct ShardedDigest {
     skipped: u64,
     fuel_spent: u64,
     aborted: u64,
+    /// Lazily computed fold of the replicas, invalidated on ingest.
+    /// `merged()`/`merged_global()` sit on the stats/query path and are
+    /// typically called several times between ingests; one fold serves
+    /// them all. `RefCell` is safe here: simulated crates are
+    /// single-threaded by construction (analyzer rule D0004).
+    merged_cache: RefCell<Option<Instance>>,
 }
 
 /// Deterministic 64-bit FNV-1a over the key's little-endian bytes.
@@ -135,6 +143,7 @@ impl ShardedDigest {
             skipped: 0,
             fuel_spent: 0,
             aborted: 0,
+            merged_cache: RefCell::new(None),
         })
     }
 
@@ -184,6 +193,8 @@ impl ShardedDigest {
             self.inputs.push(v);
         }
         let shard = self.shard_of(key);
+        // The replica's statics are about to change; drop the stale fold.
+        self.merged_cache.get_mut().take();
         // Statics persist across records — that is the point of a digest.
         match self.shards[shard].run(&self.inputs, self.fuel_bound) {
             Ok(out) => self.fuel_spent += out.fuel_used,
@@ -211,16 +222,36 @@ impl ShardedDigest {
             // replica needs no folding.
             return Ok(self.shards[0].clone());
         }
+        self.ensure_merged()?;
+        Ok(self
+            .merged_cache
+            .borrow()
+            .as_ref()
+            .expect("ensure_merged filled the cache")
+            .clone())
+    }
+
+    /// Runs the K-shard fold into the cache unless it is already fresh.
+    fn ensure_merged(&self) -> Result<(), MergeError> {
+        if self.merged_cache.borrow().is_some() {
+            return Ok(());
+        }
         let mut acc = Instance::new(&self.program);
         for shard in &self.shards {
             acc.merge_from(shard, &self.plan)?;
         }
-        Ok(acc)
+        *self.merged_cache.borrow_mut() = Some(acc);
+        Ok(())
     }
 
-    /// Reads a static variable of the *merged* state by name.
+    /// Reads a static variable of the *merged* state by name. Repeated
+    /// reads between ingests share one fold via the cache.
     pub fn merged_global(&self, name: &str) -> Option<EValue> {
-        self.merged().ok()?.global(name)
+        if self.shards.len() == 1 {
+            return self.shards[0].global(name);
+        }
+        self.ensure_merged().ok()?;
+        self.merged_cache.borrow().as_ref()?.global(name)
     }
 
     /// Current evaluation statistics.
@@ -311,6 +342,20 @@ mod tests {
         let stats = d.stats();
         assert_eq!(stats.requested_shards, 8);
         assert_eq!(stats.shards, 1);
+    }
+
+    #[test]
+    fn merged_cache_invalidates_on_ingest() {
+        let schema = schema();
+        let mut d = ShardedDigest::compile(MERGEABLE, &schema, 4).unwrap();
+        d.ingest(1, &[Value::U64(5), Value::U64(80)]);
+        assert_eq!(d.merged_global("count"), Some(EValue::Int(1)));
+        // Second read between ingests is served by the cached fold.
+        assert_eq!(d.merged_global("bytes"), Some(EValue::Int(5)));
+        // A new record must drop the stale fold.
+        d.ingest(2, &[Value::U64(7), Value::U64(9000)]);
+        assert_eq!(d.merged_global("count"), Some(EValue::Int(2)));
+        assert_eq!(d.merged_global("bytes"), Some(EValue::Int(12)));
     }
 
     #[test]
