@@ -7,6 +7,7 @@
 #   ./ci.sh --analyze    only the static-analysis gate (fast pre-commit check)
 #   ./ci.sh --scenarios  only the scenario library: tests + bench smoke
 #   ./ci.sh --merge      only the shard-safety analysis + sharded evaluation path
+#   ./ci.sh --digest     only the digest plane: digest tests + sharded bench smoke
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -40,6 +41,26 @@ if [[ "${1:-}" == "--scenarios" ]]; then
     cargo test -q --test scenarios
     run_scenario_bench_smoke
     echo "SCENARIOS OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--digest" ]]; then
+    # Fast path while iterating on the parallel digest plane: the
+    # digest fold + worker lifecycle + proptest suite, the GPA wiring,
+    # the kvstore differential, and a short hotpath bench run that
+    # exercises the sharded arms — skips fmt/clippy/miri and the full
+    # suite.
+    echo "==> sharded digest plane (pubsub)"
+    cargo test -q -p pubsub digest
+    echo "==> GPA digest wiring (core)"
+    cargo test -q -p sysprof digest
+    echo "==> sharded GPA end-to-end (kvstore differential)"
+    cargo test -q --test sharded_gpa
+    echo "==> bench smoke (hot path incl. sharded digest arms)"
+    cargo run -q --release -p sysprof-bench --bin hotpath -- --smoke \
+        --min-speedup 0.5 --out target/BENCH_hotpath_smoke.json
+    test -s target/BENCH_hotpath_smoke.json
+    echo "DIGEST OK"
     exit 0
 fi
 
@@ -91,7 +112,11 @@ echo "==> bench smoke (hot path)"
 # release mode and self-validates the JSON report it writes (the binary
 # exits nonzero on a malformed file). Uses a scratch path so the committed
 # BENCH_hotpath.json baseline is only ever refreshed deliberately.
-cargo run -q --release -p sysprof-bench --bin hotpath -- --smoke --out target/BENCH_hotpath_smoke.json
+# The speedup floor is deliberately loose for a 400k-event smoke run
+# (scheduler noise swings short runs +/-25%): 0.5x of the committed
+# baseline still fails CI on any real regression of the hot path.
+cargo run -q --release -p sysprof-bench --bin hotpath -- --smoke \
+    --min-speedup 0.5 --out target/BENCH_hotpath_smoke.json
 test -s target/BENCH_hotpath_smoke.json
 
 run_scenario_bench_smoke

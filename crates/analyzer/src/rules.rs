@@ -433,7 +433,9 @@ fn d0004(file: &Path, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
     for i in 0..t.len() {
         let Some(name) = ident(t, i) else { continue };
         let hit = (name == "thread" && is_path_sep(t, i + 1) && ident(t, i + 3) == Some("spawn"))
+            || (name == "thread" && is_path_sep(t, i + 1) && ident(t, i + 3) == Some("Builder"))
             || (name == "sync" && is_path_sep(t, i + 1) && ident(t, i + 3) == Some("atomic"))
+            || name == "crossbeam"
             || (name.starts_with("Atomic")
                 && name.len() > "Atomic".len()
                 && name.as_bytes()["Atomic".len()].is_ascii_uppercase());
@@ -732,6 +734,13 @@ fn f(v: &[u8]) -> u8 {
             codes("static N: AtomicU64 = AtomicU64::new(0);"),
             vec!["D0004"]
         );
+        // Named-thread spawns and channel crates are the same escape
+        // hatch as a bare `thread::spawn`.
+        assert_eq!(
+            codes("let b = std::thread::Builder::new().name(n.into());"),
+            vec!["D0004"]
+        );
+        assert_eq!(codes("use crossbeam::channel::bounded;"), vec!["D0004"]);
     }
 
     #[test]

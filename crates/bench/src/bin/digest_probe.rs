@@ -1,0 +1,217 @@
+//! Micro-probe for the digest plane's cost components. Not part of CI;
+//! a scratch tool for tuning the sharded digest (see `hotpath` for the
+//! tracked numbers).
+
+use std::time::Instant;
+
+use sysprof_bench::hotpath::{compile_digest, pump_digest_stream, DigestStream};
+
+/// Total (voluntary, involuntary) context switches across all threads.
+fn ctx_switches() -> (u64, u64) {
+    let mut v = 0;
+    let mut iv = 0;
+    if let Ok(tasks) = std::fs::read_dir("/proc/self/task") {
+        for t in tasks.flatten() {
+            if let Ok(s) = std::fs::read_to_string(t.path().join("status")) {
+                for line in s.lines() {
+                    let num = || {
+                        line.split_whitespace()
+                            .nth(1)
+                            .and_then(|x| x.parse::<u64>().ok())
+                            .unwrap_or(0)
+                    };
+                    if line.starts_with("voluntary_ctxt_switches") {
+                        v += num();
+                    } else if line.starts_with("nonvoluntary_ctxt_switches") {
+                        iv += num();
+                    }
+                }
+            }
+        }
+    }
+    (v, iv)
+}
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000);
+    let stream = DigestStream::generate(n);
+
+    // Hash-only loop: how much of the budget is FNV-1a + dispatch math.
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for &k in &stream.keys {
+        acc = acc.wrapping_add(k.wrapping_mul(0x100000001b3));
+    }
+    println!(
+        "key loop: {:.1} ns/rec (acc {acc})",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+
+    for shards in [1usize, 8] {
+        let mut d = compile_digest(shards);
+        pump_digest_stream(&mut d, &DigestStream::generate(n / 10));
+        let mut d = compile_digest(shards);
+        let c0 = ctx_switches();
+        let t = Instant::now();
+        let g = pump_digest_stream(&mut d, &stream);
+        let el = t.elapsed();
+        let c1 = ctx_switches();
+        println!(
+            "shards={shards}: {:.1} ns/rec ({:.2}M rec/s), ctxsw +{}/+{}, globals {g:?}",
+            el.as_nanos() as f64 / n as f64,
+            n as f64 / el.as_secs_f64() / 1e6,
+            c1.0 - c0.0,
+            c1.1 - c0.1,
+        );
+    }
+
+    // Raw vectorized evaluator: upper bound on worker-side throughput.
+    {
+        use ecode::{BatchEval, Instance, VerifyLimits};
+        use sysprof_bench::hotpath::DIGEST_PROGRAM;
+        let schema = sysprof::InteractionRecord::schema();
+        let inputs: Vec<(&str, ecode::Type)> = schema
+            .fields()
+            .iter()
+            .map(|f| (f.name.as_str(), ecode::Type::Int))
+            .collect();
+        let verified = ecode::verify(
+            DIGEST_PROGRAM,
+            &inputs,
+            &VerifyLimits::with_max_fuel(10_000),
+        )
+        .unwrap();
+        let (program, report) = verified.into_parts();
+        let mut be = BatchEval::try_compile(&program, &report.merge_plan, 10_000)
+            .expect("digest program vectorizes");
+        let mut inst = Instance::new(&program);
+        let rows = 1024usize;
+        let used = program.used_inputs();
+        let cols_data: Vec<Vec<i64>> = (0..18)
+            .map(|c| {
+                if used[c] {
+                    (0..rows).map(|r| ((r * 37 + c) % 1000) as i64).collect()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let cols: Vec<&[i64]> = cols_data.iter().map(|c| c.as_slice()).collect();
+        let iters = (n as usize / rows).max(1);
+        let t = Instant::now();
+        let mut fuel = 0u64;
+        for _ in 0..iters {
+            fuel += be.run(&mut inst, &cols, rows);
+        }
+        let el = t.elapsed();
+        println!(
+            "raw BatchEval: {:.1} ns/rec (fuel {fuel})",
+            el.as_nanos() as f64 / (iters * rows) as f64
+        );
+    }
+
+    // Channel-free coordinator simulation: hash + dispatch + column
+    // pushes into 8 shard builders, recycling in place of sending.
+    {
+        struct Fake {
+            cols: [Vec<i64>; 4],
+            rows: usize,
+        }
+        let mut builders: Vec<Fake> = (0..8)
+            .map(|_| Fake {
+                cols: std::array::from_fn(|_| Vec::with_capacity(1024)),
+                rows: 0,
+            })
+            .collect();
+        let fields = [8usize, 10, 12, 13];
+        let mut shard_ids: Vec<u8> = Vec::new();
+        let mut sunk = 0u64;
+        let t = Instant::now();
+        for (keys, rows) in stream
+            .keys
+            .chunks(4096)
+            .zip(stream.rows.chunks(4096 * DigestStream::STRIDE))
+        {
+            shard_ids.clear();
+            shard_ids.extend(keys.iter().map(|&k| {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in k.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                (h % 8) as u8
+            }));
+            let mut off = 0;
+            for &s in &shard_ids {
+                let row = &rows[off..off + DigestStream::STRIDE];
+                off += DigestStream::STRIDE;
+                let b = &mut builders[s as usize];
+                for (c, &f) in b.cols.iter_mut().zip(&fields) {
+                    c.push(row[f]);
+                }
+                b.rows += 1;
+                if b.rows >= 1024 {
+                    for c in &mut b.cols {
+                        sunk += c.iter().sum::<i64>() as u64;
+                        c.clear();
+                    }
+                    b.rows = 0;
+                }
+            }
+        }
+        println!(
+            "coordinator sim: {:.1} ns/rec (sunk {sunk})",
+            t.elapsed().as_nanos() as f64 / n as f64
+        );
+    }
+
+    // Split ingest vs barrier, across batch sizes.
+    use pubsub::digest::{DigestConfig, ShardedDigest};
+    use sysprof::InteractionRecord;
+    use sysprof_bench::hotpath::DIGEST_PROGRAM;
+    for flush_rows in [1024usize, 2048, 4096, 8192, 16384] {
+        let compile = || {
+            ShardedDigest::compile_with(
+                DIGEST_PROGRAM,
+                &InteractionRecord::schema(),
+                8,
+                DigestConfig { flush_rows },
+            )
+            .unwrap()
+        };
+        let chunk = 4096usize;
+        let pump = |d: &mut ShardedDigest, s: &DigestStream| {
+            for (keys, rows) in s
+                .keys
+                .chunks(chunk)
+                .zip(s.rows.chunks(chunk * DigestStream::STRIDE))
+            {
+                d.ingest_raw_rows(keys, rows);
+            }
+        };
+        let mut d = compile();
+        pump(&mut d, &DigestStream::generate(n / 10));
+        let _ = d.merged();
+        let mut d = compile();
+        let c0 = ctx_switches();
+        let t = Instant::now();
+        pump(&mut d, &stream);
+        let ingest = t.elapsed();
+        let t = Instant::now();
+        let m = d.merged().unwrap();
+        let barrier = t.elapsed();
+        let c1 = ctx_switches();
+        println!(
+            "flush_rows={flush_rows}: ingest {:.1} ns/rec, barrier {:.1} ns/rec, ctxsw +{}/+{} ({} total ms), count={:?}",
+            ingest.as_nanos() as f64 / n as f64,
+            barrier.as_nanos() as f64 / n as f64,
+            c1.0 - c0.0,
+            c1.1 - c0.1,
+            (ingest + barrier).as_millis(),
+            m.global("requests"),
+        );
+    }
+}

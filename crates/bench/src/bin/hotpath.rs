@@ -17,7 +17,8 @@ use std::time::Instant;
 use serde::Serialize;
 use simcore::SimDuration;
 use sysprof_bench::hotpath::{
-    pump_digest, HotPipeline, HotpathCounters, BASELINE_EVENTS_PER_SEC, DIGEST_GLOBALS,
+    compile_digest, pump_digest, pump_digest_stream, DigestStream, HotPipeline, HotpathCounters,
+    BASELINE_EVENTS_PER_SEC, DIGEST_GLOBALS,
 };
 use sysprof_bench::{exp_e1_linpack, exp_e2_iperf, exp_f6_dwcs};
 
@@ -58,6 +59,12 @@ struct Opts {
     events: Option<u64>,
     seed: u64,
     out: String,
+    /// Fail unless `speedup_vs_baseline` reaches this floor.
+    min_speedup: Option<f64>,
+    /// Fail unless `sharded_gpa.sharded_vs_seq` reaches this floor.
+    /// Defaults to 1.5 for full runs (the headline number this repo
+    /// gates on); smoke runs gate only when asked.
+    min_sharded: Option<f64>,
 }
 
 fn parse_args() -> Opts {
@@ -66,6 +73,8 @@ fn parse_args() -> Opts {
         events: None,
         seed: 42,
         out: "BENCH_hotpath.json".to_owned(),
+        min_speedup: None,
+        min_sharded: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -74,12 +83,20 @@ fn parse_args() -> Opts {
             "--events" => opts.events = args.next().and_then(|s| s.parse().ok()),
             "--seed" => opts.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(42),
             "--out" => opts.out = args.next().unwrap_or_else(|| "BENCH_hotpath.json".into()),
+            "--min-speedup" => opts.min_speedup = args.next().and_then(|s| s.parse().ok()),
+            "--min-sharded" => opts.min_sharded = args.next().and_then(|s| s.parse().ok()),
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: hotpath [--smoke] [--events N] [--seed N] [--out PATH]");
+                eprintln!(
+                    "usage: hotpath [--smoke] [--events N] [--seed N] [--out PATH] \
+                     [--min-speedup F] [--min-sharded F]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    if opts.min_sharded.is_none() && !opts.smoke {
+        opts.min_sharded = Some(1.5);
     }
     opts
 }
@@ -137,28 +154,79 @@ fn main() {
         let _ = exp_f6_dwcs(f6_dur, seed);
     });
 
-    // Sharded-GPA digest: the same record stream through a 1-replica
-    // and an 8-replica digest GPA. Single-threaded, so "sharded" mostly
-    // measures the dispatch + fold overhead the shard-safety analysis
-    // buys its parallelizability with; the correctness claim (merged
-    // statics bit-identical to sequential) is asserted, not trusted.
-    let digest_records = events / 8;
+    // Sharded-GPA digest: one pre-generated record stream (flow keys +
+    // raw rows) fed to a 1-replica digest and an 8-replica parallel
+    // digest plane through the identical `ingest_raw` entry point. Both
+    // timed arms end with the merge barrier, so the sharded arm pays
+    // its flush + drain + fold inside the measurement. The correctness
+    // claim (merged statics bit-identical to sequential) is asserted,
+    // not trusted. A cross-check against the full GPA ingest path keeps
+    // the direct arms honest about what they feed the digest.
+    let digest_records = events / 4;
     let shards = 8usize;
-    let t = Instant::now();
-    let seq_gpa = pump_digest(1, digest_records);
-    let seq_s = t.elapsed().as_secs_f64();
-    let t = Instant::now();
-    let sharded_gpa_run = pump_digest(shards, digest_records);
-    let sharded_s = t.elapsed().as_secs_f64();
-    let merged_bit_identical = DIGEST_GLOBALS
-        .iter()
-        .all(|name| seq_gpa.digest_global(name) == sharded_gpa_run.digest_global(name));
+    let stream = DigestStream::generate(digest_records);
+
+    // Warm both engines once (thread spawn, allocator pools) before the
+    // timed arms.
+    let mut warm = compile_digest(shards);
+    pump_digest_stream(&mut warm, &DigestStream::generate(digest_records / 10));
+    drop(warm);
+
+    // Best of five timed repetitions per arm: a single ~50 ms sample
+    // on a shared box is hostage to scheduler mood, and the fastest rep
+    // is the least-perturbed measurement of the engine itself. The arms
+    // alternate so slow drift (thermal, co-tenants) lands on both
+    // equally. Every rep starts from a fresh engine, and every rep's
+    // fold must be bit-identical to the previous ones — repetition for
+    // variance must not hide nondeterminism.
+    let mut seq_s = f64::INFINITY;
+    let mut sharded_s = f64::INFINITY;
+    let mut seq_globals: Vec<i64> = Vec::new();
+    let mut sharded_globals: Vec<i64> = Vec::new();
+    for _ in 0..5 {
+        let mut seq_digest = compile_digest(1);
+        let t = Instant::now();
+        let g = pump_digest_stream(&mut seq_digest, &stream);
+        seq_s = seq_s.min(t.elapsed().as_secs_f64());
+        assert!(
+            seq_globals.is_empty() || seq_globals == g,
+            "sequential digest replay diverged"
+        );
+        seq_globals = g;
+
+        let mut sharded_digest = compile_digest(shards);
+        let t = Instant::now();
+        let g = pump_digest_stream(&mut sharded_digest, &stream);
+        sharded_s = sharded_s.min(t.elapsed().as_secs_f64());
+        assert!(
+            sharded_globals.is_empty() || sharded_globals == g,
+            "sharded digest replay diverged"
+        );
+        sharded_globals = g;
+        let stats = sharded_digest.stats();
+        assert!(stats.sharded && stats.shards == shards, "{stats:?}");
+        assert_eq!(stats.events, digest_records, "{stats:?}");
+    }
+
+    let merged_bit_identical = seq_globals == sharded_globals;
     assert!(
         merged_bit_identical,
         "sharded digest fold diverged from sequential evaluation"
     );
-    let stats = sharded_gpa_run.digest_stats().expect("digest installed");
-    assert!(stats.sharded && stats.shards == shards, "{stats:?}");
+
+    // Cross-check: the GPA-level ingest path (records through
+    // `Gpa::ingest_record`) folds to the same statics the direct arms
+    // produced, on a slice of the stream.
+    let gpa = pump_digest(shards, digest_records.min(100_000));
+    let gpa_seq = pump_digest(1, digest_records.min(100_000));
+    for name in DIGEST_GLOBALS {
+        assert_eq!(
+            gpa.digest_global(name),
+            gpa_seq.digest_global(name),
+            "GPA ingest path diverged on {name}"
+        );
+    }
+
     let sharded_gpa = ShardedGpaBench {
         shards,
         records: digest_records,
@@ -171,6 +239,20 @@ fn main() {
         "  sharded gpa: {digest_records} records, seq {:.0}/s vs {shards}-shard {:.0}/s ({:.2}x), merged bit-identical",
         sharded_gpa.seq_records_per_sec, sharded_gpa.sharded_records_per_sec, sharded_gpa.sharded_vs_seq
     );
+    if let Some(floor) = opts.min_sharded {
+        assert!(
+            sharded_gpa.sharded_vs_seq >= floor,
+            "sharded digest speedup {:.2}x is below the {floor:.2}x floor",
+            sharded_gpa.sharded_vs_seq
+        );
+    }
+    if let Some(floor) = opts.min_speedup {
+        assert!(
+            events_per_sec / BASELINE_EVENTS_PER_SEC >= floor,
+            "hot-path speedup {:.2}x vs baseline is below the {floor:.2}x floor",
+            events_per_sec / BASELINE_EVENTS_PER_SEC
+        );
+    }
 
     let report = BenchReport {
         bench: "hotpath",

@@ -17,12 +17,15 @@ use simcore::{NodeId, SimTime};
 use simnet::{EndPoint, FlowKey, Ip, PacketId, Port};
 use sysprof::{CpaAnalyzer, Gpa, GpaConfig, InteractionRecord};
 
-/// Throughput of the unoptimized hot path (events/sec, release mode) on
-/// the reference machine, measured at the seed commit of this PR before
-/// the dispatch-table / block-fuel / shared-buffer changes landed
-/// (median of three 4M-event runs: 11.6–12.7M events/sec). The `hotpath`
-/// binary reports current throughput relative to this number.
-pub const BASELINE_EVENTS_PER_SEC: f64 = 12_000_000.0;
+/// Reference throughput of the hot path (events/sec, release mode),
+/// refreshed on the current container hardware after the parallel
+/// digest plane landed (full 4M-event runs measure 24–28M events/sec;
+/// this is the conservative end). The `hotpath` binary reports current
+/// throughput relative to this number, and CI's smoke run enforces a
+/// floor against it so a silent regression fails instead of drifting
+/// into stale documentation. History: the pre-optimization seed
+/// measured 11.6–12.7M events/sec on the same hardware.
+pub const BASELINE_EVENTS_PER_SEC: f64 = 24_000_000.0;
 
 /// The E-Code program the pipeline's CPA runs on every matching event.
 const CPA_PROGRAM: &str = r#"
@@ -96,6 +99,82 @@ pub fn pump_digest(shards: usize, n: u64) -> Gpa {
         gpa.ingest_record(&synth_record(i));
     }
     gpa
+}
+
+/// A pre-generated digest input stream: per-record flow keys and raw
+/// rows ([`InteractionRecord::to_raw_row`] form, stride
+/// [`DigestStream::STRIDE`]), so the timed digest loop measures
+/// ingestion and evaluation — not synthetic record generation.
+pub struct DigestStream {
+    /// Flow partition key of record `i` (`flow_shard_key`).
+    pub keys: Vec<u64>,
+    /// Raw rows, `STRIDE` values per record, back to back.
+    pub rows: Vec<i64>,
+}
+
+impl DigestStream {
+    /// Values per raw row: one per interaction schema field.
+    pub const STRIDE: usize = 18;
+
+    /// Pre-generates the first `n` [`synth_record`]s in raw-row form.
+    pub fn generate(n: u64) -> DigestStream {
+        let mut keys = Vec::with_capacity(n as usize);
+        let mut rows = Vec::with_capacity(n as usize * Self::STRIDE);
+        let mut row = Vec::with_capacity(Self::STRIDE);
+        for i in 0..n {
+            let rec = synth_record(i);
+            rec.to_raw_row(&mut row);
+            debug_assert_eq!(row.len(), Self::STRIDE);
+            keys.push(sysprof::flow_shard_key(&rec));
+            rows.extend_from_slice(&row);
+        }
+        DigestStream { keys, rows }
+    }
+
+    /// Number of records in the stream.
+    pub fn len(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    /// Whether the stream holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Compiles [`DIGEST_PROGRAM`] against the interaction schema for
+/// `shards` replicas — the digest the timed arms below ingest into.
+pub fn compile_digest(shards: usize) -> pubsub::digest::ShardedDigest {
+    pubsub::digest::ShardedDigest::compile(DIGEST_PROGRAM, &InteractionRecord::schema(), shards)
+        .expect("static digest verifies")
+}
+
+/// Records per `ingest_raw_rows` call in the digest bench arms — the
+/// "wire delivery" granularity both arms share.
+pub const DIGEST_CHUNK: usize = 4096;
+
+/// The timed body of one digest bench arm: ingests every record of the
+/// stream in [`DIGEST_CHUNK`]-sized row batches and runs the merge
+/// barrier, so a sharded digest pays its flush + drain + fold inside
+/// the measurement, exactly as a report boundary would. Returns the
+/// merged statics' raw bits (used to assert sequential/sharded
+/// bit-identity without trusting either arm).
+pub fn pump_digest_stream(
+    digest: &mut pubsub::digest::ShardedDigest,
+    stream: &DigestStream,
+) -> Vec<i64> {
+    for (keys, rows) in stream
+        .keys
+        .chunks(DIGEST_CHUNK)
+        .zip(stream.rows.chunks(DIGEST_CHUNK * DigestStream::STRIDE))
+    {
+        digest.ingest_raw_rows(keys, rows);
+    }
+    digest
+        .merged()
+        .expect("digest statics fold")
+        .raw_globals()
+        .to_vec()
 }
 
 /// How many emitted events make one published record / sealed batch.

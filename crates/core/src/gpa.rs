@@ -211,14 +211,18 @@ pub struct Gpa {
     /// Optional sharded digest evaluated over every ingested interaction
     /// record (the first slice of the sharded GPA).
     digest: Option<ShardedDigest>,
+    /// Reusable scratch row for the digest's raw ingest path.
+    digest_row: Vec<i64>,
 }
 
 /// Deterministic digest partition key for an interaction: both
 /// endpoints of the flow, mixed so that src/dst asymmetry matters. The
 /// digest hashes this again (FNV-1a) for shard placement; all that is
 /// required here is that the key is a pure function of the flow, so a
-/// flow's records always land on the same replica.
-fn flow_shard_key(rec: &InteractionRecord) -> u64 {
+/// flow's records always land on the same replica. Public so benches
+/// driving a `ShardedDigest` directly dispatch records exactly as the
+/// GPA would.
+pub fn flow_shard_key(rec: &InteractionRecord) -> u64 {
     let ep = |e: &EndPoint| ((e.ip.0 as u64) << 16) | e.port.0 as u64;
     ep(&rec.flow.src).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ ep(&rec.flow.dst)
 }
@@ -241,6 +245,7 @@ impl Gpa {
             decode_failures: 0,
             subscription_failures: Vec::new(),
             digest: None,
+            digest_row: Vec::new(),
         }
     }
 
@@ -276,8 +281,26 @@ impl Gpa {
 
     /// Feeds one interaction record directly (bypassing the wire path);
     /// used by tests and benches that already hold decoded records.
+    /// Skips PBIO `Value` marshalling entirely: the digest sees the
+    /// record as a raw column row.
     pub fn ingest_record(&mut self, rec: &InteractionRecord) {
-        self.ingest_values(&rec.to_values());
+        self.ingest_interaction(*rec);
+    }
+
+    /// Feeds a batch of interaction records and then flushes any
+    /// partially-filled digest batches to their shard workers, so the
+    /// batch boundary the caller sees (one daemon delivery, one bench
+    /// chunk) is also a digest pipeline boundary.
+    pub fn ingest_records<'a, I>(&mut self, recs: I)
+    where
+        I: IntoIterator<Item = &'a InteractionRecord>,
+    {
+        for rec in recs {
+            self.ingest_interaction(*rec);
+        }
+        if let Some(digest) = self.digest.as_mut() {
+            digest.flush();
+        }
     }
 
     /// Runs one wire batch from a daemon through the reliability layer:
@@ -438,28 +461,20 @@ impl Gpa {
                 Err(_) => self.decode_failures += 1,
             }
         }
+        // One daemon delivery is one digest pipeline boundary: ship any
+        // partial per-shard batches so records never linger in builders
+        // while the GPA waits for the next wire batch.
+        if count > 0 {
+            if let Some(digest) = self.digest.as_mut() {
+                digest.flush();
+            }
+        }
         count
     }
 
     fn ingest_values(&mut self, values: &[pbio::Value]) {
         if let Some(rec) = InteractionRecord::from_values(values) {
-            self.ingested += 1;
-            if let Some(digest) = self.digest.as_mut() {
-                digest.ingest(flow_shard_key(&rec), values);
-            }
-            let aggr = self.by_class.entry((rec.node, rec.class_port)).or_default();
-            aggr.kernel_in.record(rec.kernel_in_us as f64);
-            aggr.user.record(rec.user_us as f64);
-            aggr.kernel_out.record(rec.kernel_out_us as f64);
-            aggr.blocked.record(rec.blocked_us as f64);
-            aggr.total
-                .record(rec.end_us.saturating_sub(rec.start_us) as f64);
-            aggr.total_hist
-                .record(rec.end_us.saturating_sub(rec.start_us) as f64);
-            if self.records.len() >= self.config.max_records {
-                self.records.remove(0);
-            }
-            self.records.push(rec);
+            self.ingest_interaction(rec);
         } else if let Some(load) = LoadRecord::from_values(values) {
             self.ingested += 1;
             let (stats, n) = self.load_stats.entry(load.node).or_default();
@@ -470,6 +485,29 @@ impl Gpa {
         } else {
             self.decode_failures += 1;
         }
+    }
+
+    /// The single interaction ingest path behind both the wire decoder
+    /// and the direct record entry points.
+    fn ingest_interaction(&mut self, rec: InteractionRecord) {
+        self.ingested += 1;
+        if let Some(digest) = self.digest.as_mut() {
+            rec.to_raw_row(&mut self.digest_row);
+            digest.ingest_raw(flow_shard_key(&rec), &self.digest_row);
+        }
+        let aggr = self.by_class.entry((rec.node, rec.class_port)).or_default();
+        aggr.kernel_in.record(rec.kernel_in_us as f64);
+        aggr.user.record(rec.user_us as f64);
+        aggr.kernel_out.record(rec.kernel_out_us as f64);
+        aggr.blocked.record(rec.blocked_us as f64);
+        aggr.total
+            .record(rec.end_us.saturating_sub(rec.start_us) as f64);
+        aggr.total_hist
+            .record(rec.end_us.saturating_sub(rec.start_us) as f64);
+        if self.records.len() >= self.config.max_records {
+            self.records.remove(0);
+        }
+        self.records.push(rec);
     }
 
     /// Interaction records ingested so far.

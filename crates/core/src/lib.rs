@@ -75,8 +75,8 @@ pub use daemon::{
 };
 pub use deploy::{MonitorConfig, SysProf};
 pub use gpa::{
-    ClassSummary, ControlReplySink, CorrelatedPath, Gpa, GpaConfig, GpaSink, GpaStats,
-    NodeLoadView, SubscriptionFailure,
+    flow_shard_key, ClassSummary, ControlReplySink, CorrelatedPath, Gpa, GpaConfig, GpaSink,
+    GpaStats, NodeLoadView, SubscriptionFailure,
 };
 pub use lpa::{Lpa, LpaConfig};
 pub use query::{GpaAnswer, GpaQuery, GpaQuerySink, QueryClient, QUERY_PORT, QUERY_REPLY_PORT};

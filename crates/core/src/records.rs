@@ -111,6 +111,36 @@ impl InteractionRecord {
         ]
     }
 
+    /// Encodes as a raw digest row: one `i64` per schema field, in
+    /// schema order, holding the same bits [`to_values`](Self::to_values)
+    /// would produce (all interaction fields are unsigned integers, so
+    /// the raw value is just the width-extended count). This is the
+    /// allocation-free hot-path form `ShardedDigest::ingest_raw`
+    /// consumes; `out` is a reusable scratch buffer.
+    pub fn to_raw_row(&self, out: &mut Vec<i64>) {
+        out.clear();
+        out.extend_from_slice(&[
+            self.node.0 as i64,
+            self.flow.src.ip.0 as i64,
+            self.flow.src.port.0 as i64,
+            self.flow.dst.ip.0 as i64,
+            self.flow.dst.port.0 as i64,
+            self.class_port.0 as i64,
+            self.pid as i64,
+            self.start_us as i64,
+            self.end_us as i64,
+            self.req_packets as i64,
+            self.req_bytes as i64,
+            self.resp_packets as i64,
+            self.resp_bytes as i64,
+            self.kernel_in_us as i64,
+            self.user_us as i64,
+            self.kernel_out_us as i64,
+            self.blocked_us as i64,
+            self.blocked_io_us as i64,
+        ]);
+    }
+
     /// Decodes from PBIO values.
     ///
     /// Returns `None` if the values do not match the schema shape.

@@ -99,6 +99,20 @@ impl Program {
     pub fn static_fuel_bound(&self) -> u64 {
         crate::analysis::fuel::max_fuel(&self.code)
     }
+
+    /// Which declared inputs the compiled code actually reads
+    /// (`used[i]` for input position `i`). Hosts that marshal inputs
+    /// per event can skip materializing unused ones — the VM never
+    /// inspects their values.
+    pub fn used_inputs(&self) -> Vec<bool> {
+        let mut used = vec![false; self.inputs.len()];
+        for op in &self.code {
+            if let Op::LoadInput(i) = op {
+                used[*i as usize] = true;
+            }
+        }
+        used
+    }
 }
 
 /// Type-checks and code-generates an already-parsed program. Shared by

@@ -69,10 +69,13 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod batch;
 mod compile;
 mod lexer;
 mod parser;
 mod vm;
+
+pub use batch::BatchEval;
 
 pub use analysis::{
     verify, Diagnostic, MergeClass, MergePlan, MinMaxOp, Severity, SlotPlan, Verified, VerifyError,

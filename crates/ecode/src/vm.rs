@@ -613,7 +613,8 @@ impl Instance {
     ///   deactivated by the controller when this happens).
     /// * [`EcodeError::DivideByZero`] on integer division/modulo by zero.
     pub fn run(&mut self, inputs: &[Value], fuel: u64) -> Result<RunOutcome<'_>, EcodeError> {
-        self.run_metered(inputs, fuel, false)
+        self.marshal(inputs)?;
+        self.run_metered(fuel, false)
     }
 
     /// Reference metering path: charges and checks fuel before every
@@ -625,15 +626,37 @@ impl Instance {
         inputs: &[Value],
         fuel: u64,
     ) -> Result<RunOutcome<'_>, EcodeError> {
-        self.run_metered(inputs, fuel, true)
+        self.marshal(inputs)?;
+        self.run_metered(fuel, true)
     }
 
-    fn run_metered(
-        &mut self,
-        inputs: &[Value],
-        fuel: u64,
-        force_per_op: bool,
-    ) -> Result<RunOutcome<'_>, EcodeError> {
+    /// Runs the program over pre-marshalled raw input bits, skipping the
+    /// per-value type check. The caller owns the contract [`run`] enforces
+    /// dynamically: `raw[i]` must hold the bit pattern of declared input
+    /// `i` (ints/bools as-is, doubles via `f64::to_bits`). Hot ingest
+    /// paths that produce columns of raw bits use this to avoid building
+    /// `Value`s per record.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Instance::run), except `BadInputs` only triggers on
+    /// a length mismatch.
+    pub fn run_raw(&mut self, raw: &[i64], fuel: u64) -> Result<RunOutcome<'_>, EcodeError> {
+        if raw.len() != self.program.inputs.len() {
+            return Err(EcodeError::BadInputs(format!(
+                "expected {} inputs, got {}",
+                self.program.inputs.len(),
+                raw.len()
+            )));
+        }
+        self.raw_inputs.clear();
+        self.raw_inputs.extend_from_slice(raw);
+        self.run_metered(fuel, false)
+    }
+
+    /// One pass validates input types and marshals the raw bits into the
+    /// reusable `raw_inputs` arena.
+    fn marshal(&mut self, inputs: &[Value]) -> Result<(), EcodeError> {
         if inputs.len() != self.program.inputs.len() {
             return Err(EcodeError::BadInputs(format!(
                 "expected {} inputs, got {}",
@@ -641,6 +664,27 @@ impl Instance {
                 inputs.len()
             )));
         }
+        self.raw_inputs.clear();
+        for (v, (name, ty)) in inputs.iter().zip(self.program.inputs.iter()) {
+            if v.ty() != *ty {
+                return Err(EcodeError::BadInputs(format!(
+                    "input {name:?} expects {ty:?}, got {:?}",
+                    v.ty()
+                )));
+            }
+            self.raw_inputs.push(v.raw());
+        }
+        Ok(())
+    }
+
+    /// Direct mutable view of the static (global) slots, for the batch
+    /// evaluator's masked reductions. Crate-internal: external callers go
+    /// through [`raw_globals`](Instance::raw_globals) / `merge_from`.
+    pub(crate) fn globals_mut(&mut self) -> &mut [i64] {
+        &mut self.globals
+    }
+
+    fn run_metered(&mut self, fuel: u64, force_per_op: bool) -> Result<RunOutcome<'_>, EcodeError> {
         // Split borrows: the arenas are reused across runs, so after the
         // first run this path performs no heap allocation.
         let Instance {
@@ -656,17 +700,6 @@ impl Instance {
             raw_inputs,
             outputs,
         } = self;
-        // One pass validates input types and marshals the raw bits.
-        raw_inputs.clear();
-        for (v, (name, ty)) in inputs.iter().zip(program.inputs.iter()) {
-            if v.ty() != *ty {
-                return Err(EcodeError::BadInputs(format!(
-                    "input {name:?} expects {ty:?}, got {:?}",
-                    v.ty()
-                )));
-            }
-            raw_inputs.push(v.raw());
-        }
         locals.clear();
         locals.resize(program.n_locals as usize, 0);
         stack.clear();

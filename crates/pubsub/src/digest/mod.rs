@@ -1,0 +1,797 @@
+//! Sharded digest evaluation: N replica instances of one E-Code
+//! program, partitioned by flow key, folded back with the program's
+//! [`MergePlan`].
+//!
+//! A *digest* is an E-Code program whose statics accumulate across
+//! every ingested record — unlike a subscription [`Filter`](crate::Hub),
+//! which resets its statics per record. When the verifier proves every
+//! static shard-safe ([`MergePlan::fully_mergeable`]), the digest runs
+//! as `shards` independent replicas, each owned by a dedicated worker
+//! thread (see [`plane`]); records are dispatched by a deterministic
+//! FNV-1a hash of their flow key into per-shard *columnar batches*
+//! (one column of raw input bits per program input), and the workers
+//! evaluate whole batches at a time — vectorized via
+//! [`ecode::BatchEval`] when the program admits it, scalar otherwise.
+//! [`ShardedDigest::merged`] quiesces the workers (flush + drain
+//! barrier) and folds the replicas into the exact statics a single
+//! sequential instance would hold. Programs with any
+//! `Opaque`/`LastWriteWins` slot silently fall back to one inline
+//! instance — no threads, no batching, no flow-key hashing —
+//! correctness never depends on the caller checking the plan first.
+//!
+//! Why thread scheduling cannot leak into results: batches reach each
+//! shard in ingest order over a FIFO channel, each shard's statics
+//! evolve only from its own stream, and the fold algebra is proven
+//! order-insensitive per slot — so the only nondeterminism threads add
+//! (who runs when) is invisible to the folded statics. DESIGN.md §11
+//! develops the full argument.
+
+mod plane;
+
+use std::cell::RefCell;
+
+use ecode::{Instance, MergeError, MergePlan, Type, Value as EValue, VerifyLimits, VerifyReport};
+use pbio::{FieldType, Schema, Value};
+
+use crate::PubSubError;
+use plane::Plane;
+
+/// Worst-case fuel a digest program may cost per record. Same budget as
+/// subscription filters: digests run on the GPA's ingest path, which is
+/// hot for exactly the same reason the publish path is.
+pub const DIGEST_FUEL_BUDGET: u64 = 10_000;
+
+/// Tuning knobs for the parallel digest plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestConfig {
+    /// Records buffered per shard before the batch ships to its worker.
+    /// The default amortizes worker wake-ups and dispatch overhead
+    /// across ~4k rows while keeping per-shard columns comfortably
+    /// inside L2; sizes past ~16k rows spill the builders out of cache
+    /// and cost more than the wake-ups they save.
+    pub flush_rows: usize,
+}
+
+impl Default for DigestConfig {
+    fn default() -> Self {
+        DigestConfig { flush_rows: 4096 }
+    }
+}
+
+/// Evaluation statistics, for overhead accounting and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestStats {
+    /// Shard count the caller asked for.
+    pub requested_shards: usize,
+    /// Shard count actually running (1 when the plan forced fallback).
+    pub shards: usize,
+    /// Whether the digest is running more than one replica.
+    pub sharded: bool,
+    /// Records ingested, total.
+    pub events: u64,
+    /// Records ingested per shard, in shard order.
+    pub per_shard_events: Vec<u64>,
+    /// Records skipped because their values did not match the schema
+    /// the digest was compiled against.
+    pub skipped: u64,
+    /// Total E-Code fuel burned (host converts to CPU cost).
+    pub fuel_spent: u64,
+    /// Runs that trapped at runtime (statics may be partially updated;
+    /// counted, not hidden).
+    pub aborted: u64,
+}
+
+/// The evaluation engine behind a digest.
+enum Engine {
+    /// One inline replica, evaluated on the caller's thread with the
+    /// scalar VM. Used for `shards == 1` and for non-mergeable
+    /// programs; pays no flow-key hash, no batching, no channels.
+    Single {
+        inst: Instance,
+        events: u64,
+        fuel_spent: u64,
+        aborted: u64,
+    },
+    /// K worker threads fed columnar batches. Behind a `RefCell` so
+    /// `&self` accessors (`merged`, `stats`) can run drain barriers.
+    Parallel(RefCell<Plane>),
+}
+
+/// A compiled digest program running as one or more shard replicas.
+///
+/// Records' numeric and boolean fields are visible to the program as
+/// E-Code inputs by field name, exactly like subscription filters;
+/// string/bytes fields are skipped.
+pub struct ShardedDigest {
+    program: ecode::Program,
+    plan: MergePlan,
+    engine: Engine,
+    requested_shards: usize,
+    n_schema_fields: usize,
+    /// Indices of the record fields that are program inputs, in input order.
+    field_indices: Vec<usize>,
+    /// Reusable program-input-ordered scratch row.
+    raw_row: Vec<i64>,
+    /// Statically proven worst-case fuel per evaluation.
+    fuel_bound: u64,
+    skipped: u64,
+    /// Lazily computed fold of the replicas, invalidated on ingest.
+    /// `merged()`/`merged_global()` sit on the stats/query path and are
+    /// typically called several times between ingests; one fold (and,
+    /// for the parallel engine, one drain barrier) serves them all.
+    merged_cache: RefCell<Option<Instance>>,
+}
+
+/// Deterministic 64-bit FNV-1a over the key's little-endian bytes.
+/// Chosen over `std` hashing because shard placement must be identical
+/// across runs, builds, and hosts (replay bit-stability).
+fn fnv1a(key: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Maps a placement hash onto `n` shards. Power-of-two counts (the
+/// common configuration) take a mask instead of a hardware divide —
+/// the divide's ~25-cycle latency is visible at digest ingest rates.
+fn place(h: u64, n: usize) -> usize {
+    if n.is_power_of_two() {
+        (h & (n as u64 - 1)) as usize
+    } else {
+        (h % n as u64) as usize
+    }
+}
+
+impl ShardedDigest {
+    /// Compiles `src` against `schema` and provisions replicas with the
+    /// default [`DigestConfig`].
+    ///
+    /// `shards` is the *requested* replica count; the digest actually
+    /// shards only when the verifier proves every static shard-safe.
+    /// The verification itself is ordinary (no `require_mergeable`):
+    /// non-mergeable digests are legal, they just run single-instance.
+    pub fn compile(
+        src: &str,
+        schema: &Schema,
+        shards: usize,
+    ) -> Result<ShardedDigest, PubSubError> {
+        Self::compile_with(src, schema, shards, DigestConfig::default())
+    }
+
+    /// [`compile`](ShardedDigest::compile) with explicit plane tuning.
+    pub fn compile_with(
+        src: &str,
+        schema: &Schema,
+        shards: usize,
+        config: DigestConfig,
+    ) -> Result<ShardedDigest, PubSubError> {
+        let mut inputs: Vec<(&str, Type)> = Vec::new();
+        let mut field_indices = Vec::new();
+        for (i, f) in schema.fields().iter().enumerate() {
+            let ty = match f.ty {
+                FieldType::U64 | FieldType::I64 => Type::Int,
+                FieldType::F64 => Type::Double,
+                FieldType::Bool => Type::Bool,
+                FieldType::Str | FieldType::Bytes => continue,
+            };
+            inputs.push((f.name.as_str(), ty));
+            field_indices.push(i);
+        }
+        let verified = ecode::verify(
+            src,
+            &inputs,
+            &VerifyLimits::with_max_fuel(DIGEST_FUEL_BUDGET),
+        )
+        .map_err(PubSubError::BadFilter)?;
+        let (program, report) = verified.into_parts();
+        let VerifyReport {
+            fuel_bound,
+            merge_plan,
+            ..
+        } = report;
+        let engine = if shards > 1 && merge_plan.fully_mergeable() {
+            Engine::Parallel(RefCell::new(Plane::spawn(
+                &program,
+                &merge_plan,
+                fuel_bound,
+                &field_indices,
+                shards,
+                config.flush_rows.max(1),
+            )))
+        } else {
+            Engine::Single {
+                inst: Instance::new(&program),
+                events: 0,
+                fuel_spent: 0,
+                aborted: 0,
+            }
+        };
+        Ok(ShardedDigest {
+            program,
+            plan: merge_plan,
+            engine,
+            requested_shards: shards,
+            n_schema_fields: schema.fields().len(),
+            field_indices,
+            raw_row: Vec::new(),
+            fuel_bound,
+            skipped: 0,
+            merged_cache: RefCell::new(None),
+        })
+    }
+
+    /// Whether the plan admitted more than one replica.
+    pub fn is_sharded(&self) -> bool {
+        self.shard_count() > 1
+    }
+
+    /// Number of replicas actually running.
+    pub fn shard_count(&self) -> usize {
+        match &self.engine {
+            Engine::Single { .. } => 1,
+            Engine::Parallel(p) => p.borrow().shards(),
+        }
+    }
+
+    /// The shard-safety classification the replica count was decided by.
+    pub fn plan(&self) -> &MergePlan {
+        &self.plan
+    }
+
+    /// Statically proven worst-case fuel per record.
+    pub fn fuel_bound(&self) -> u64 {
+        self.fuel_bound
+    }
+
+    /// Which shard a flow key lands on. Deterministic: identical across
+    /// runs and shard-local (a flow's records always meet the same
+    /// replica, so per-flow sequential semantics are preserved). The
+    /// single-replica engine never hashes — one shard needs no
+    /// placement.
+    pub fn shard_of(&self, key: u64) -> usize {
+        match self.shard_count() {
+            1 => 0,
+            n => place(fnv1a(key), n),
+        }
+    }
+
+    /// Feeds one record (dispatched by `key`) to its shard's replica.
+    ///
+    /// The parallel engine buffers the record into a columnar batch;
+    /// effects become observable at the next barrier
+    /// ([`merged`](ShardedDigest::merged) / [`stats`](ShardedDigest::stats)),
+    /// which is where batches are flushed and workers quiesced.
+    pub fn ingest(&mut self, key: u64, values: &[Value]) {
+        self.raw_row.clear();
+        for &i in &self.field_indices {
+            let v = match values.get(i) {
+                Some(Value::U64(v)) => *v as i64,
+                Some(Value::I64(v)) => *v,
+                Some(Value::F64(v)) => v.to_bits() as i64,
+                Some(Value::Bool(v)) => *v as i64,
+                // The record does not match the schema this digest was
+                // compiled for; count and move on rather than trap.
+                _ => {
+                    self.skipped += 1;
+                    return;
+                }
+            };
+            self.raw_row.push(v);
+        }
+        // The replicas' statics are about to change; drop the stale fold.
+        self.merged_cache.get_mut().take();
+        match &mut self.engine {
+            Engine::Single {
+                inst,
+                events,
+                fuel_spent,
+                aborted,
+            } => run_single(
+                inst,
+                &self.raw_row,
+                self.fuel_bound,
+                events,
+                fuel_spent,
+                aborted,
+            ),
+            Engine::Parallel(p) => {
+                let p = p.get_mut();
+                let shard = place(fnv1a(key), p.shards());
+                p.ingest_mapped(shard, &self.raw_row);
+            }
+        }
+    }
+
+    /// Hot-path ingest: `row` holds one raw `i64` per schema field, in
+    /// schema order (ints/bools as-is, doubles via `f64::to_bits`;
+    /// entries at string/bytes positions are ignored). Skips the
+    /// `Value` marshalling and per-field type checks of
+    /// [`ingest`](ShardedDigest::ingest) — the caller owns the bit
+    /// contract, which record types like `InteractionRecord::to_raw_row`
+    /// satisfy by construction.
+    pub fn ingest_raw(&mut self, key: u64, row: &[i64]) {
+        if row.len() != self.n_schema_fields {
+            self.skipped += 1;
+            return;
+        }
+        self.merged_cache.get_mut().take();
+        match &mut self.engine {
+            Engine::Single {
+                inst,
+                events,
+                fuel_spent,
+                aborted,
+            } => {
+                self.raw_row.clear();
+                for &i in &self.field_indices {
+                    self.raw_row.push(row[i]);
+                }
+                run_single(
+                    inst,
+                    &self.raw_row,
+                    self.fuel_bound,
+                    events,
+                    fuel_spent,
+                    aborted,
+                );
+            }
+            Engine::Parallel(p) => {
+                let p = p.get_mut();
+                let shard = place(fnv1a(key), p.shards());
+                p.ingest_row(shard, row);
+            }
+        }
+    }
+
+    /// Batch form of [`ingest_raw`](ShardedDigest::ingest_raw):
+    /// `keys[i]` dispatches the row at `rows[i * stride..][..stride]`
+    /// where `stride` is the schema field count. This is the digest
+    /// plane's preferred entry point: shard placement hashes run as a
+    /// pre-pass over the contiguous key slice — the FNV-1a rounds of
+    /// different keys overlap in flight instead of serializing behind
+    /// one record's dispatch — and the per-call bookkeeping (cache
+    /// invalidation, engine dispatch) is paid once per batch.
+    ///
+    /// A `rows` length that is not `keys.len() * stride` skips the
+    /// whole call (counted per record), mirroring the per-record
+    /// arity rule.
+    pub fn ingest_raw_rows(&mut self, keys: &[u64], rows: &[i64]) {
+        let stride = self.n_schema_fields;
+        if keys.len().checked_mul(stride) != Some(rows.len()) {
+            self.skipped += keys.len() as u64;
+            return;
+        }
+        if keys.is_empty() {
+            return;
+        }
+        self.merged_cache.get_mut().take();
+        match &mut self.engine {
+            Engine::Single {
+                inst,
+                events,
+                fuel_spent,
+                aborted,
+            } => {
+                for row in rows.chunks_exact(stride) {
+                    self.raw_row.clear();
+                    for &i in &self.field_indices {
+                        self.raw_row.push(row[i]);
+                    }
+                    run_single(
+                        inst,
+                        &self.raw_row,
+                        self.fuel_bound,
+                        events,
+                        fuel_spent,
+                        aborted,
+                    );
+                }
+            }
+            Engine::Parallel(p) => p.get_mut().ingest_rows(keys, rows, stride),
+        }
+    }
+
+    /// Ships any partially-filled per-shard batches to the workers
+    /// without waiting for them to be evaluated. Hosts call this at
+    /// report boundaries (the plane's "time threshold" — the simulator
+    /// has no wall clock) so records do not linger in builders between
+    /// barriers. No-op for the single-replica engine.
+    pub fn flush(&mut self) {
+        if let Engine::Parallel(p) = &mut self.engine {
+            p.get_mut().flush_all();
+        }
+    }
+
+    /// Folds every replica's statics into a fresh instance per the plan.
+    ///
+    /// For the parallel engine this is a *drain barrier*: partial
+    /// batches are flushed, every worker answers a FIFO drain message,
+    /// and the snapshots are folded in shard order. A fresh instance
+    /// (statics at their declared initial values) is the identity
+    /// element of each shard-safe fold, so folding shards into it
+    /// yields exactly the sequential statics. With one replica this
+    /// degenerates to a copy, so the accessor works uniformly for
+    /// fallback digests too.
+    pub fn merged(&self) -> Result<Instance, MergeError> {
+        if let Engine::Single { inst, .. } = &self.engine {
+            // Fallback digests may hold non-mergeable plans; a single
+            // replica needs no folding.
+            return Ok(inst.clone());
+        }
+        self.ensure_merged()?;
+        Ok(self
+            .merged_cache
+            .borrow()
+            .as_ref()
+            .expect("ensure_merged filled the cache")
+            .clone())
+    }
+
+    /// Runs the drain-and-fold into the cache unless it is already fresh.
+    fn ensure_merged(&self) -> Result<(), MergeError> {
+        if self.merged_cache.borrow().is_some() {
+            return Ok(());
+        }
+        let Engine::Parallel(p) = &self.engine else {
+            return Ok(());
+        };
+        let snapshots = p.borrow_mut().drain();
+        let mut acc = Instance::new(&self.program);
+        for snap in &snapshots {
+            acc.merge_from(&snap.inst, &self.plan)?;
+        }
+        *self.merged_cache.borrow_mut() = Some(acc);
+        Ok(())
+    }
+
+    /// Reads a static variable of the *merged* state by name. Repeated
+    /// reads between ingests share one drain + fold via the cache.
+    pub fn merged_global(&self, name: &str) -> Option<EValue> {
+        if let Engine::Single { inst, .. } = &self.engine {
+            return inst.global(name);
+        }
+        self.ensure_merged().ok()?;
+        self.merged_cache.borrow().as_ref()?.global(name)
+    }
+
+    /// Current evaluation statistics. For the parallel engine this is a
+    /// drain barrier (fuel and abort counts live in the workers).
+    pub fn stats(&self) -> DigestStats {
+        match &self.engine {
+            Engine::Single {
+                events,
+                fuel_spent,
+                aborted,
+                ..
+            } => DigestStats {
+                requested_shards: self.requested_shards,
+                shards: 1,
+                sharded: false,
+                events: *events,
+                per_shard_events: vec![*events],
+                skipped: self.skipped,
+                fuel_spent: *fuel_spent,
+                aborted: *aborted,
+            },
+            Engine::Parallel(p) => {
+                let mut p = p.borrow_mut();
+                let snapshots = p.drain();
+                DigestStats {
+                    requested_shards: self.requested_shards,
+                    shards: p.shards(),
+                    sharded: true,
+                    events: p.per_shard_events.iter().sum(),
+                    per_shard_events: p.per_shard_events.clone(),
+                    skipped: self.skipped,
+                    fuel_spent: snapshots.iter().map(|s| s.fuel_spent).sum(),
+                    aborted: snapshots.iter().map(|s| s.aborted).sum(),
+                }
+            }
+        }
+    }
+
+    /// Test hook: make one worker panic to exercise propagation.
+    #[cfg(test)]
+    fn inject_panic(&mut self, shard: usize) {
+        if let Engine::Parallel(p) = &mut self.engine {
+            p.get_mut().inject_panic(shard);
+        }
+    }
+}
+
+/// Inline scalar evaluation for the single-replica engine.
+fn run_single(
+    inst: &mut Instance,
+    row: &[i64],
+    fuel_bound: u64,
+    events: &mut u64,
+    fuel_spent: &mut u64,
+    aborted: &mut u64,
+) {
+    // Statics persist across records — that is the point of a digest.
+    match inst.run_raw(row, fuel_bound) {
+        Ok(out) => *fuel_spent += out.fuel_used,
+        Err(_) => {
+            // A runtime trap (input-dependent division by zero, say)
+            // leaves the statics partially updated, just as it would a
+            // sequential instance.
+            *aborted += 1;
+            *fuel_spent += fuel_bound;
+        }
+    }
+    *events += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbio::Schema;
+
+    fn schema() -> Schema {
+        Schema::build("rec")
+            .field("size", FieldType::U64)
+            .field("port", FieldType::U64)
+            .finish()
+            .unwrap()
+    }
+
+    const MERGEABLE: &str = "
+        static int count = 0;
+        static int bytes = 0;
+        static int biggest = 0;
+        static bool saw_admin = false;
+        count = count + 1;
+        bytes = bytes + size;
+        biggest = max(biggest, size);
+        if (port < 1024) { saw_admin = true; }
+        return count;
+    ";
+
+    #[test]
+    fn mergeable_digest_shards_and_folds_exactly() {
+        let schema = schema();
+        let mut seq = ShardedDigest::compile(MERGEABLE, &schema, 1).unwrap();
+        let mut sharded = ShardedDigest::compile(MERGEABLE, &schema, 4).unwrap();
+        assert!(!seq.is_sharded());
+        assert!(sharded.is_sharded());
+        assert_eq!(sharded.shard_count(), 4);
+
+        for i in 0..100u64 {
+            let rec = [
+                Value::U64(i * 37 % 91),
+                Value::U64(if i % 5 == 0 { 80 } else { 9000 }),
+            ];
+            seq.ingest(i % 7, &rec);
+            sharded.ingest(i % 7, &rec);
+        }
+        let a = seq.merged().unwrap();
+        let b = sharded.merged().unwrap();
+        assert_eq!(a.raw_globals(), b.raw_globals(), "fold must be bit-exact");
+        assert_eq!(sharded.merged_global("count"), Some(EValue::Int(100)));
+        assert_eq!(sharded.merged_global("saw_admin"), Some(EValue::Bool(true)));
+
+        let stats = sharded.stats();
+        assert_eq!(stats.events, 100);
+        assert_eq!(stats.per_shard_events.iter().sum::<u64>(), 100);
+        assert!(stats.sharded);
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(stats.aborted, 0);
+        assert!(stats.fuel_spent > 0);
+        assert_eq!(stats.fuel_spent, seq.stats().fuel_spent, "fuel is exact");
+    }
+
+    #[test]
+    fn opaque_digest_falls_back_to_one_instance() {
+        // `acc * 2` scales accumulated state — classified Opaque — so
+        // the requested 8 shards must collapse to 1.
+        let src = "
+            static int acc = 0;
+            acc = acc * 2 + size;
+            return acc;
+        ";
+        let d = ShardedDigest::compile(src, &schema(), 8).unwrap();
+        assert!(!d.is_sharded());
+        assert_eq!(d.shard_count(), 1);
+        assert!(!d.plan().fully_mergeable());
+        let stats = d.stats();
+        assert_eq!(stats.requested_shards, 8);
+        assert_eq!(stats.shards, 1);
+    }
+
+    #[test]
+    fn merged_cache_invalidates_on_ingest() {
+        let schema = schema();
+        let mut d = ShardedDigest::compile(MERGEABLE, &schema, 4).unwrap();
+        d.ingest(1, &[Value::U64(5), Value::U64(80)]);
+        assert_eq!(d.merged_global("count"), Some(EValue::Int(1)));
+        // Second read between ingests is served by the cached fold.
+        assert_eq!(d.merged_global("bytes"), Some(EValue::Int(5)));
+        // A new record must drop the stale fold.
+        d.ingest(2, &[Value::U64(7), Value::U64(9000)]);
+        assert_eq!(d.merged_global("count"), Some(EValue::Int(2)));
+        assert_eq!(d.merged_global("bytes"), Some(EValue::Int(12)));
+    }
+
+    #[test]
+    fn same_key_always_meets_the_same_shard() {
+        let d = ShardedDigest::compile(MERGEABLE, &schema(), 8).unwrap();
+        for key in 0..64u64 {
+            assert_eq!(d.shard_of(key), d.shard_of(key));
+            assert!(d.shard_of(key) < 8);
+        }
+    }
+
+    #[test]
+    fn raw_ingest_matches_value_ingest_bitwise() {
+        let schema = schema();
+        let mut by_value = ShardedDigest::compile(MERGEABLE, &schema, 4).unwrap();
+        let mut by_raw = ShardedDigest::compile(MERGEABLE, &schema, 4).unwrap();
+        for i in 0..300u64 {
+            let size = i * 131 % 7919;
+            let port = if i % 11 == 0 { 443 } else { 8080 };
+            by_value.ingest(i, &[Value::U64(size), Value::U64(port)]);
+            by_raw.ingest_raw(i, &[size as i64, port as i64]);
+        }
+        assert_eq!(
+            by_value.merged().unwrap().raw_globals(),
+            by_raw.merged().unwrap().raw_globals()
+        );
+        // A wrong-arity raw row is counted, not evaluated.
+        by_raw.ingest_raw(0, &[1]);
+        assert_eq!(by_raw.stats().skipped, 1);
+    }
+
+    /// Division by a record field bails the batch vectorizer (a zero
+    /// lane would have to trap mid-batch), but the accumulator is still
+    /// sum-mergeable — so this program runs sharded with every worker
+    /// on the scalar-VM fallback. The fold must stay bit-exact with
+    /// sequential, and a genuinely trapping record must surface in
+    /// `aborted` identically on both engines.
+    #[test]
+    fn non_vectorizable_digest_uses_worker_scalar_fallback() {
+        let src = "
+            static int ratio_sum = 0;
+            ratio_sum = ratio_sum + size / port;
+            return ratio_sum;
+        ";
+        let schema = schema();
+        let mut seq = ShardedDigest::compile(src, &schema, 1).unwrap();
+        let mut sharded = ShardedDigest::compile(src, &schema, 4).unwrap();
+        assert!(sharded.is_sharded(), "program must stay shardable");
+        for i in 0..200u64 {
+            let size = (i * 97 % 5000) as i64;
+            let port = if i == 137 { 0 } else { (1 + i % 17) as i64 };
+            seq.ingest_raw(i, &[size, port]);
+            sharded.ingest_raw(i, &[size, port]);
+        }
+        assert_eq!(
+            seq.merged().unwrap().raw_globals(),
+            sharded.merged().unwrap().raw_globals()
+        );
+        let (s1, s2) = (seq.stats(), sharded.stats());
+        assert_eq!(s1.aborted, 1, "the port-0 record must trap");
+        assert_eq!(s2.aborted, 1);
+        assert_eq!(s1.fuel_spent, s2.fuel_spent, "abort accounting is exact");
+    }
+
+    // ---------------------------------------------------------------
+    // Worker lifecycle
+    // ---------------------------------------------------------------
+
+    /// Records buffered below the flush threshold must still be visible
+    /// through a merge: `merged()` is a flush + drain barrier.
+    #[test]
+    fn merge_drains_partial_batches() {
+        let mut d =
+            ShardedDigest::compile_with(MERGEABLE, &schema(), 4, DigestConfig { flush_rows: 4096 })
+                .unwrap();
+        for i in 0..17u64 {
+            d.ingest_raw(i, &[10, 80]);
+        }
+        assert_eq!(d.merged_global("count"), Some(EValue::Int(17)));
+        let stats = d.stats();
+        assert_eq!(stats.events, 17);
+        assert!(stats.fuel_spent > 0, "drain must surface worker fuel");
+    }
+
+    /// Dropping a sharded digest with buffered records and live workers
+    /// must terminate promptly (channels close, workers join).
+    #[test]
+    fn drop_shuts_workers_down_cleanly() {
+        let mut d = ShardedDigest::compile(MERGEABLE, &schema(), 8).unwrap();
+        for i in 0..100u64 {
+            d.ingest_raw(i, &[i as i64, 80]);
+        }
+        drop(d); // must not hang or leak threads
+    }
+
+    /// A panicking worker must surface at the next barrier as a panic
+    /// carrying the worker's payload — never a hung fold.
+    #[test]
+    fn worker_panic_propagates_to_merge() {
+        let mut d = ShardedDigest::compile(MERGEABLE, &schema(), 4).unwrap();
+        for i in 0..8u64 {
+            d.ingest_raw(i, &[1, 80]);
+        }
+        d.inject_panic(2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.merged()))
+            .expect_err("merge after a worker panic must panic, not hang");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("poisoned"),
+            "payload should be the worker's: {msg}"
+        );
+        // The digest is broken but must still drop without aborting.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(d)));
+    }
+
+    /// A panicking worker surfaces at drop too (propagated, not lost),
+    /// when no barrier runs first.
+    #[test]
+    fn worker_panic_propagates_at_drop() {
+        let mut d = ShardedDigest::compile(MERGEABLE, &schema(), 4).unwrap();
+        d.ingest_raw(1, &[1, 80]);
+        d.inject_panic(0);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(d)))
+            .expect_err("drop must re-raise the worker panic");
+        drop(err);
+    }
+
+    // ---------------------------------------------------------------
+    // Parallel ≡ sequential (property)
+    // ---------------------------------------------------------------
+
+    /// One digest per (shards, flush_rows) configuration, same stream,
+    /// same statics — regardless of batch boundaries and scheduling.
+    fn assert_stream_invariant(records: &[(u64, i64, i64)], shards: usize, flush_rows: usize) {
+        let schema = schema();
+        let mut seq = ShardedDigest::compile(MERGEABLE, &schema, 1).unwrap();
+        let mut par =
+            ShardedDigest::compile_with(MERGEABLE, &schema, shards, DigestConfig { flush_rows })
+                .unwrap();
+        for &(key, size, port) in records {
+            seq.ingest_raw(key, &[size, port]);
+            par.ingest_raw(key, &[size, port]);
+        }
+        let a = seq.merged().unwrap();
+        let b = par.merged().unwrap();
+        assert_eq!(
+            a.raw_globals(),
+            b.raw_globals(),
+            "shards={shards} flush_rows={flush_rows}"
+        );
+        let (sa, sb) = (seq.stats(), par.stats());
+        assert_eq!(sa.events, sb.events);
+        assert_eq!(sa.fuel_spent, sb.fuel_spent, "fuel metering must be exact");
+        assert_eq!(sa.aborted, sb.aborted);
+    }
+
+    #[allow(unused)] // a typecheck-only proptest elides macro bodies, orphaning these imports
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Parallel batched ingest ≡ sequential ingest on
+            /// `raw_globals`, for random record streams, shard counts,
+            /// and batch sizes (including 1: every record its own batch).
+            #[test]
+            fn prop_parallel_batched_equals_sequential(
+                records in proptest::collection::vec(
+                    (0u64..64, 0i64..100_000, 0i64..10_000), 0..400),
+                shards in 2usize..9,
+                flush_rows in 1usize..130,
+            ) {
+                assert_stream_invariant(&records, shards, flush_rows);
+            }
+        }
+    }
+}

@@ -1,1 +1,73 @@
-//! Placeholder for the patch table; the workspace does not use crossbeam.
+//! Vendored stand-in for the `crossbeam` facade crate (offline build;
+//! see `.cargo/config.toml`). Only the slice of the API the workspace
+//! uses is provided: `crossbeam::channel` bounded/unbounded MPSC
+//! channels, implemented as thin newtypes over `std::sync::mpsc` so the
+//! blocking, backpressure, and disconnect semantics are the standard
+//! library's. Code written against this surface compiles unchanged
+//! against real crossbeam.
+
+/// Multi-producer single-consumer channels (`crossbeam::channel`
+/// API subset).
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Creates a channel of bounded capacity: `send` blocks while the
+    /// buffer holds `cap` messages, which is the backpressure the
+    /// digest plane's producer relies on.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(SenderKind::Bounded(tx)), Receiver(rx))
+    }
+
+    /// Creates an unbounded channel; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(SenderKind::Unbounded(tx)), Receiver(rx))
+    }
+
+    enum SenderKind<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(SenderKind<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+                SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Buffers the message, blocking while a bounded channel is
+        /// full; errs (returning the message) when every receiver is
+        /// gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderKind::Bounded(tx) => tx.send(value),
+                SenderKind::Unbounded(tx) => tx.send(value),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+}
