@@ -6,9 +6,11 @@
 //! suite is for statistically careful local comparisons (`cargo bench
 //! --bench hotpath`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use simcore::SimDuration;
-use sysprof_bench::hotpath::HotPipeline;
+use sysprof_bench::hotpath::{
+    cpa_eval_instance, pump_cpa, synth_record, CpaEventStream, HotPipeline, CPA_EVAL_SET,
+};
 use sysprof_bench::{exp_e1_linpack, exp_e2_iperf, exp_f6_dwcs};
 
 const BLOCK: u64 = 4096;
@@ -18,6 +20,73 @@ fn bench_pipeline(c: &mut Criterion) {
     g.bench_function("emit_dispatch_vm_encode", |b| {
         let mut pipe = HotPipeline::new();
         b.iter(|| pipe.pump(BLOCK));
+    });
+    g.finish();
+}
+
+/// Fused VM vs closure-compiled tier over the representative CPA set —
+/// the statistically careful companion to the `cpa_eval` arm of the
+/// `hotpath` binary (which records the committed baseline and gate).
+fn bench_cpa_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpa_eval");
+    g.throughput(Throughput::Elements(BLOCK));
+    let stream = CpaEventStream::generate(0, BLOCK);
+    for (name, src) in CPA_EVAL_SET {
+        for tier in [ecode::ExecTier::Fused, ecode::ExecTier::Compiled] {
+            let label = match tier {
+                ecode::ExecTier::Fused => format!("{name}/fused"),
+                ecode::ExecTier::Compiled => format!("{name}/compiled"),
+            };
+            g.bench_function(&label, |b| {
+                let (mut inst, fuel) = cpa_eval_instance(src, tier);
+                b.iter(|| pump_cpa(&mut inst, &stream, fuel, 1).flagged);
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Per-record `RecordWriter` vs the vectorized batch encoder over the
+/// all-U64 interaction schema — the `pbio_encode` win the vectorized
+/// hot loop exists for (identical output bytes, pinned by pbio's
+/// tests).
+fn bench_pbio_encode(c: &mut Criterion) {
+    const RECORDS: usize = 1024;
+    let schema = sysprof::InteractionRecord::schema();
+    let stride = schema.len();
+    let mut rows = Vec::with_capacity(RECORDS * stride);
+    let mut row = Vec::with_capacity(stride);
+    for i in 0..RECORDS as u64 {
+        synth_record(i).to_raw_row(&mut row);
+        rows.extend_from_slice(&row);
+    }
+
+    let mut g = c.benchmark_group("pbio_encode");
+    g.throughput(Throughput::Elements(RECORDS as u64));
+    g.bench_function("record_writer_per_row", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            for row in rows.chunks_exact(stride) {
+                let mut w = pbio::RecordWriter::new(&schema);
+                for &v in row {
+                    w.push_u64(v as u64).unwrap();
+                }
+                out.extend_from_slice(&w.finish().unwrap());
+            }
+            out.len()
+        });
+    });
+    g.bench_function("encode_batch_into", |b| {
+        let enc = pbio::BatchEncoder::new(&schema).unwrap();
+        let mut out = Vec::new();
+        let mut offsets = Vec::new();
+        b.iter(|| {
+            out.clear();
+            offsets.clear();
+            pbio::encode_batch_into(&enc, &rows, &mut out, &mut offsets).unwrap();
+            out.len()
+        });
     });
     g.finish();
 }
@@ -35,5 +104,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_cpa_eval,
+    bench_pbio_encode,
+    bench_end_to_end
+);
 criterion_main!(benches);

@@ -18,14 +18,15 @@ use simnet::{EndPoint, FlowKey, Ip, PacketId, Port};
 use sysprof::{CpaAnalyzer, Gpa, GpaConfig, InteractionRecord};
 
 /// Reference throughput of the hot path (events/sec, release mode),
-/// refreshed on the current container hardware after the parallel
-/// digest plane landed (full 4M-event runs measure 24–28M events/sec;
+/// refreshed on the current container hardware after the compiled
+/// E-Code tier landed (full 4M-event runs measure 30–34M events/sec;
 /// this is the conservative end). The `hotpath` binary reports current
 /// throughput relative to this number, and CI's smoke run enforces a
 /// floor against it so a silent regression fails instead of drifting
 /// into stale documentation. History: the pre-optimization seed
-/// measured 11.6–12.7M events/sec on the same hardware.
-pub const BASELINE_EVENTS_PER_SEC: f64 = 24_000_000.0;
+/// measured 11.6–12.7M events/sec; the parallel digest plane brought
+/// it to 24–28M on the same hardware.
+pub const BASELINE_EVENTS_PER_SEC: f64 = 30_000_000.0;
 
 /// The E-Code program the pipeline's CPA runs on every matching event.
 const CPA_PROGRAM: &str = r#"
@@ -177,6 +178,183 @@ pub fn pump_digest_stream(
         .to_vec()
 }
 
+/// E-Code input signature of a CPA — the same names, order, and types
+/// `CpaAnalyzer` marshals events into (see `core::cpa::EVENT_INPUTS`),
+/// so `cpa_eval` measures exactly the program shapes the event hot path
+/// runs.
+pub const CPA_EVENT_INPUTS: [(&str, ecode::Type); 7] = [
+    ("kind", ecode::Type::Int),
+    ("pid", ecode::Type::Int),
+    ("wall", ecode::Type::Int),
+    ("size", ecode::Type::Int),
+    ("aux", ecode::Type::Int),
+    ("port_src", ecode::Type::Int),
+    ("port_dst", ecode::Type::Int),
+];
+
+/// The representative CPA set the `cpa_eval` bench arm measures: the
+/// hotpath pipeline's own ratio CPA, a gated counter with a
+/// short-circuit guard, and a min/max latency fold — one per hot
+/// analyzer idiom, all within the default `CompileBudget`.
+pub const CPA_EVAL_SET: [(&str, &str); 3] = [
+    ("ratio", CPA_PROGRAM),
+    (
+        "gated_counter",
+        r#"
+        static int seen = 0;
+        static int nfs = 0;
+        static int big = 0;
+        seen = seen + 1;
+        if (port_dst == 2049 && size > 1000) {
+            nfs = nfs + 1;
+            big = max(big, size);
+        }
+        return nfs > 0 && seen % 100 == 0;
+    "#,
+    ),
+    (
+        "latency_minmax",
+        r#"
+        static int events = 0;
+        static int lo = 9223372036854775807;
+        static int hi = 0;
+        static int span = 0;
+        events = events + 1;
+        lo = min(lo, wall);
+        hi = max(hi, wall);
+        span = hi - lo;
+        if (events % 1000 == 0) { out(1, span); }
+        return 0;
+    "#,
+    ),
+];
+
+/// The deterministic raw event row `i` the `cpa_eval` arm feeds every
+/// program of [`CPA_EVAL_SET`] ([`CPA_EVENT_INPUTS`] order). Mixes
+/// matching and non-matching sizes/ports so guards branch both ways.
+pub fn cpa_event_row(i: u64) -> [i64; 7] {
+    let i = i as i64;
+    [
+        (i % 4) + 1,                        // kind
+        1 + (i >> 3) % 4,                   // pid
+        i * 7 % 1_000_003,                  // wall
+        200 + (i % 8) * 180,                // size
+        i % 11,                             // aux
+        5000 + (i % 16),                    // port_src
+        if i % 3 == 0 { 2049 } else { 80 }, // port_dst
+    ]
+}
+
+/// Behavior fingerprint of a CPA run: everything the host can observe,
+/// folded. Two tiers replaying the same event window must produce
+/// **equal** fingerprints — the `cpa_eval` arm asserts it every rep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpaFingerprint {
+    /// Events the program flagged (nonzero return).
+    pub flagged: u64,
+    /// Wrapping fold of every `out(slot, value)` publication's raw bits.
+    pub out_fold: i64,
+    /// Total fuel the metered runs reported.
+    pub fuel: u64,
+    /// The statics' raw bits after the window.
+    pub globals: Vec<i64>,
+}
+
+/// Events per `cpa_eval` ring window — sized like the deployment's
+/// per-CPU event ring (a few hundred KB, cache-resident), which the
+/// timed loop replays to cover the event budget. See [`pump_cpa`].
+pub const CPA_RING_EVENTS: u64 = 8192;
+
+/// A pre-generated CPA event window: [`cpa_event_row`]s back to back,
+/// stride [`CpaEventStream::STRIDE`]. The timed `cpa_eval` loop replays
+/// it, so both tier arms measure program evaluation — not the integer
+/// multiply/mod synthesis inside [`cpa_event_row`].
+pub struct CpaEventStream {
+    rows: Vec<i64>,
+}
+
+impl CpaEventStream {
+    /// Values per event row (the [`CPA_EVENT_INPUTS`] arity).
+    pub const STRIDE: usize = 7;
+
+    /// Pre-generates rows for events `[from, from + n)`.
+    pub fn generate(from: u64, n: u64) -> CpaEventStream {
+        let mut rows = Vec::with_capacity(n as usize * Self::STRIDE);
+        for i in from..from + n {
+            rows.extend_from_slice(&cpa_event_row(i));
+        }
+        CpaEventStream { rows }
+    }
+
+    /// Number of events in the stream.
+    pub fn len(&self) -> u64 {
+        (self.rows.len() / Self::STRIDE) as u64
+    }
+
+    /// Whether the stream holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Pumps the pre-generated window through a CPA instance `reps` times
+/// (via the batch ingest entry, `run_raw_batch` — the call shape the
+/// columnar hot path uses) and returns the fingerprint of the whole
+/// replay. The window models the deployment's ring buffer: a bounded,
+/// cache-resident slab the consumer drains in place, so the timed loop
+/// measures program evaluation rather than DRAM streaming over a
+/// one-shot giant array (which floors both tiers at memory bandwidth
+/// and says nothing about the VM). Statics persist across reps —
+/// counters keep counting, exactly as a long-lived CPA would over a
+/// live ring. The caller picks the tier at instance creation
+/// (`Instance::new` vs `Instance::new_fused`); this loop is tier-blind
+/// — it is the timed body of both `cpa_eval` arms.
+pub fn pump_cpa(
+    inst: &mut ecode::Instance,
+    stream: &CpaEventStream,
+    fuel: u64,
+    reps: u64,
+) -> CpaFingerprint {
+    let mut fp = CpaFingerprint {
+        flagged: 0,
+        out_fold: 0,
+        fuel: 0,
+        globals: Vec::new(),
+    };
+    for _ in 0..reps {
+        inst.run_raw_batch(&stream.rows, fuel, |out| {
+            if out.ret != 0 {
+                fp.flagged += 1;
+            }
+            fp.fuel += out.fuel_used;
+            for &(slot, v) in out.outputs {
+                fp.out_fold = fp
+                    .out_fold
+                    .wrapping_mul(0x100_0000_01b3)
+                    .wrapping_add(slot ^ v.to_bits() as i64);
+            }
+        })
+        .expect("representative CPAs never trap");
+    }
+    fp.globals = inst.raw_globals().to_vec();
+    fp
+}
+
+/// Compiles one [`CPA_EVAL_SET`] program and returns the instance for
+/// the requested tier plus its proven fuel bound. Panics if tier
+/// selection doesn't match the request — a representative CPA that
+/// stopped compiling would silently turn the bench into fused-vs-fused.
+pub fn cpa_eval_instance(src: &str, tier: ecode::ExecTier) -> (ecode::Instance, u64) {
+    let program = ecode::Program::compile(src, &CPA_EVENT_INPUTS).expect("static CPA compiles");
+    let fuel = program.static_fuel_bound();
+    let inst = match tier {
+        ecode::ExecTier::Compiled => ecode::Instance::new(&program),
+        ecode::ExecTier::Fused => ecode::Instance::new_fused(&program),
+    };
+    assert_eq!(inst.tier(), tier, "tier selection changed for:\n{src}");
+    (inst, fuel)
+}
+
 /// How many emitted events make one published record / sealed batch.
 const EVENTS_PER_RECORD: u64 = 64;
 
@@ -215,6 +393,8 @@ pub struct HotPipeline {
     next_seq: u64,
     emitted: u64,
     bytes_sealed: u64,
+    /// Reusable raw-row scratch for the vectorized publish path.
+    raw_row: Vec<i64>,
 }
 
 impl HotPipeline {
@@ -247,6 +427,7 @@ impl HotPipeline {
             next_seq: 0,
             emitted: 0,
             bytes_sealed: 0,
+            raw_row: Vec::new(),
         }
     }
 
@@ -320,9 +501,13 @@ impl HotPipeline {
     fn seal_record(&mut self, i: u64) {
         let record = self.record_for(i);
         let now = SimTime::from_micros(i);
+        // Raw-row publish (vectorized PBIO encode): byte-identical to
+        // `publish` with `to_values()`, so the counters fingerprint —
+        // bytes_sealed included — is unchanged.
+        record.to_raw_row(&mut self.raw_row);
         let sends = self
             .hub
-            .publish(self.topic, &self.schema, &record.to_values())
+            .publish_raw(self.topic, &self.schema, &self.raw_row)
             .expect("record matches schema");
         for (_, wire) in sends {
             self.next_seq += 1;

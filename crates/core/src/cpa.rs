@@ -13,7 +13,7 @@
 //! flag events by returning nonzero, and publish computed metrics with
 //! `out(slot, value)`.
 
-use ecode::{Instance, Type, Value, VerifyError, VerifyLimits, VerifyReport};
+use ecode::{ExecTier, Instance, Type, Value, VerifyError, VerifyLimits, VerifyReport};
 use kprof::{Analyzer, AnalyzerOutcome, Event, EventMask, EventPayload, Interest, Predicate};
 use simcore::SimDuration;
 
@@ -150,7 +150,15 @@ impl CpaAnalyzer {
         self.instance.global(name)
     }
 
-    fn inputs_for(event: &Event) -> [Value; 7] {
+    /// Which execution tier the program was installed on: `Compiled` when
+    /// it passed the [`ecode::CompileBudget`] heuristic and was lowered to
+    /// closures, `Fused` when it fell back to the fused VM. Either way the
+    /// observable behavior (globals, outputs, flags, fuel) is identical.
+    pub fn tier(&self) -> ExecTier {
+        self.instance.tier()
+    }
+
+    fn inputs_for(event: &Event) -> [i64; 7] {
         let kind = event.kind() as u8 as i64;
         let pid = event.payload.pid().map(|p| p.0 as i64).unwrap_or(0);
         let wall = event.wall.as_micros() as i64;
@@ -169,15 +177,9 @@ impl CpaAnalyzer {
             | EventPayload::BlockIoComplete { bytes, .. } => *bytes as i64,
             _ => 0,
         };
-        [
-            Value::Int(kind),
-            Value::Int(pid),
-            Value::Int(wall),
-            Value::Int(size),
-            Value::Int(aux),
-            Value::Int(ports.0),
-            Value::Int(ports.1),
-        ]
+        // Every entry in EVENT_INPUTS is Type::Int, so the raw input bits
+        // are the values themselves — no Value boxing on the hot path.
+        [kind, pid, wall, size, aux, ports.0, ports.1]
     }
 }
 
@@ -198,7 +200,7 @@ impl Analyzer for CpaAnalyzer {
         let inputs = Self::inputs_for(event);
         // The outcome borrows the instance's output arena; fold it into
         // the persistent per-slot map before the next run overwrites it.
-        let fuel_used = match self.instance.run(&inputs, self.fuel_budget) {
+        let fuel_used = match self.instance.run_raw(&inputs, self.fuel_budget) {
             Ok(out) => {
                 if out.ret != 0 {
                     self.flagged += 1;
@@ -265,6 +267,11 @@ mod tests {
             return big;
         "#;
         let mut cpa = CpaAnalyzer::compile("big-counter", src, EventMask::NETWORK).unwrap();
+        assert_eq!(
+            cpa.tier(),
+            ExecTier::Compiled,
+            "the canonical counting CPA must land on the compiled tier"
+        );
         cpa.on_event(&net_event(1500, 2049));
         cpa.on_event(&net_event(200, 2049)); // too small
         cpa.on_event(&net_event(1500, 80)); // wrong port

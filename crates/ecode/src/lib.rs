@@ -71,6 +71,7 @@
 mod analysis;
 mod batch;
 mod compile;
+pub mod jit;
 mod lexer;
 mod parser;
 mod vm;
@@ -82,7 +83,8 @@ pub use analysis::{
     VerifyLimits, VerifyReport,
 };
 pub use compile::{Program, Type};
-pub use vm::{Instance, MergeError, RunOutcome, Value};
+pub use jit::CompileBudget;
+pub use vm::{ExecTier, Instance, MergeError, RunOutcome, Value};
 
 use std::fmt;
 

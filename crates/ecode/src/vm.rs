@@ -1,7 +1,10 @@
 //! The fuel-metered stack VM.
 
+use std::sync::Arc;
+
 use crate::analysis::{MergeClass, MergePlan, MinMaxOp};
 use crate::compile::{GlobalInit, Program, Type};
+use crate::jit;
 use crate::EcodeError;
 
 /// A static's raw bits at instance creation (`f64::to_bits` for doubles).
@@ -186,7 +189,10 @@ fn stack_effect(op: Op) -> (u32, i32) {
 /// with no per-op bounds tests. A violation is a compiler bug
 /// ([`Program`] cannot be built outside this crate), so it panics at
 /// instance creation rather than surfacing mid-run.
-fn validate(program: &Program) -> usize {
+///
+/// Also returns the per-pc entry depths (`-1` = unreachable): the
+/// compiled tier seeds its cross-block carry tracking from them.
+fn validate(program: &Program) -> (usize, Vec<i32>) {
     let code = &program.code;
     assert!(!code.is_empty(), "E-Code compiler emitted no code");
     let n_inputs = program.inputs.len();
@@ -234,12 +240,13 @@ fn validate(program: &Program) -> usize {
             _ => work.push((pc + 1, next)),
         }
     }
-    max_depth as usize
+    (max_depth as usize, depth_at)
 }
 
-/// Integer comparison kind carried by fused compare ops.
+/// Comparison kind carried by fused compare ops and the compiled
+/// tier's expression trees.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Cmp {
+pub(crate) enum Cmp {
     Eq,
     Ne,
     Lt,
@@ -262,7 +269,21 @@ impl Cmp {
     }
 
     #[inline(always)]
-    fn eval(self, l: i64, r: i64) -> bool {
+    pub(crate) fn eval(self, l: i64, r: i64) -> bool {
+        match self {
+            Cmp::Eq => l == r,
+            Cmp::Ne => l != r,
+            Cmp::Lt => l < r,
+            Cmp::Le => l <= r,
+            Cmp::Gt => l > r,
+            Cmp::Ge => l >= r,
+        }
+    }
+
+    /// Float comparison with IEEE semantics (identical to the `*F`
+    /// compare opcodes).
+    #[inline(always)]
+    pub(crate) fn eval_f(self, l: f64, r: f64) -> bool {
         match self {
             Cmp::Eq => l == r,
             Cmp::Ne => l != r,
@@ -437,6 +458,23 @@ fn fuse(code: &[Op]) -> (Vec<FastOp>, Vec<u32>, Vec<u32>) {
     (fast, fast2orig, orig2fast)
 }
 
+/// Which execution tier an [`Instance`] selected at creation.
+///
+/// Tier selection is an implementation detail for correctness (all
+/// tiers are bit-identical on every observable) but an operational fact
+/// hosts report: a CPA running compiled costs measurably less per
+/// event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecTier {
+    /// Closure-compiled basic blocks ([`crate::jit`]); falls back to
+    /// the checked per-op interpreter mid-run only when the remaining
+    /// fuel budget cannot cover a block.
+    Compiled,
+    /// The fused superinstruction VM with block-granular fuel
+    /// precharge.
+    Fused,
+}
+
 /// Per-analyzer program state: the persistent `static` variables, plus
 /// the reusable run arenas (operand stack, locals, raw inputs, outputs)
 /// and the block-fuel table. Create one instance per installed CPA; run
@@ -457,16 +495,48 @@ pub struct Instance {
     fast: Vec<FastOp>,
     fast2orig: Vec<u32>,
     orig2fast: Vec<u32>,
+    /// The closure-compiled tier, when the program fit the
+    /// [`jit::CompileBudget`] — `None` means every run uses the fused
+    /// VM. Shared via `Arc` so cloning an instance into digest-plane
+    /// replicas doesn't recompile.
+    compiled: Option<Arc<jit::CompiledProgram>>,
     stack: Vec<i64>,
     locals: Vec<i64>,
     raw_inputs: Vec<i64>,
     outputs: Vec<(i64, f64)>,
+    /// Compiled-tier scratch: operand-stack values crossing a block
+    /// boundary. Lives in the instance (not the driver's frame) so the
+    /// whole [`jit::Ctx`] borrows at one lifetime.
+    carry: [i64; jit::MAX_CARRY],
 }
 
 impl Instance {
     /// Creates an instance with statics at their declared initial values.
     /// The program is cheap to clone (bytecode + layout tables).
+    ///
+    /// Programs within the default [`jit::CompileBudget`] are lowered
+    /// to the closure-compiled tier here; everything else runs on the
+    /// fused VM. Both are bit-identical on every observable
+    /// ([`tier`](Instance::tier) reports which one was selected).
     pub fn new(program: &Program) -> Self {
+        Self::with_budget(program, &jit::CompileBudget::default())
+    }
+
+    /// [`new`](Instance::new) with an explicit compile budget — hosts
+    /// that want to cap compiled-tier memory (or force fallback in
+    /// tests) size the budget themselves.
+    pub fn with_budget(program: &Program, budget: &jit::CompileBudget) -> Self {
+        Self::build(program, Some(budget))
+    }
+
+    /// Creates an instance pinned to the fused VM, never the compiled
+    /// tier. The differential sweeps use this to run the same program
+    /// on both tiers; hosts normally want [`new`](Instance::new).
+    pub fn new_fused(program: &Program) -> Self {
+        Self::build(program, None)
+    }
+
+    fn build(program: &Program, budget: Option<&jit::CompileBudget>) -> Self {
         let globals = program
             .globals
             .iter()
@@ -482,8 +552,9 @@ impl Instance {
                 _ => block_fuel[pc + 1] + 1,
             };
         }
-        let max_stack = validate(program);
+        let (max_stack, depth_at) = validate(program);
         let (fast, fast2orig, orig2fast) = fuse(&program.code);
+        let compiled = budget.and_then(|b| jit::compile(program, &depth_at, b).map(Arc::new));
         Instance {
             program: program.clone(),
             globals,
@@ -492,10 +563,40 @@ impl Instance {
             fast,
             fast2orig,
             orig2fast,
+            compiled,
             stack: Vec::with_capacity(max_stack),
             locals: Vec::new(),
             raw_inputs: Vec::new(),
             outputs: Vec::new(),
+            carry: [0; jit::MAX_CARRY],
+        }
+    }
+
+    /// `(specialized, total)` compiled-block counts, `None` when the
+    /// instance runs fused. Introspection for tests — the perf suite
+    /// pins that the representative CPA shapes never regress to the
+    /// generic tree-walking closures.
+    #[cfg(test)]
+    pub(crate) fn compiled_specialization(&self) -> Option<(usize, usize)> {
+        self.compiled.as_deref().map(|cp| cp.specialization())
+    }
+
+    /// Whether the compiled program carries the whole-program
+    /// straight-line fast path (`None` when running fused).
+    /// Introspection for tests — the perf suite pins that the
+    /// representative CPA shapes parse into it.
+    #[cfg(test)]
+    pub(crate) fn compiled_whole_path(&self) -> Option<bool> {
+        self.compiled.as_deref().map(|cp| cp.whole.is_some())
+    }
+
+    /// Which execution tier [`run`](Instance::run) uses for this
+    /// instance.
+    pub fn tier(&self) -> ExecTier {
+        if self.compiled.is_some() {
+            ExecTier::Compiled
+        } else {
+            ExecTier::Fused
         }
     }
 
@@ -614,7 +715,7 @@ impl Instance {
     /// * [`EcodeError::DivideByZero`] on integer division/modulo by zero.
     pub fn run(&mut self, inputs: &[Value], fuel: u64) -> Result<RunOutcome<'_>, EcodeError> {
         self.marshal(inputs)?;
-        self.run_metered(fuel, false)
+        self.dispatch(fuel)
     }
 
     /// Reference metering path: charges and checks fuel before every
@@ -641,6 +742,7 @@ impl Instance {
     ///
     /// Same as [`run`](Instance::run), except `BadInputs` only triggers on
     /// a length mismatch.
+    #[inline]
     pub fn run_raw(&mut self, raw: &[i64], fuel: u64) -> Result<RunOutcome<'_>, EcodeError> {
         if raw.len() != self.program.inputs.len() {
             return Err(EcodeError::BadInputs(format!(
@@ -649,9 +751,27 @@ impl Instance {
                 raw.len()
             )));
         }
-        self.raw_inputs.clear();
-        self.raw_inputs.extend_from_slice(raw);
-        self.run_metered(fuel, false)
+        // Steady-state ingest replays the same arity every event, so the
+        // arena is already sized: take the pure-`memcpy` path instead of
+        // `clear` + `extend_from_slice` (whose growth check and length
+        // bookkeeping cost real time at per-event rates).
+        if self.raw_inputs.len() == raw.len() {
+            self.raw_inputs.copy_from_slice(raw);
+        } else {
+            self.raw_inputs.clear();
+            self.raw_inputs.extend_from_slice(raw);
+        }
+        self.dispatch(fuel)
+    }
+
+    /// Routes a marshalled run to the tier selected at creation.
+    #[inline]
+    fn dispatch(&mut self, fuel: u64) -> Result<RunOutcome<'_>, EcodeError> {
+        if self.compiled.is_some() {
+            self.run_compiled(fuel)
+        } else {
+            self.run_metered(fuel, false)
+        }
     }
 
     /// One pass validates input types and marshals the raw bits into the
@@ -684,6 +804,172 @@ impl Instance {
         &mut self.globals
     }
 
+    /// The compiled-tier driver: direct-threaded block chaining with the
+    /// same block-granular fuel precharge as the fused VM. Entering a
+    /// block whose straight-line cost fits the remaining budget charges
+    /// it up front and runs the block's closure; a block that doesn't
+    /// fit runs on the checked per-op interpreter instead (spilling the
+    /// carried stack values first), so abort points, `fuel_used`, and
+    /// partial statics stay bit-identical to [`run_per_op`](Instance::run_per_op).
+    fn run_compiled(&mut self, fuel: u64) -> Result<RunOutcome<'_>, EcodeError> {
+        // Split borrows, same discipline as `run_metered`: arenas are
+        // reused, so post-warmup this path performs no heap allocation.
+        let Instance {
+            program,
+            globals,
+            compiled,
+            stack,
+            locals,
+            raw_inputs,
+            outputs,
+            carry,
+            ..
+        } = self;
+        let cp = compiled.as_deref().expect("dispatch checked compiled");
+        locals.clear();
+        locals.resize(program.n_locals as usize, 0);
+        outputs.clear();
+        // One context for the whole run; each closure call reborrows it.
+        let mut ctx = jit::Ctx {
+            globals,
+            locals,
+            inputs: raw_inputs,
+            outputs,
+            carry,
+        };
+        // Whole-program fast path: valid only when the budget covers the
+        // worst-case path, so no fuel abort is reachable anywhere and the
+        // per-block bookkeeping can be skipped outright.
+        if let Some(w) = &cp.whole {
+            if fuel >= w.max_fuel {
+                let (ret, fuel_used) = w.exec(&mut ctx);
+                return Ok(RunOutcome {
+                    ret,
+                    fuel_used,
+                    outputs: ctx.outputs,
+                });
+            }
+        }
+        let (ret, fuel_used) = drive_compiled(cp, &program.code, stack, &mut ctx, fuel)?;
+        Ok(RunOutcome {
+            ret,
+            fuel_used,
+            outputs: ctx.outputs,
+        })
+    }
+
+    /// Runs the program once per row of a row-major window of raw input
+    /// bits (`stride` = the declared input count, rows back to back),
+    /// invoking `sink` with each run's outcome in row order. Semantics
+    /// are *exactly* `rows.chunks_exact(stride)` fed one at a time to
+    /// [`run_raw`](Instance::run_raw) — same per-row fuel budget, same
+    /// trap points, same statics evolution, bit-identical outcomes — but
+    /// the per-call setup (input marshalling, arena resets, driver
+    /// entry) is hoisted out of the row loop, which is where a scalar
+    /// call spends a large fraction of its time on small CPAs. Hot
+    /// ingest paths that already hold columnar batches (the GPA digest
+    /// plane, the bench rings) use this; one-event-at-a-time hosts keep
+    /// calling `run_raw`.
+    ///
+    /// # Errors
+    ///
+    /// * [`EcodeError::BadInputs`] if the program declares no inputs or
+    ///   `rows.len()` is not a multiple of the declared input count
+    ///   (nothing is executed).
+    /// * Any error a per-row [`run_raw`](Instance::run_raw) sequence
+    ///   would produce, at the same row: rows before it have executed
+    ///   (and were sunk); statics reflect the partial window, exactly as
+    ///   if the caller had looped and stopped at the first error.
+    pub fn run_raw_batch<F>(
+        &mut self,
+        rows: &[i64],
+        fuel: u64,
+        mut sink: F,
+    ) -> Result<(), EcodeError>
+    where
+        F: FnMut(RunOutcome<'_>),
+    {
+        let stride = self.program.inputs.len();
+        if stride == 0 || !rows.len().is_multiple_of(stride) {
+            return Err(EcodeError::BadInputs(format!(
+                "batch of {} raw values is not rows of {} inputs",
+                rows.len(),
+                stride
+            )));
+        }
+        if self.compiled.is_none() {
+            // Fused tier: the interpreter rebuilds its operand stack per
+            // run anyway, so there is nothing more to hoist than the
+            // entry checks above.
+            self.raw_inputs.resize(stride, 0);
+            for row in rows.chunks_exact(stride) {
+                self.raw_inputs.copy_from_slice(row);
+                sink(self.run_metered(fuel, false)?);
+            }
+            return Ok(());
+        }
+        let Instance {
+            program,
+            globals,
+            compiled,
+            stack,
+            locals,
+            outputs,
+            carry,
+            ..
+        } = self;
+        let cp = compiled.as_deref().expect("checked above");
+        let code = &program.code;
+        let n_locals = program.n_locals as usize;
+        locals.clear();
+        locals.resize(n_locals, 0);
+        // One context for the whole window; per row only the input
+        // pointer moves (and the arenas reset), so the driver's setup
+        // cost amortizes across the batch.
+        let mut ctx = jit::Ctx {
+            globals,
+            locals,
+            inputs: &[],
+            outputs,
+            carry,
+        };
+        // Whole-program fast path: the budget is fixed across the
+        // window, so the `max_fuel` gate hoists out of the loop — each
+        // row is one straight-line call with baked fuel constants.
+        if let Some(w) = &cp.whole {
+            if fuel >= w.max_fuel {
+                for row in rows.chunks_exact(stride) {
+                    ctx.inputs = row;
+                    if n_locals > 0 {
+                        ctx.locals.iter_mut().for_each(|l| *l = 0);
+                    }
+                    ctx.outputs.clear();
+                    let (ret, fuel_used) = w.exec(&mut ctx);
+                    sink(RunOutcome {
+                        ret,
+                        fuel_used,
+                        outputs: ctx.outputs,
+                    });
+                }
+                return Ok(());
+            }
+        }
+        for row in rows.chunks_exact(stride) {
+            ctx.inputs = row;
+            if n_locals > 0 {
+                ctx.locals.iter_mut().for_each(|l| *l = 0);
+            }
+            ctx.outputs.clear();
+            let (ret, fuel_used) = drive_compiled(cp, code, stack, &mut ctx, fuel)?;
+            sink(RunOutcome {
+                ret,
+                fuel_used,
+                outputs: ctx.outputs,
+            });
+        }
+        Ok(())
+    }
+
     fn run_metered(&mut self, fuel: u64, force_per_op: bool) -> Result<RunOutcome<'_>, EcodeError> {
         // Split borrows: the arenas are reused across runs, so after the
         // first run this path performs no heap allocation.
@@ -699,6 +985,7 @@ impl Instance {
             locals,
             raw_inputs,
             outputs,
+            ..
         } = self;
         locals.clear();
         locals.resize(program.n_locals as usize, 0);
@@ -1031,6 +1318,246 @@ impl Instance {
                 assert!(nf != u32::MAX, "block entry has no fast-code twin");
                 fpc = nf as usize;
             }
+        }
+    }
+}
+
+/// One event through the compiled tier: the direct-threaded block loop
+/// shared by [`Instance::run_compiled`] (one context per scalar call)
+/// and [`Instance::run_raw_batch`] (one context per row, arenas hoisted
+/// across the window). Returns `(ret, fuel_used)`; `out()` values land
+/// in `ctx.outputs`.
+fn drive_compiled(
+    cp: &jit::CompiledProgram,
+    code: &[Op],
+    stack: &mut Vec<i64>,
+    ctx: &mut jit::Ctx<'_>,
+    fuel: u64,
+) -> Result<(i64, u64), EcodeError> {
+    let mut fuel_used = 0u64;
+    let mut bi = 0usize;
+    loop {
+        let b = &cp.blocks[bi];
+        if fuel_used + b.fuel <= fuel {
+            // Precharge the block's whole span (chain-merged successors
+            // included) and run its closure. Every exit is a real
+            // terminator (traps discard fuel), exactly as the fused VM
+            // meters it. The closure may additionally charge inlined
+            // successor spans against the remaining budget — identical
+            // decisions to this loop's own precharge — and reports them
+            // in `extra`.
+            fuel_used += b.fuel;
+            let (extra, exit) = (b.run)(ctx, fuel - fuel_used);
+            fuel_used += extra;
+            match exit {
+                jit::Exit::Jump(n) => bi = n as usize,
+                jit::Exit::Ret(ret) => return Ok((ret, fuel_used)),
+                jit::Exit::Trap => return Err(EcodeError::DivideByZero),
+            }
+        } else {
+            // Budget too tight for a precharge: materialize the carried
+            // values on the operand stack and run one
+            // original-granularity block per-op with a fuel check
+            // before every opcode (merged spans re-enter the loop at
+            // each original boundary, re-deciding per block).
+            let opc = b.entry_pc as usize;
+            stack.clear();
+            stack.extend_from_slice(&ctx.carry[..b.carry_in as usize]);
+            let exit = exec_block_checked(
+                code,
+                opc,
+                fuel,
+                &mut fuel_used,
+                stack,
+                ctx.globals,
+                ctx.locals,
+                ctx.inputs,
+                ctx.outputs,
+            )?;
+            match exit {
+                BlockExit::Ret(ret) => return Ok((ret, fuel_used)),
+                BlockExit::Next(pc) => {
+                    // Checked map: a corrupted pc fails loudly instead
+                    // of reaching a wrong closure.
+                    let nb = cp.pc2block[pc];
+                    assert!(nb != u32::MAX, "block entry has no compiled twin");
+                    bi = nb as usize;
+                    let d = cp.blocks[bi].carry_in as usize;
+                    debug_assert_eq!(stack.len(), d, "carry depth diverged");
+                    ctx.carry[..d].copy_from_slice(&stack[..d]);
+                }
+            }
+        }
+    }
+}
+
+/// How [`exec_block_checked`] left its block.
+enum BlockExit {
+    /// Control continues at this original pc (a block entry).
+    Next(usize),
+    /// The program returned this value.
+    Ret(i64),
+}
+
+/// Executes one basic block (from `pc` through its real terminator) of
+/// original bytecode, charging and checking fuel before every opcode —
+/// the compiled driver's tight-budget fallback. Entirely safe code: the
+/// cold path can afford the bounds checks, and keeping it safe means
+/// the only unsafe interpreter is the one Miri already covers.
+///
+/// Semantics must match `run_metered`'s per-op arm exactly: same
+/// wrapping arithmetic, same trap points, same fuel charge on the op
+/// that exhausts the budget.
+#[allow(clippy::too_many_arguments)]
+fn exec_block_checked(
+    code: &[Op],
+    mut pc: usize,
+    fuel: u64,
+    fuel_used: &mut u64,
+    stack: &mut Vec<i64>,
+    globals: &mut [i64],
+    locals: &mut [i64],
+    inputs: &[i64],
+    outputs: &mut Vec<(i64, f64)>,
+) -> Result<BlockExit, EcodeError> {
+    macro_rules! popi {
+        () => {
+            stack.pop().expect("validate proved no stack underflow")
+        };
+    }
+    macro_rules! popf {
+        () => {
+            f64::from_bits(popi!() as u64)
+        };
+    }
+    macro_rules! pushf {
+        ($v:expr) => {
+            stack.push(($v).to_bits() as i64)
+        };
+    }
+    macro_rules! bini {
+        ($f:ident) => {{
+            let r = popi!();
+            let l = popi!();
+            stack.push(l.$f(r));
+        }};
+    }
+    macro_rules! binf {
+        ($op:tt) => {{ let r = popf!(); let l = popf!(); pushf!(l $op r); }};
+    }
+    macro_rules! cmpi {
+        ($op:tt) => {{ let r = popi!(); let l = popi!(); stack.push((l $op r) as i64); }};
+    }
+    macro_rules! cmpf {
+        ($op:tt) => {{ let r = popf!(); let l = popf!(); stack.push((l $op r) as i64); }};
+    }
+    loop {
+        *fuel_used += 1;
+        if *fuel_used > fuel {
+            return Err(EcodeError::OutOfFuel);
+        }
+        let op = code[pc];
+        pc += 1;
+        match op {
+            Op::ConstI(v) => stack.push(v),
+            Op::ConstF(v) => pushf!(v),
+            Op::LoadInput(i) => stack.push(inputs[i as usize]),
+            Op::LoadGlobal(i) => stack.push(globals[i as usize]),
+            Op::LoadLocal(i) => stack.push(locals[i as usize]),
+            Op::StoreGlobal(i) => globals[i as usize] = popi!(),
+            Op::StoreLocal(i) => locals[i as usize] = popi!(),
+            Op::AddI => bini!(wrapping_add),
+            Op::SubI => bini!(wrapping_sub),
+            Op::MulI => bini!(wrapping_mul),
+            Op::DivI => {
+                let r = popi!();
+                let l = popi!();
+                if r == 0 {
+                    return Err(EcodeError::DivideByZero);
+                }
+                stack.push(l.wrapping_div(r));
+            }
+            Op::ModI => {
+                let r = popi!();
+                let l = popi!();
+                if r == 0 {
+                    return Err(EcodeError::DivideByZero);
+                }
+                stack.push(l.wrapping_rem(r));
+            }
+            Op::NegI => {
+                let v = popi!();
+                stack.push(v.wrapping_neg());
+            }
+            Op::AddF => binf!(+),
+            Op::SubF => binf!(-),
+            Op::MulF => binf!(*),
+            Op::DivF => binf!(/),
+            Op::NegF => {
+                let v = popf!();
+                pushf!(-v);
+            }
+            Op::I2F => {
+                let v = popi!();
+                pushf!(v as f64);
+            }
+            Op::I2FUnder => {
+                let top = popi!();
+                let under = popi!();
+                pushf!(under as f64);
+                stack.push(top);
+            }
+            Op::EqI => cmpi!(==),
+            Op::NeI => cmpi!(!=),
+            Op::LtI => cmpi!(<),
+            Op::LeI => cmpi!(<=),
+            Op::GtI => cmpi!(>),
+            Op::GeI => cmpi!(>=),
+            Op::EqF => cmpf!(==),
+            Op::NeF => cmpf!(!=),
+            Op::LtF => cmpf!(<),
+            Op::LeF => cmpf!(<=),
+            Op::GtF => cmpf!(>),
+            Op::GeF => cmpf!(>=),
+            Op::NotB => {
+                let v = popi!();
+                stack.push((v == 0) as i64);
+            }
+            Op::AbsI => {
+                let v = popi!();
+                stack.push(v.wrapping_abs());
+            }
+            Op::AbsF => {
+                let v = popf!();
+                pushf!(v.abs());
+            }
+            Op::MinI => bini!(min),
+            Op::MinF => {
+                let r = popf!();
+                let l = popf!();
+                pushf!(l.min(r));
+            }
+            Op::MaxI => bini!(max),
+            Op::MaxF => {
+                let r = popf!();
+                let l = popf!();
+                pushf!(l.max(r));
+            }
+            Op::Out => {
+                let value = popf!();
+                let slot = popi!();
+                outputs.push((slot, value));
+            }
+            Op::Pop => {
+                popi!();
+            }
+            Op::Jmp(t) => return Ok(BlockExit::Next(t as usize)),
+            Op::JmpIfFalse(t) => {
+                let c = popi!();
+                return Ok(BlockExit::Next(if c == 0 { t as usize } else { pc }));
+            }
+            Op::Ret => return Ok(BlockExit::Ret(popi!())),
+            Op::RetVoid => return Ok(BlockExit::Ret(0)),
         }
     }
 }

@@ -12,7 +12,7 @@
 //!    `out()` stream, same trap behavior) across persistent-static runs.
 
 use ecode::{
-    verify, Diagnostic, Instance, MergeClass, MinMaxOp, Program, Severity, Type, Value,
+    verify, Diagnostic, ExecTier, Instance, MergeClass, MinMaxOp, Program, Severity, Type, Value,
     VerifyLimits,
 };
 
@@ -599,14 +599,21 @@ impl Gen {
     }
 }
 
-/// The two soundness properties, for one program over one input history
+/// Differential soundness for one program over one input history
 /// (statics persist across the runs, so order matters):
 ///
 /// * the static fuel bound dominates observed fuel, for both the
 ///   original and the optimized program;
 /// * the optimized program is observationally identical to the original
-///   (return value, `out()` stream, and trap behavior per run).
-fn check_soundness(src: &str, history: &[(i64, i64)]) {
+///   (return value, `out()` stream, and trap behavior per run);
+/// * all three execution tiers agree on every observable, at the full
+///   budget and at starved budgets that force mid-program aborts.
+///
+/// Returns whether the (unoptimized) program landed on the compiled
+/// tier, so sweeps can assert a coverage floor — a silent
+/// fall-back-to-fused-everywhere regression would otherwise keep this
+/// green without testing the jit.
+fn check_soundness(src: &str, history: &[(i64, i64)]) -> bool {
     let orig = Program::compile(src, &INPUTS)
         .unwrap_or_else(|e| panic!("generator emitted invalid program: {e}\n{src}"));
     let orig_bound = orig.static_fuel_bound();
@@ -642,39 +649,59 @@ fn check_soundness(src: &str, history: &[(i64, i64)]) {
         }
     }
 
-    // Block-fuel exactness: `run` meters fuel per basic block (precharging
-    // blocks that fit the remaining budget) while `run_per_op` is the
-    // reference per-op path. Over the same history — at the full bound and
-    // at starved budgets that force mid-program aborts — both must report
-    // identical fuel, results, and trap behavior.
+    // Tier-matrix exactness: all three execution tiers — the checked
+    // per-op reference, the fused VM with block-granular precharge, and
+    // the closure-compiled tier (when selected) — must report identical
+    // results, outputs, statics, traps, and fuel. Over the same history,
+    // at the full bound and at starved budgets that force mid-program
+    // aborts (which also drive the compiled tier's per-op fallback).
+    let tier = Instance::new(&orig).tier();
     for budget in [orig_bound, orig_bound / 2 + 1, 3, 1] {
-        let mut blk_inst = Instance::new(&orig);
+        let mut top_inst = Instance::new(&orig); // compiled when eligible
+        let mut fus_inst = Instance::new_fused(&orig);
         let mut ref_inst = Instance::new(&orig);
+        assert_eq!(
+            top_inst.tier(),
+            tier,
+            "tier selection must be deterministic"
+        );
+        assert_eq!(fus_inst.tier(), ExecTier::Fused);
         for &(a, b) in history {
             let inputs = [Value::Int(a), Value::Int(b)];
-            let r_blk = blk_inst.run(&inputs, budget);
-            let r_ref = ref_inst.run_per_op(&inputs, budget);
-            match (r_blk, r_ref) {
-                (Ok(x), Ok(y)) => {
-                    assert_eq!(
-                        x.fuel_used, y.fuel_used,
-                        "block metering must be fuel-exact (budget {budget}, inputs ({a}, {b})) on\n{src}"
-                    );
-                    assert_eq!(x.ret, y.ret, "budget {budget} on\n{src}");
-                    assert_eq!(x.outputs, y.outputs, "budget {budget} on\n{src}");
-                }
-                (Err(x), Err(y)) => assert_eq!(x, y, "budget {budget} on\n{src}"),
-                (x, y) => panic!(
-                    "metering divergence (budget {budget}, inputs ({a}, {b})): {x:?} vs {y:?}\n{src}"
-                ),
+            let r_top = run_sig(top_inst.run(&inputs, budget));
+            let r_fus = run_sig(fus_inst.run(&inputs, budget));
+            let r_ref = run_sig(ref_inst.run_per_op(&inputs, budget));
+            assert_eq!(
+                r_top, r_ref,
+                "{tier:?} tier diverged from per-op reference (budget {budget}, inputs ({a}, {b})) on\n{src}"
+            );
+            assert_eq!(
+                r_fus, r_ref,
+                "fused tier diverged from per-op reference (budget {budget}, inputs ({a}, {b})) on\n{src}"
+            );
+            if let Ok((_, fuel, _)) = &r_ref {
+                assert!(*fuel <= budget, "metering overdraft on\n{src}");
             }
+            assert_eq!(top_inst.raw_globals(), ref_inst.raw_globals(), "{src}");
+            assert_eq!(fus_inst.raw_globals(), ref_inst.raw_globals(), "{src}");
         }
     }
+    tier == ExecTier::Compiled
+}
+
+/// Collapses a run result to its observable signature: ret, fuel used,
+/// and the published outputs (trap results compare as the error).
+#[allow(clippy::type_complexity)]
+fn run_sig(
+    r: Result<ecode::RunOutcome<'_>, ecode::EcodeError>,
+) -> Result<(i64, u64, Vec<(i64, f64)>), ecode::EcodeError> {
+    r.map(|o| (o.ret, o.fuel_used, o.outputs.to_vec()))
 }
 
 #[test]
 fn generated_programs_bound_sound_and_optimizer_equivalent() {
     let mut sweep = Rng::new(0x5157_0f00d);
+    let mut compiled = 0usize;
     for seed in 0..300u64 {
         let src = Gen::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) + 1).program();
         let mut history = vec![
@@ -687,8 +714,17 @@ fn generated_programs_bound_sound_and_optimizer_equivalent() {
         for _ in 0..3 {
             history.push((sweep.next() as i64, sweep.next() as i64));
         }
-        check_soundness(&src, &history);
+        if check_soundness(&src, &history) {
+            compiled += 1;
+        }
     }
+    // Coverage floor: the sweep is only a jit test if generated programs
+    // actually take the compiled tier. A drop below this floor means
+    // tier selection silently regressed to fused-everywhere.
+    assert!(
+        compiled >= 250,
+        "only {compiled}/300 generated programs compiled; jit coverage regressed"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -713,12 +749,24 @@ fn check_shard_exactness(src: &str, history: &[(i64, i64)], rng: &mut Rng) -> bo
         return false;
     }
     let mut seq = Instance::new(&program);
+    let mut seq_fused = Instance::new_fused(&program);
     for &(a, b) in history {
         // Generated programs never trap (divisors are provably nonzero),
         // so the trap-free precondition of the exactness claim holds.
         seq.run(&[Value::Int(a), Value::Int(b)], report.fuel_bound)
             .unwrap_or_else(|e| panic!("generated program trapped: {e}\n{src}"));
+        seq_fused
+            .run(&[Value::Int(a), Value::Int(b)], report.fuel_bound)
+            .unwrap();
     }
+    // The sharded fold below is compared against the tier `Instance::new`
+    // selected; the fused VM must agree with it bit-for-bit first, so
+    // shard exactness holds regardless of which tier replicas run on.
+    assert_eq!(
+        seq.raw_globals(),
+        seq_fused.raw_globals(),
+        "tier divergence in sequential statics on\n{src}"
+    );
     for k in [2usize, 3, 8] {
         let mut shards: Vec<Instance> = (0..k).map(|_| Instance::new(&program)).collect();
         for &(a, b) in history {
@@ -1053,7 +1101,7 @@ mod props {
             d in any::<i64>(),
         ) {
             let src = Gen::new(seed).program();
-            check_soundness(&src, &[(a, b), (c, d), (b, a), (0, 0)]);
+            let _ = check_soundness(&src, &[(a, b), (c, d), (b, a), (0, 0)]);
         }
 
         /// The verifier is total: arbitrary source never panics it.

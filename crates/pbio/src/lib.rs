@@ -38,10 +38,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod record;
 mod schema;
 mod varint;
 
+pub use batch::{encode_batch_into, BatchEncoder};
 pub use record::{RecordReader, RecordWriter, Value};
 pub use schema::{Field, FieldType, Schema, SchemaBuilder, SchemaId, SchemaRegistry};
 pub use varint::{read_u64, write_u64, zigzag_decode, zigzag_encode};

@@ -114,6 +114,10 @@ pub struct ShardedDigest {
     raw_row: Vec<i64>,
     /// Statically proven worst-case fuel per evaluation.
     fuel_bound: u64,
+    /// Execution tier every replica runs on. Tier selection is a pure
+    /// function of the program, so one probe at compile time speaks for
+    /// all shards (including the parallel plane's worker-local replicas).
+    tier: ecode::ExecTier,
     skipped: u64,
     /// Lazily computed fold of the replicas, invalidated on ingest.
     /// `merged()`/`merged_global()` sit on the stats/query path and are
@@ -192,6 +196,7 @@ impl ShardedDigest {
             merge_plan,
             ..
         } = report;
+        let tier = Instance::new(&program).tier();
         let engine = if shards > 1 && merge_plan.fully_mergeable() {
             Engine::Parallel(RefCell::new(Plane::spawn(
                 &program,
@@ -218,6 +223,7 @@ impl ShardedDigest {
             field_indices,
             raw_row: Vec::new(),
             fuel_bound,
+            tier,
             skipped: 0,
             merged_cache: RefCell::new(None),
         })
@@ -244,6 +250,15 @@ impl ShardedDigest {
     /// Statically proven worst-case fuel per record.
     pub fn fuel_bound(&self) -> u64 {
         self.fuel_bound
+    }
+
+    /// The execution tier every replica runs on — `Compiled` when the
+    /// program passed the [`ecode::CompileBudget`] heuristic, `Fused`
+    /// otherwise. Per-shard replicas all make the same (deterministic)
+    /// choice, and the tiers are observably identical, so `merge_from`
+    /// folds stay bit-identical regardless of tier.
+    pub fn tier(&self) -> ecode::ExecTier {
+        self.tier
     }
 
     /// Which shard a flow key lands on. Deterministic: identical across
@@ -558,6 +573,10 @@ mod tests {
         assert!(!seq.is_sharded());
         assert!(sharded.is_sharded());
         assert_eq!(sharded.shard_count(), 4);
+        // Both engines must agree on the (deterministic) execution tier,
+        // and the canonical mergeable digest fits the default budget.
+        assert_eq!(seq.tier(), ecode::ExecTier::Compiled);
+        assert_eq!(sharded.tier(), seq.tier());
 
         for i in 0..100u64 {
             let rec = [

@@ -55,8 +55,8 @@ use std::fmt;
 
 use ecode::{Instance, Type, Value as EValue, VerifyLimits};
 use pbio::{
-    read_u64, write_u64, FieldType, PbioError, RecordReader, RecordWriter, Schema, SchemaId,
-    SchemaRegistry, Value,
+    read_u64, write_u64, BatchEncoder, FieldType, PbioError, RecordReader, RecordWriter, Schema,
+    SchemaId, SchemaRegistry, Value,
 };
 use simnet::EndPoint;
 
@@ -159,6 +159,32 @@ impl Filter {
                 Value::Str(_) | Value::Bytes(_) => unreachable!("filtered out at compile"),
             });
         }
+        self.eval()
+    }
+
+    /// [`passes`](Filter::passes) over a raw numeric row (digest bit
+    /// convention) — the `publish_raw` hot path, which never
+    /// materializes [`Value`]s. Decisions are identical to `passes` on
+    /// the equivalent values: both marshal the same bits into the same
+    /// E-Code inputs.
+    fn passes_raw(&mut self, schema: &Schema, row: &[i64]) -> (bool, u64) {
+        self.inputs.clear();
+        for &i in &self.field_indices {
+            let v = row[i];
+            self.inputs.push(match schema.fields()[i].ty {
+                FieldType::U64 | FieldType::I64 => EValue::Int(v),
+                FieldType::F64 => EValue::Double(f64::from_bits(v as u64)),
+                FieldType::Bool => EValue::Bool(v != 0),
+                FieldType::Str | FieldType::Bytes => {
+                    unreachable!("raw publish requires a numeric schema")
+                }
+            });
+        }
+        self.eval()
+    }
+
+    /// Runs the program over the marshalled `inputs` scratch.
+    fn eval(&mut self) -> (bool, u64) {
         // Filters keep the original fresh-statics-per-evaluation
         // semantics: reset, then run the persistent instance.
         self.instance.reset_globals();
@@ -198,6 +224,12 @@ pub struct Hub {
     /// Filters awaiting their topic's first schema: (topic, sub index,
     /// source).
     pending_filters: Vec<(TopicId, usize, String)>,
+    /// Per-schema batch encoders for the raw publish path, keyed by
+    /// registered schema id (schema validation is loop-invariant; spend
+    /// it once).
+    raw_encoders: HashMap<u32, BatchEncoder>,
+    /// Reusable record-bytes scratch for `publish_raw`.
+    raw_record: Vec<u8>,
 }
 
 impl Default for Hub {
@@ -217,6 +249,8 @@ impl Hub {
             filter_fuel: 0,
             filter_failures: 0,
             pending_filters: Vec::new(),
+            raw_encoders: HashMap::new(),
+            raw_record: Vec::new(),
         }
     }
 
@@ -342,26 +376,7 @@ impl Hub {
         if !self.subs.contains_key(&topic) {
             return Err(PubSubError::UnknownTopic(topic));
         }
-        // Late-compile any pending filters now that a schema is known. A
-        // filter that fails verification must not abort the publish (that
-        // would drop the record for *every* subscriber on the topic): the
-        // failure is counted and that one subscription delivers
-        // unfiltered, consistent with the fail-open policy in `passes`.
-        let pending = std::mem::take(&mut self.pending_filters);
-        for (t, idx, src) in pending {
-            if t == topic {
-                match Filter::compile(&src, schema) {
-                    Ok(filter) => {
-                        if let Some(sub) = self.subs.get_mut(&t).and_then(|v| v.get_mut(idx)) {
-                            sub.filter = Some(filter);
-                        }
-                    }
-                    Err(_) => self.filter_failures += 1,
-                }
-            } else {
-                self.pending_filters.push((t, idx, src));
-            }
-        }
+        self.compile_pending_filters(topic, schema);
 
         if values.len() != schema.len() {
             return Err(PubSubError::SchemaMismatch);
@@ -403,6 +418,95 @@ impl Hub {
         Ok(out)
     }
 
+    /// [`publish`](Hub::publish) over a raw numeric row (one `i64` per
+    /// schema field, digest raw-row bit convention: integers hold the
+    /// value, doubles hold `f64::to_bits`, bools are nonzero-for-true) —
+    /// the daemon's per-record hot path.
+    ///
+    /// Wire bytes, filter decisions, fuel accounting, and delivery
+    /// counters are **identical** to `publish` with the equivalent
+    /// [`Value`]s; the difference is purely cost: the schema is compiled
+    /// to a [`BatchEncoder`] once (cached per schema id), the record
+    /// encodes through the vectorized bounds-check-hoisted loop into a
+    /// reusable scratch, and filters marshal straight from the row.
+    ///
+    /// # Errors
+    ///
+    /// Same as `publish`, plus [`PubSubError::Codec`] if the schema has
+    /// string/bytes fields (those records have no raw-row form — keep
+    /// publishing them through `publish`).
+    pub fn publish_raw(
+        &mut self,
+        topic: TopicId,
+        schema: &Schema,
+        row: &[i64],
+    ) -> Result<Vec<(EndPoint, Vec<u8>)>, PubSubError> {
+        if !self.subs.contains_key(&topic) {
+            return Err(PubSubError::UnknownTopic(topic));
+        }
+        self.compile_pending_filters(topic, schema);
+
+        if row.len() != schema.len() {
+            return Err(PubSubError::SchemaMismatch);
+        }
+        let schema_id = self.schemas.register(schema);
+        let enc = match self.raw_encoders.entry(schema_id.0) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => v.insert(BatchEncoder::new(schema)?),
+        };
+        self.raw_record.clear();
+        enc.encode_row_into(row, &mut self.raw_record)?;
+
+        let record = &self.raw_record;
+        let topic_subs = self.subs.get_mut(&topic).expect("checked");
+        let mut out = Vec::new();
+        for sub in topic_subs.iter_mut() {
+            if let Some(filter) = sub.filter.as_mut() {
+                let (pass, fuel) = filter.passes_raw(schema, row);
+                self.filter_fuel += fuel;
+                if !pass {
+                    sub.filtered += 1;
+                    continue;
+                }
+            }
+            let include_schema = sub.sent_schemas.insert(schema_id.0);
+            let mut wire = Vec::with_capacity(record.len() + 8);
+            write_u64(&mut wire, topic.0 as u64);
+            write_u64(&mut wire, schema_id.0 as u64);
+            wire.push(include_schema as u8);
+            if include_schema {
+                schema.encode(&mut wire);
+            }
+            wire.extend_from_slice(record);
+            sub.delivered += 1;
+            out.push((sub.endpoint, wire));
+        }
+        Ok(out)
+    }
+
+    /// Late-compiles any pending filters for `topic` now that a schema
+    /// is known. A filter that fails verification must not abort the
+    /// publish (that would drop the record for *every* subscriber on the
+    /// topic): the failure is counted and that one subscription delivers
+    /// unfiltered, consistent with the fail-open policy in `passes`.
+    fn compile_pending_filters(&mut self, topic: TopicId, schema: &Schema) {
+        let pending = std::mem::take(&mut self.pending_filters);
+        for (t, idx, src) in pending {
+            if t == topic {
+                match Filter::compile(&src, schema) {
+                    Ok(filter) => {
+                        if let Some(sub) = self.subs.get_mut(&t).and_then(|v| v.get_mut(idx)) {
+                            sub.filter = Some(filter);
+                        }
+                    }
+                    Err(_) => self.filter_failures += 1,
+                }
+            } else {
+                self.pending_filters.push((t, idx, src));
+            }
+        }
+    }
+
     /// Total E-Code fuel burned by subscription filters so far (the host
     /// converts this to CPU time and charges it as monitoring overhead).
     pub fn filter_fuel(&self) -> u64 {
@@ -426,6 +530,26 @@ impl Hub {
             .filter_map(|s| s.filter.as_ref().map(|f| f.fuel_bound))
             .max()
             .unwrap_or(0)
+    }
+
+    /// How many installed filters run on each execution tier, as
+    /// `(compiled, fused)`. Tier selection happens automatically at
+    /// compile time ([`ecode::Instance::new`]); this only observes the
+    /// outcome — both tiers are observably identical.
+    pub fn filter_tiers(&self) -> (usize, usize) {
+        // Counting is order-free, so iterating the subscription map in
+        // hash order cannot be observed in the result.
+        let tier_count = |want: ecode::ExecTier| {
+            self.subs
+                .values()
+                .flatten()
+                .filter(|s| s.filter.as_ref().is_some_and(|f| f.instance.tier() == want))
+                .count()
+        };
+        (
+            tier_count(ecode::ExecTier::Compiled),
+            tier_count(ecode::ExecTier::Fused),
+        )
     }
 
     /// (delivered, filtered) counts for a subscriber on a topic.
@@ -575,6 +699,9 @@ mod tests {
         assert_eq!(hub.publish(t, &schema(), &rec(500, 0.0)).unwrap().len(), 1);
         assert_eq!(hub.delivery_stats(t, ep(1)), Some((1, 1)));
         assert!(hub.filter_fuel() > 0);
+        // A trivial comparison filter fits any CompileBudget: it must
+        // have landed on the compiled tier.
+        assert_eq!(hub.filter_tiers(), (1, 0));
     }
 
     #[test]
@@ -651,6 +778,71 @@ mod tests {
         assert_eq!(hub.topic("alpha"), a);
         assert_eq!(hub.topic_id("beta"), Some(b));
         assert_eq!(hub.topic_id("gamma"), None);
+    }
+
+    fn numeric_schema() -> Schema {
+        Schema::build("numeric")
+            .field("latency_us", FieldType::U64)
+            .field("delta", FieldType::I64)
+            .field("load", FieldType::F64)
+            .field("hot", FieldType::Bool)
+            .finish()
+            .unwrap()
+    }
+
+    /// `publish_raw` is a pure producer-side optimization: over the same
+    /// record stream — filters, schema inlining, counters, fuel, and
+    /// every wire byte included — it must be indistinguishable from
+    /// `publish` with the equivalent values.
+    #[test]
+    fn publish_raw_is_byte_identical_to_publish() {
+        let schema = numeric_schema();
+        let mut by_values = Hub::new();
+        let mut by_rows = Hub::new();
+        for hub in [&mut by_values, &mut by_rows] {
+            let t = hub.topic("m");
+            hub.subscribe_with_schema(t, ep(1), Some("return latency_us > 100 && hot;"), &schema)
+                .unwrap();
+            hub.subscribe(t, ep(2), None).unwrap();
+        }
+        let t = by_values.topic("m");
+        for i in 0..20u64 {
+            let latency = i * 30;
+            let delta = 5 - i as i64;
+            let load = 0.25 + i as f64;
+            let hot = i % 3 == 0;
+            let values = vec![
+                Value::U64(latency),
+                Value::I64(delta),
+                Value::F64(load),
+                Value::Bool(hot),
+            ];
+            let row = [latency as i64, delta, load.to_bits() as i64, hot as i64];
+            let a = by_values.publish(t, &schema, &values).unwrap();
+            let b = by_rows.publish_raw(t, &schema, &row).unwrap();
+            assert_eq!(a, b, "wire divergence at record {i}");
+        }
+        for e in [ep(1), ep(2)] {
+            assert_eq!(by_values.delivery_stats(t, e), by_rows.delivery_stats(t, e));
+        }
+        assert_eq!(by_values.filter_fuel(), by_rows.filter_fuel());
+        assert!(by_rows.filter_fuel() > 0);
+    }
+
+    #[test]
+    fn publish_raw_rejects_string_schemas() {
+        let mut hub = Hub::new();
+        let t = hub.topic("m");
+        hub.subscribe(t, ep(1), None).unwrap();
+        assert!(matches!(
+            hub.publish_raw(t, &schema(), &[1, 2, 3]),
+            Err(PubSubError::Codec(PbioError::BadSchema(_)))
+        ));
+        // Row/schema arity mismatches fail the same way `publish` does.
+        assert!(matches!(
+            hub.publish_raw(t, &numeric_schema(), &[1]),
+            Err(PubSubError::SchemaMismatch)
+        ));
     }
 }
 
